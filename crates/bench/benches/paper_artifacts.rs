@@ -1,0 +1,204 @@
+//! Criterion benches: one target per paper table/figure.
+//!
+//! Each target times the exact simulator code path that its artifact
+//! exercises, on a *single representative workload* at the reduced CI
+//! scale (the full 41-benchmark sweeps live in the `figures` binary). This
+//! keeps `cargo bench` laptop-sized while still regression-testing every
+//! experiment configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use numa_gpu_bench::{configs, experiments, Runner};
+use numa_gpu_core::run_workload;
+use numa_gpu_runtime::Workload;
+use numa_gpu_types::{CacheMode, WritePolicy};
+use numa_gpu_workloads::{by_name, Scale};
+use std::time::Duration;
+
+fn wl(name: &str) -> Workload {
+    by_name(name, &Scale::quick()).expect("catalog workload")
+}
+
+fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(500));
+    g.measurement_time(Duration::from_secs(3));
+    g
+}
+
+/// Table 1: configuration construction + validation (pure CPU).
+fn bench_table1(c: &mut Criterion) {
+    let mut g = group(c, "table1");
+    g.bench_function("table1_config", |b| b.iter(experiments::table1));
+    g.finish();
+}
+
+/// Table 2: building the whole 41-workload catalog.
+fn bench_table2(c: &mut Criterion) {
+    let mut g = group(c, "table2");
+    g.bench_function("table2_catalog", |b| {
+        b.iter(|| experiments::table2(&Runner::new(Scale::quick())))
+    });
+    g.finish();
+}
+
+/// Figure 2: occupancy sweep over the catalog metadata.
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = group(c, "fig2");
+    g.bench_function("fig2_occupancy", |b| {
+        b.iter(|| experiments::fig2(&Runner::new(Scale::quick())))
+    });
+    g.finish();
+}
+
+/// Figure 3: traditional vs locality runtime on one streaming workload.
+fn bench_fig3(c: &mut Criterion) {
+    let w = wl("Other-Stream-Triad");
+    let mut g = group(c, "fig3");
+    g.bench_function("fig3_locality", |b| {
+        b.iter(|| {
+            let t = run_workload(configs::traditional(4), &w).unwrap();
+            let l = run_workload(configs::locality(4), &w).unwrap();
+            l.speedup_over(&t)
+        })
+    });
+    g.finish();
+}
+
+/// Figure 5: timeline-recording run of the HPGMG proxy.
+fn bench_fig5(c: &mut Criterion) {
+    let w = wl("HPC-HPGMG-UVM");
+    let mut g = group(c, "fig5");
+    g.bench_function("fig5_linktrace", |b| {
+        b.iter(|| {
+            numa_gpu_core::run_workload_with_timeline(configs::locality(4), &w).unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// Figure 6: dynamic link adaptivity on the reduction-phased workload.
+fn bench_fig6(c: &mut Criterion) {
+    let w = wl("HPC-HPGMG-UVM");
+    let mut g = group(c, "fig6");
+    g.bench_function("fig6_dynlink", |b| {
+        b.iter(|| run_workload(configs::dynamic_link(4, 5_000), &w).unwrap())
+    });
+    g.finish();
+}
+
+/// §4.1 sensitivity: 500-cycle lane turns.
+fn bench_fig6_sens(c: &mut Criterion) {
+    let w = wl("HPC-HPGMG-UVM");
+    let mut cfg = configs::dynamic_link(4, 5_000);
+    cfg.link.switch_time_cycles = 500;
+    let mut g = group(c, "fig6_sens");
+    g.bench_function("fig6_switch_sensitivity", |b| {
+        b.iter(|| run_workload(cfg.clone(), &w).unwrap())
+    });
+    g.finish();
+}
+
+/// Figure 8: the four cache organizations on the lookup-table workload.
+fn bench_fig8(c: &mut Criterion) {
+    let w = wl("HPC-RSBench");
+    let mut g = group(c, "fig8");
+    for (label, mode) in [
+        ("memside", CacheMode::MemSideLocalOnly),
+        ("static", CacheMode::StaticRemoteCache),
+        ("shared", CacheMode::SharedCoherent),
+        ("numa_aware", CacheMode::NumaAwareDynamic),
+    ] {
+        g.bench_function(format!("fig8_cachemode_{label}"), |b| {
+            b.iter(|| run_workload(configs::cache(4, mode), &w).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9: invalidation-free L2 upper bound.
+fn bench_fig9(c: &mut Criterion) {
+    let w = wl("Rodinia-Euler3D");
+    let mut ideal = configs::cache(4, CacheMode::NumaAwareDynamic);
+    ideal.ideal_no_l2_invalidate = true;
+    let mut g = group(c, "fig9");
+    g.bench_function("fig9_coherence", |b| {
+        b.iter(|| run_workload(ideal.clone(), &w).unwrap())
+    });
+    g.finish();
+}
+
+/// §5.2 sensitivity: write-through L2.
+fn bench_fig9_wb(c: &mut Criterion) {
+    let w = wl("Rodinia-Euler3D");
+    let mut wt = configs::cache(4, CacheMode::NumaAwareDynamic);
+    wt.l2.write_policy = WritePolicy::WriteThrough;
+    let mut g = group(c, "fig9_wb");
+    g.bench_function("fig9_writeback", |b| {
+        b.iter(|| run_workload(wt.clone(), &w).unwrap())
+    });
+    g.finish();
+}
+
+/// Figure 10: the combined design.
+fn bench_fig10(c: &mut Criterion) {
+    let w = wl("HPC-CoMD");
+    let mut g = group(c, "fig10");
+    g.bench_function("fig10_combined", |b| {
+        b.iter(|| run_workload(configs::numa_aware(4), &w).unwrap())
+    });
+    g.finish();
+}
+
+/// Figure 11: 8-socket scalability plus the 8× hypothetical ceiling.
+fn bench_fig11(c: &mut Criterion) {
+    let w = wl("HPC-MiniAMR");
+    let mut g = group(c, "fig11");
+    g.bench_function("fig11_scalability_8s", |b| {
+        b.iter(|| run_workload(configs::numa_aware(8), &w).unwrap())
+    });
+    g.bench_function("fig11_hypothetical_8x", |b| {
+        b.iter(|| run_workload(configs::hypothetical(8), &w).unwrap())
+    });
+    g.finish();
+}
+
+/// §6 power model arithmetic.
+fn bench_power(c: &mut Criterion) {
+    let mut g = group(c, "power");
+    g.bench_function("power_model", |b| {
+        b.iter(|| numa_gpu_core::power::average_link_power_w(123_456_789, 1_000_000))
+    });
+    g.finish();
+}
+
+/// Ablation: NUMA-aware with L1 partitioning disabled.
+fn bench_ablations(c: &mut Criterion) {
+    let w = wl("HPC-CoMD-Ta");
+    let mut cfg = configs::numa_aware(4);
+    cfg.partition_l1 = false;
+    let mut g = group(c, "ablations");
+    g.bench_function("ablation_no_l1_partition", |b| {
+        b.iter(|| run_workload(cfg.clone(), &w).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    artifacts,
+    bench_table1,
+    bench_table2,
+    bench_fig2,
+    bench_fig3,
+    bench_fig5,
+    bench_fig6,
+    bench_fig6_sens,
+    bench_fig8,
+    bench_fig9,
+    bench_fig9_wb,
+    bench_fig10,
+    bench_fig11,
+    bench_power,
+    bench_ablations
+);
+criterion_main!(artifacts);

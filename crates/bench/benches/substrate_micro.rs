@@ -1,0 +1,152 @@
+//! Microbenchmarks of the simulator substrates themselves (cache array,
+//! MSHRs, event queue, bandwidth resource, page table, balancer) — the
+//! structures whose per-event cost bounds overall simulation speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use numa_gpu_cache::{LineClass, MshrFile, PartitionController, SetAssocCache, WayPartition};
+use numa_gpu_engine::{EventQueue, ServiceQueue};
+use numa_gpu_interconnect::LinkBalancer;
+use numa_gpu_mem::PageTable;
+use numa_gpu_types::{Addr, CacheConfig, LineAddr, PagePlacement, SocketId, WritePolicy};
+use std::time::Duration;
+
+fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(20);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let cfg = CacheConfig {
+        size_bytes: 4 * 1024 * 1024,
+        ways: 16,
+        hit_latency_cycles: 34,
+        write_policy: WritePolicy::WriteBack,
+    };
+    let mut g = group(c, "substrate_cache");
+    g.bench_function("l2_probe_fill_mix_10k", |b| {
+        b.iter(|| {
+            let mut cache = SetAssocCache::new(&cfg, Some(WayPartition::balanced(16)));
+            for i in 0..10_000u64 {
+                let line = LineAddr::from_index(i * 37 % 65_536);
+                if !cache.probe_read(line) {
+                    cache.record_miss(LineClass::Local);
+                    cache.fill(line, LineClass::Local, i % 3 == 0);
+                }
+            }
+            cache.resident_lines()
+        })
+    });
+    g.bench_function("l2_flush_full", |b| {
+        let mut cache = SetAssocCache::new(&cfg, None);
+        for i in 0..32_768u64 {
+            cache.fill(LineAddr::from_index(i), LineClass::Remote, i % 2 == 0);
+        }
+        b.iter(|| cache.clone().invalidate_all())
+    });
+    g.finish();
+}
+
+fn bench_mshr(c: &mut Criterion) {
+    let mut g = group(c, "substrate_mshr");
+    g.bench_function("mshr_allocate_complete_4k", |b| {
+        b.iter(|| {
+            let mut m: MshrFile<u32> = MshrFile::new(64);
+            for i in 0..4_096u64 {
+                let line = LineAddr::from_index(i % 64);
+                let _ = m.allocate(line, i as u32);
+                if i % 8 == 7 {
+                    let _ = m.complete(line);
+                }
+            }
+            m.in_use()
+        })
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = group(c, "substrate_events");
+    g.bench_function("event_queue_push_pop_100k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..100_000u64 {
+                q.push(i * 7919 % 1_000_000, i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_service_queue(c: &mut Criterion) {
+    let mut g = group(c, "substrate_bandwidth");
+    g.bench_function("service_queue_1m_requests", |b| {
+        b.iter(|| {
+            let mut q = ServiceQueue::new(768);
+            let mut done = 0;
+            for i in 0..1_000_000u64 {
+                done = q.service(i * 100, 128);
+            }
+            done
+        })
+    });
+    g.finish();
+}
+
+fn bench_page_table(c: &mut Criterion) {
+    let mut g = group(c, "substrate_pages");
+    g.bench_function("first_touch_1m_lookups", |b| {
+        b.iter(|| {
+            let mut pt = PageTable::new(PagePlacement::FirstTouch, 4);
+            let mut acc = 0usize;
+            for i in 0..1_000_000u64 {
+                let line = Addr::new(i * 128 % (256 << 20)).line();
+                acc += pt.home_of_line(line, SocketId::new((i % 4) as u8)).index();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_controllers(c: &mut Criterion) {
+    let mut g = group(c, "substrate_controllers");
+    g.bench_function("partition_controller_100k_steps", |b| {
+        b.iter(|| {
+            let mut ctl = PartitionController::new(16);
+            for i in 0..100_000u64 {
+                ctl.step(i % 3 == 0, i % 5 == 0);
+            }
+            ctl.partition().local_ways()
+        })
+    });
+    g.bench_function("link_balancer_1m_decisions", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000_000u64 {
+                let a = LinkBalancer::decide(i % 2 == 0, i % 3 == 0, (i % 15) as u8 + 1, 16 - ((i % 15) as u8 + 1));
+                acc += a as u64;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_cache,
+    bench_mshr,
+    bench_event_queue,
+    bench_service_queue,
+    bench_page_table,
+    bench_controllers
+);
+criterion_main!(micro);

@@ -1,0 +1,50 @@
+//! Supplementary ablations (page migration, scoreboard depth) on a
+//! representative 8-workload subset of the study set.
+
+use numa_gpu_bench::{configs, geomean};
+use numa_gpu_core::run_workload;
+use numa_gpu_types::PagePlacement;
+use numa_gpu_workloads::{by_name, Scale};
+
+const SUBSET: [&str; 8] = [
+    "Rodinia-Euler3D",
+    "HPC-RSBench",
+    "HPC-CoMD-Ta",
+    "HPC-HPGMG-UVM",
+    "Rodinia-BFS",
+    "Rodinia-Hotspot",
+    "ML-GoogLeNet-cudnn-Lev2",
+    "Lonestar-MST-Mesh",
+];
+
+fn main() {
+    let scale = Scale::full();
+    let mut variants: Vec<(&str, Vec<f64>)> = vec![
+        ("aware4 (subset)", Vec::new()),
+        ("aware-page-migration (subset)", Vec::new()),
+        ("aware-mlp-1 (subset)", Vec::new()),
+        ("aware-mlp-8 (subset)", Vec::new()),
+    ];
+    for name in SUBSET {
+        eprintln!("  {name}");
+        let wl = by_name(name, &scale).expect("catalog workload");
+        let base = run_workload(configs::locality(4), &wl).unwrap();
+        let aware = run_workload(configs::numa_aware(4), &wl).unwrap();
+        let mut mig = configs::numa_aware(4);
+        mig.placement = PagePlacement::FirstTouchMigrate { migrate_threshold: 64 };
+        let mig_r = run_workload(mig, &wl).unwrap();
+        let mut m1 = configs::numa_aware(4);
+        m1.sm.max_pending_loads = 1;
+        let m1_r = run_workload(m1, &wl).unwrap();
+        let mut m8 = configs::numa_aware(4);
+        m8.sm.max_pending_loads = 8;
+        let m8_r = run_workload(m8, &wl).unwrap();
+        variants[0].1.push(aware.speedup_over(&base));
+        variants[1].1.push(mig_r.speedup_over(&base));
+        variants[2].1.push(m1_r.speedup_over(&base));
+        variants[3].1.push(m8_r.speedup_over(&base));
+    }
+    for (label, xs) in &variants {
+        println!("{label:32} {:.3}", geomean(xs));
+    }
+}

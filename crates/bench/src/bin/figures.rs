@@ -1,0 +1,84 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! figures [--quick] [--out DIR] [artifact...]
+//!
+//! artifacts: table1 table2 fig2 fig3 fig5 fig6 fig6-sens fig8 fig9
+//!            fig9-wb fig10 fig11 power ablations   (default: all)
+//! ```
+//!
+//! `--quick` uses the reduced workload scale (CI-sized); default is the
+//! full committed scale. With `--out DIR` each artifact is also written to
+//! `DIR/<name>.txt`.
+
+use numa_gpu_bench::{experiments, Runner};
+use numa_gpu_workloads::Scale;
+use std::io::Write;
+use std::time::Instant;
+
+const ALL: [&str; 14] = [
+    "table1", "table2", "fig2", "fig3", "fig5", "fig6", "fig6-sens", "fig8", "fig9", "fig9-wb",
+    "fig10", "fig11", "power", "ablations",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| Some(a.as_str()) != out_dir.as_deref())
+        .cloned()
+        .collect();
+    let selected: Vec<&str> = if selected.is_empty() {
+        ALL.to_vec()
+    } else {
+        selected.iter().map(String::as_str).collect()
+    };
+    for name in &selected {
+        if !ALL.contains(name) {
+            eprintln!("unknown artifact `{name}`; known: {ALL:?}");
+            std::process::exit(2);
+        }
+    }
+
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let mut runner = Runner::new(scale).verbose();
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+
+    for name in &selected {
+        let t0 = Instant::now();
+        eprintln!(">>> {name}");
+        let text = match *name {
+            "table1" => experiments::table1(),
+            "table2" => experiments::table2(&runner).to_string(),
+            "fig2" => experiments::fig2(&runner).to_string(),
+            "fig3" => experiments::fig3(&mut runner).to_string(),
+            "fig5" => experiments::fig5(&mut runner),
+            "fig6" => experiments::fig6(&mut runner).to_string(),
+            "fig6-sens" => experiments::fig6_switch_sensitivity(&mut runner).to_string(),
+            "fig8" => experiments::fig8(&mut runner).to_string(),
+            "fig9" => experiments::fig9(&mut runner).to_string(),
+            "fig9-wb" => experiments::fig9_writeback(&mut runner).to_string(),
+            "fig10" => experiments::fig10(&mut runner).to_string(),
+            "fig11" => experiments::fig11(&mut runner).to_string(),
+            "power" => experiments::power(&mut runner).to_string(),
+            "ablations" => experiments::ablations(&mut runner).to_string(),
+            _ => unreachable!("validated above"),
+        };
+        println!("{text}");
+        if let Some(dir) = &out_dir {
+            let path = format!("{dir}/{name}.txt");
+            let mut f = std::fs::File::create(&path).expect("create artifact file");
+            f.write_all(text.as_bytes()).expect("write artifact");
+        }
+        eprintln!("<<< {name} done in {:.1?} ({} sims so far)", t0.elapsed(), runner.runs());
+    }
+}

@@ -1,0 +1,598 @@
+//! One entry point per paper artifact (tables, figures, sensitivity
+//! studies). Each returns a [`Table`] (or a CSV string for the Figure 5
+//! timeline) ready to print or diff against `EXPERIMENTS.md`.
+
+use crate::{configs, geomean, Row, Runner, Table};
+use numa_gpu_runtime::Workload;
+use numa_gpu_types::{CacheMode, SystemConfig, WritePolicy};
+use numa_gpu_workloads::{catalog, study_set};
+
+/// Sample times (cycles) swept in Figure 6.
+pub const FIG6_SAMPLE_TIMES: [u32; 4] = [1_000, 5_000, 10_000, 50_000];
+
+/// Lane switch times (cycles) swept in the §4.1 sensitivity study.
+pub const SWITCH_TIMES: [u32; 3] = [10, 100, 500];
+
+fn workloads(runner: &Runner) -> Vec<Workload> {
+    catalog(runner.scale())
+}
+
+fn study(runner: &Runner) -> Vec<Workload> {
+    study_set(runner.scale())
+}
+
+/// Table 1: the simulation parameters actually in force (from
+/// [`SystemConfig`] defaults).
+pub fn table1() -> String {
+    let c = SystemConfig::pascal_4_socket();
+    let mut s = String::from("=== Table 1: Simulation parameters ===\n");
+    let rows = [
+        ("Num of GPU sockets", format!("{}", c.num_sockets)),
+        ("Total number of SMs", format!("{} per GPU socket", c.sm.sms_per_socket)),
+        ("GPU Frequency", "1GHz".to_string()),
+        ("Max number of Warps", format!("{} per SM", c.sm.max_warps)),
+        ("Warp Scheduler", "Greedy then Round Robin".to_string()),
+        (
+            "L1 Cache",
+            format!(
+                "Private, {}KB per SM, 128B lines, {}-way, Write-Through, GPU-side SW-based coherent",
+                c.l1.size_bytes / 1024,
+                c.l1.ways
+            ),
+        ),
+        (
+            "L2 Cache",
+            format!(
+                "Shared, Banked, {}MB per socket, 128B lines, {}-way, Write-Back, Mem-side non-coherent",
+                c.l2.size_bytes / (1024 * 1024),
+                c.l2.ways
+            ),
+        ),
+        (
+            "GPU-GPU Interconnect",
+            format!(
+                "{}GB/s per socket ({}GB/s each direction), {} lanes {}B wide each per direction, {}-cycle latency",
+                2 * c.link.direction_bytes_per_cycle(),
+                c.link.direction_bytes_per_cycle(),
+                c.link.lanes_per_direction,
+                c.link.lane_bytes_per_cycle,
+                c.link.latency_cycles
+            ),
+        ),
+        (
+            "DRAM Bandwidth",
+            format!("{}GB/s per GPU socket", c.dram.bytes_per_cycle),
+        ),
+        ("DRAM Latency", format!("{} ns", c.dram.latency_cycles)),
+    ];
+    for (k, v) in rows {
+        s.push_str(&format!("{k:24} {v}\n"));
+    }
+    s
+}
+
+/// Table 2: per-workload time-weighted CTAs and footprint (paper values)
+/// next to the simulated grid/footprint at this runner's scale.
+pub fn table2(runner: &Runner) -> Table {
+    let mut t = Table::new(
+        "Table 2: workload inventory (paper vs simulated)",
+        &[
+            "paper-CTAs",
+            "paper-MB",
+            "sim-CTAs/kernel",
+            "sim-MB",
+            "kernels",
+        ],
+    );
+    for w in workloads(runner) {
+        let sim_ctas = w.kernels.first().map(|k| k.num_ctas()).unwrap_or(0);
+        t.push(Row::new(
+            w.meta.name.clone(),
+            vec![
+                w.meta.paper_avg_ctas as f64,
+                w.meta.paper_footprint_mb as f64,
+                sim_ctas as f64,
+                (w.footprint_bytes / (1024 * 1024)) as f64,
+                w.kernels.len() as f64,
+            ],
+        ));
+    }
+    t
+}
+
+/// Figure 2: percentage of the 41 workloads whose time-weighted average CTA
+/// count fills GPUs 1–8× the size of today's (64-SM sockets).
+pub fn fig2(runner: &Runner) -> Table {
+    let all = workloads(runner);
+    let mut t = Table::new(
+        "Figure 2: % workloads able to fill larger GPUs",
+        &["total-SMs", "pct-filling"],
+    );
+    for factor in 1..=8u32 {
+        let sms = 64 * factor;
+        let filling = all.iter().filter(|w| w.fills_gpu(sms)).count();
+        t.push(Row::new(
+            format!("{factor}x-GPU"),
+            vec![sms as f64, 100.0 * filling as f64 / all.len() as f64],
+        ));
+    }
+    t
+}
+
+/// Figure 3: 4-socket NUMA GPU under traditional vs locality-optimized
+/// runtime policies, against the hypothetical 4× GPU. Sorted by the gap
+/// between theoretical and locality speedup, as in the paper.
+pub fn fig3(runner: &mut Runner) -> Table {
+    let mut rows = Vec::new();
+    for wl in workloads(runner) {
+        let single = runner.report("single", configs::single(), &wl);
+        let trad = runner.report("trad4", configs::traditional(4), &wl);
+        let loc = runner.report("loc4", configs::locality(4), &wl);
+        let hypo = runner.report("hypo4", configs::hypothetical(4), &wl);
+        rows.push(Row::new(
+            wl.meta.name.clone(),
+            vec![
+                trad.speedup_over(&single),
+                loc.speedup_over(&single),
+                hypo.speedup_over(&single),
+            ],
+        ));
+    }
+    rows.sort_by(|a, b| {
+        let gap = |r: &Row| r.values[2] - r.values[1];
+        gap(b).partial_cmp(&gap(a)).unwrap()
+    });
+    let mut t = Table::new(
+        "Figure 3: runtime policies on a 4-socket NUMA GPU (speedup vs 1 GPU)",
+        &["traditional", "locality-opt", "hypothetical-4x"],
+    );
+    for r in rows {
+        t.push(r);
+    }
+    t.push_means();
+    t
+}
+
+/// Figure 5: per-GPU link utilization timeline for HPC-HPGMG-UVM on the
+/// locality-optimized 4-socket baseline. Returns CSV
+/// (`cycle,gpu,egress_util,ingress_util,egress_lanes`) plus kernel-launch
+/// marker rows (`kernel_start` lines).
+pub fn fig5(runner: &mut Runner) -> String {
+    let wl = numa_gpu_workloads::by_name("HPC-HPGMG-UVM", runner.scale())
+        .expect("HPGMG-UVM exists");
+    let r = runner.report_with_timeline("loc4", configs::locality(4), &wl);
+    let mut csv = String::from("cycle,gpu,egress_util,ingress_util,egress_lanes,ingress_lanes\n");
+    for (g, timeline) in r.link_timelines.iter().enumerate() {
+        for s in timeline {
+            csv.push_str(&format!(
+                "{},{},{:.4},{:.4},{},{}\n",
+                s.cycle, g, s.egress_util, s.ingress_util, s.egress_lanes, s.ingress_lanes
+            ));
+        }
+    }
+    for k in &r.kernel_start_cycles {
+        csv.push_str(&format!("kernel_start,{k}\n"));
+    }
+    csv
+}
+
+/// Figure 6: dynamic link adaptivity speedup over the locality baseline for
+/// each sample time, with the doubled-bandwidth upper bound. Sorted by the
+/// upper bound (the paper's left-to-right order).
+pub fn fig6(runner: &mut Runner) -> Table {
+    let mut rows = Vec::new();
+    for wl in study(runner) {
+        let base = runner.report("loc4", configs::locality(4), &wl);
+        let mut values = Vec::new();
+        for st in FIG6_SAMPLE_TIMES {
+            let dyn_r = runner.report(&format!("dyn4-{st}"), configs::dynamic_link(4, st), &wl);
+            values.push(dyn_r.speedup_over(&base));
+        }
+        let dbl = runner.report("2xbw4", configs::double_bandwidth(4), &wl);
+        values.push(dbl.speedup_over(&base));
+        rows.push(Row::new(wl.meta.name.clone(), values));
+    }
+    rows.sort_by(|a, b| b.values[4].partial_cmp(&a.values[4]).unwrap());
+    let mut t = Table::new(
+        "Figure 6: dynamic link adaptivity (speedup vs static symmetric links)",
+        &["1K-cyc", "5K-cyc", "10K-cyc", "50K-cyc", "2x-BW"],
+    );
+    for r in rows {
+        t.push(r);
+    }
+    t.push_means();
+    t
+}
+
+/// §4.1 sensitivity: lane switch time 10/100/500 cycles at the 5K-cycle
+/// sample time (geomean speedup over the static baseline).
+pub fn fig6_switch_sensitivity(runner: &mut Runner) -> Table {
+    let mut t = Table::new(
+        "S4.1 sensitivity: lane switch time (geomean speedup vs static links)",
+        &["geomean-speedup"],
+    );
+    for sw in SWITCH_TIMES {
+        let mut speedups = Vec::new();
+        for wl in study(runner) {
+            let base = runner.report("loc4", configs::locality(4), &wl);
+            let mut cfg = configs::dynamic_link(4, 5_000);
+            cfg.link.switch_time_cycles = sw;
+            let r = runner.report(&format!("dyn4-sw{sw}"), cfg, &wl);
+            speedups.push(r.speedup_over(&base));
+        }
+        t.push(Row::new(format!("switch-{sw}-cycles"), vec![geomean(&speedups)]));
+    }
+    t
+}
+
+/// Figure 8: the four L2 organizations of Figure 7, as speedup over the
+/// mem-side local-only baseline. Sorted by the NUMA-aware column.
+pub fn fig8(runner: &mut Runner) -> Table {
+    let mut rows = Vec::new();
+    for wl in study(runner) {
+        let memside = runner.report("loc4", configs::locality(4), &wl);
+        let stat = runner.report(
+            "cache-static",
+            configs::cache(4, CacheMode::StaticRemoteCache),
+            &wl,
+        );
+        let shared = runner.report(
+            "cache-shared",
+            configs::cache(4, CacheMode::SharedCoherent),
+            &wl,
+        );
+        let na = runner.report(
+            "cache-numa",
+            configs::cache(4, CacheMode::NumaAwareDynamic),
+            &wl,
+        );
+        rows.push(Row::new(
+            wl.meta.name.clone(),
+            vec![
+                1.0,
+                stat.speedup_over(&memside),
+                shared.speedup_over(&memside),
+                na.speedup_over(&memside),
+            ],
+        ));
+    }
+    rows.sort_by(|a, b| b.values[3].partial_cmp(&a.values[3]).unwrap());
+    let mut t = Table::new(
+        "Figure 8: NUMA-aware cache partitioning (speedup vs mem-side L2)",
+        &["mem-side", "static-50/50", "shared-coherent", "numa-aware"],
+    );
+    for r in rows {
+        t.push(r);
+    }
+    t.push_means();
+    t
+}
+
+/// Figure 9: overhead of extending SW coherence into the L2 — performance
+/// of the hypothetical invalidation-free L2 relative to the real one
+/// (`>1` = the flush costs performance).
+pub fn fig9(runner: &mut Runner) -> Table {
+    let mut rows = Vec::new();
+    for wl in study(runner) {
+        let real = runner.report(
+            "cache-numa",
+            configs::cache(4, CacheMode::NumaAwareDynamic),
+            &wl,
+        );
+        let mut icfg = configs::cache(4, CacheMode::NumaAwareDynamic);
+        icfg.ideal_no_l2_invalidate = true;
+        let ideal = runner.report("cache-numa-ideal", icfg, &wl);
+        rows.push(Row::new(
+            wl.meta.name.clone(),
+            vec![
+                ideal.speedup_over(&real),
+                100.0 * (ideal.speedup_over(&real) - 1.0),
+            ],
+        ));
+    }
+    rows.sort_by(|a, b| b.values[1].partial_cmp(&a.values[1]).unwrap());
+    let mut t = Table::new(
+        "Figure 9: SW coherence invalidation overhead in the L2",
+        &["ideal-vs-real", "overhead-pct"],
+    );
+    for r in rows {
+        t.push(r);
+    }
+    t.push_means();
+    t
+}
+
+/// §5.2 sensitivity: write-back vs write-through L2 under the NUMA-aware
+/// design (geomean of WB speedup over WT).
+pub fn fig9_writeback(runner: &mut Runner) -> Table {
+    let mut speedups = Vec::new();
+    for wl in study(runner) {
+        let wb = runner.report(
+            "cache-numa",
+            configs::cache(4, CacheMode::NumaAwareDynamic),
+            &wl,
+        );
+        let mut wtc = configs::cache(4, CacheMode::NumaAwareDynamic);
+        wtc.l2.write_policy = WritePolicy::WriteThrough;
+        let wt = runner.report("cache-numa-wt", wtc, &wl);
+        speedups.push(wb.speedup_over(&wt));
+    }
+    let mut t = Table::new(
+        "S5.2 sensitivity: write-back vs write-through L2 (NUMA-aware design)",
+        &["geomean-WB-over-WT"],
+    );
+    t.push(Row::new("study-set", vec![geomean(&speedups)]));
+    t
+}
+
+/// Figure 10: combined improvement — SW baseline, dynamic links only,
+/// NUMA-aware caches only, both, and the 4× hypothetical, all vs one GPU.
+pub fn fig10(runner: &mut Runner) -> Table {
+    let mut rows = Vec::new();
+    for wl in workloads(runner) {
+        let single = runner.report("single", configs::single(), &wl);
+        let loc = runner.report("loc4", configs::locality(4), &wl);
+        let dyn_r = runner.report("dyn4-5000", configs::dynamic_link(4, 5_000), &wl);
+        let cache = runner.report(
+            "cache-numa",
+            configs::cache(4, CacheMode::NumaAwareDynamic),
+            &wl,
+        );
+        let both = runner.report("aware4", configs::numa_aware(4), &wl);
+        let hypo = runner.report("hypo4", configs::hypothetical(4), &wl);
+        rows.push(Row::new(
+            wl.meta.name.clone(),
+            vec![
+                loc.speedup_over(&single),
+                dyn_r.speedup_over(&single),
+                cache.speedup_over(&single),
+                both.speedup_over(&single),
+                hypo.speedup_over(&single),
+            ],
+        ));
+    }
+    rows.sort_by(|a, b| {
+        let gap = |r: &Row| r.values[4] - r.values[3];
+        gap(b).partial_cmp(&gap(a)).unwrap()
+    });
+    let mut t = Table::new(
+        "Figure 10: combined NUMA-aware GPU (speedup vs 1 GPU)",
+        &["SW-baseline", "dyn-link", "numa-cache", "combined", "hypo-4x"],
+    );
+    for r in rows {
+        t.push(r);
+    }
+    t.push_means();
+    t
+}
+
+/// Figure 11: 2/4/8-socket NUMA-aware scalability against the equally
+/// scaled hypothetical single GPUs, over all 41 workloads.
+pub fn fig11(runner: &mut Runner) -> Table {
+    let mut rows = Vec::new();
+    for wl in workloads(runner) {
+        let single = runner.report("single", configs::single(), &wl);
+        let mut values = Vec::new();
+        for n in [2u8, 4, 8] {
+            let aware = runner.report(&format!("aware{n}"), configs::numa_aware(n), &wl);
+            values.push(aware.speedup_over(&single));
+        }
+        for n in [2u8, 4, 8] {
+            let hypo = runner.report(&format!("hypo{n}"), configs::hypothetical(n), &wl);
+            values.push(hypo.speedup_over(&single));
+        }
+        rows.push(Row::new(wl.meta.name.clone(), values));
+    }
+    rows.sort_by(|a, b| a.values[2].partial_cmp(&b.values[2]).unwrap());
+    let mut t = Table::new(
+        "Figure 11: 1-8 socket scalability (speedup vs 1 GPU)",
+        &[
+            "aware-2s", "aware-4s", "aware-8s", "hypo-2x", "hypo-4x", "hypo-8x",
+        ],
+    );
+    for r in rows {
+        t.push(r);
+    }
+    t.push_means();
+    // Efficiency vs theoretical scaling, from the geometric means.
+    let gm = &t.rows[t.rows.len() - 1].values.clone();
+    t.push(Row::new(
+        "Efficiency-pct(aware/hypo)",
+        vec![
+            100.0 * gm[0] / gm[3],
+            100.0 * gm[1] / gm[4],
+            100.0 * gm[2] / gm[5],
+            100.0,
+            100.0,
+            100.0,
+        ],
+    ));
+    t
+}
+
+/// §6 power: average interconnect power (10 pJ/b) for the SW baseline vs
+/// the NUMA-aware design, per workload plus means.
+pub fn power(runner: &mut Runner) -> Table {
+    let mut t = Table::new(
+        "S6 power: average interconnect power (W, 10 pJ/b)",
+        &["baseline-W", "numa-aware-W"],
+    );
+    for wl in workloads(runner) {
+        let base = runner.report("loc4", configs::locality(4), &wl);
+        let aware = runner.report("aware4", configs::numa_aware(4), &wl);
+        t.push(Row::new(
+            wl.meta.name.clone(),
+            vec![base.link_power_w, aware.link_power_w],
+        ));
+    }
+    t.push_means();
+    t
+}
+
+/// Design-choice ablations beyond the paper: L1 partitioning on/off,
+/// partition sample time, and placement policy under the NUMA-aware design.
+pub fn ablations(runner: &mut Runner) -> Table {
+    let mut t = Table::new(
+        "Ablations (geomean speedup vs SW baseline, study set)",
+        &["geomean-speedup"],
+    );
+    let variants: Vec<(&str, SystemConfig)> = vec![
+        ("aware4", configs::numa_aware(4)),
+        (
+            "aware-no-l1-partition",
+            {
+                let mut c = configs::numa_aware(4);
+                c.partition_l1 = false;
+                c
+            },
+        ),
+        (
+            "aware-sample-1k",
+            {
+                let mut c = configs::numa_aware(4);
+                c.cache_sample_time_cycles = 1_000;
+                c
+            },
+        ),
+        (
+            "aware-sample-20k",
+            {
+                let mut c = configs::numa_aware(4);
+                c.cache_sample_time_cycles = 20_000;
+                c
+            },
+        ),
+        (
+            "aware-page-interleave",
+            {
+                let mut c = configs::numa_aware(4);
+                c.placement = numa_gpu_types::PagePlacement::PageInterleave;
+                c
+            },
+        ),
+        (
+            "aware-cta-interleave",
+            {
+                let mut c = configs::numa_aware(4);
+                c.cta_policy = numa_gpu_types::CtaSchedulingPolicy::Interleave;
+                c
+            },
+        ),
+        (
+            "aware-page-migration",
+            {
+                let mut c = configs::numa_aware(4);
+                c.placement = numa_gpu_types::PagePlacement::FirstTouchMigrate {
+                    migrate_threshold: 64,
+                };
+                c
+            },
+        ),
+        (
+            "aware-mlp-1",
+            {
+                let mut c = configs::numa_aware(4);
+                c.sm.max_pending_loads = 1;
+                c
+            },
+        ),
+        (
+            "aware-mlp-8",
+            {
+                let mut c = configs::numa_aware(4);
+                c.sm.max_pending_loads = 8;
+                c
+            },
+        ),
+    ];
+    for (label, cfg) in variants {
+        let mut speedups = Vec::new();
+        for wl in study(runner) {
+            let base = runner.report("loc4", configs::locality(4), &wl);
+            let r = runner.report(label, cfg.clone(), &wl);
+            speedups.push(r.speedup_over(&base));
+        }
+        t.push(Row::new(label, vec![geomean(&speedups)]));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_runner() -> Runner {
+        Runner::new(numa_gpu_workloads::Scale::quick())
+    }
+
+    #[test]
+    fn table1_mentions_key_parameters() {
+        let s = table1();
+        assert!(s.contains("768GB/s"));
+        assert!(s.contains("128-cycle latency"));
+        assert!(s.contains("4MB per socket"));
+    }
+
+    #[test]
+    fn table2_has_41_rows() {
+        let t = table2(&quick_runner());
+        assert_eq!(t.rows.len(), 41);
+    }
+
+    #[test]
+    fn fig2_is_monotone_decreasing() {
+        let t = fig2(&quick_runner());
+        assert_eq!(t.rows.len(), 8);
+        let pct: Vec<f64> = t.rows.iter().map(|r| r.values[1]).collect();
+        assert!(pct.windows(2).all(|w| w[0] >= w[1]));
+        assert!((pct[0] - 95.12).abs() < 0.1); // 39/41 fill a 1x GPU
+        assert!((pct[7] - 80.48).abs() < 0.1); // 33/41 fill an 8x GPU
+    }
+
+    // Full-harness smoke tests: run with `cargo test -- --ignored` (each
+    // simulates dozens of quick-scale workloads; minutes in debug).
+    #[test]
+    #[ignore = "slow: simulates the full quick-scale catalog"]
+    fn fig3_runs_at_quick_scale() {
+        let mut r = quick_runner();
+        let t = fig3(&mut r);
+        assert_eq!(t.rows.len(), 41 + 2); // workloads + two mean rows
+        assert!(t.rows.iter().all(|row| row.values.iter().all(|v| *v > 0.0)));
+    }
+
+    #[test]
+    #[ignore = "slow: simulates the study set under five link configs"]
+    fn fig6_runs_at_quick_scale() {
+        let mut r = quick_runner();
+        let t = fig6(&mut r);
+        assert_eq!(t.rows.len(), 32 + 2);
+    }
+
+    #[test]
+    #[ignore = "slow: simulates the study set under four cache modes"]
+    fn fig8_runs_at_quick_scale() {
+        let mut r = quick_runner();
+        let t = fig8(&mut r);
+        assert_eq!(t.rows.len(), 32 + 2);
+        // The mem-side column is the baseline of 1.0 by construction.
+        assert!(t.rows[..32].iter().all(|row| row.values[0] == 1.0));
+    }
+
+    #[test]
+    #[ignore = "slow: full scalability sweep"]
+    fn fig11_efficiency_row_present() {
+        let mut r = quick_runner();
+        let t = fig11(&mut r);
+        let last = t.rows.last().unwrap();
+        assert!(last.label.starts_with("Efficiency"));
+        assert_eq!(last.values.len(), 6);
+    }
+
+    #[test]
+    fn fig5_csv_has_header_and_markers() {
+        let mut r = quick_runner();
+        let csv = fig5(&mut r);
+        assert!(csv.starts_with("cycle,gpu,"));
+        assert!(csv.contains("kernel_start,"));
+    }
+}

@@ -1,0 +1,119 @@
+//! A caching simulation runner shared by all experiments.
+
+use numa_gpu_core::{run_workload, run_workload_with_timeline, SimReport};
+use numa_gpu_runtime::Workload;
+use numa_gpu_types::SystemConfig;
+use numa_gpu_workloads::Scale;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Runs simulations and memoizes their reports by
+/// `(configuration label, workload name)`, so experiments sharing baselines
+/// (every figure reuses the single-GPU and locality runs) pay for them once.
+pub struct Runner {
+    scale: Scale,
+    cache: HashMap<(String, String), Arc<SimReport>>,
+    runs: u64,
+    verbose: bool,
+}
+
+impl std::fmt::Debug for Runner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("cached", &self.cache.len())
+            .field("runs", &self.runs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runner {
+    /// Creates a runner at the given workload scale.
+    pub fn new(scale: Scale) -> Self {
+        Runner {
+            scale,
+            cache: HashMap::new(),
+            runs: 0,
+            verbose: false,
+        }
+    }
+
+    /// Logs each fresh simulation to stderr (progress feedback for the long
+    /// full-scale sweeps).
+    pub fn verbose(mut self) -> Self {
+        self.verbose = true;
+        self
+    }
+
+    /// The scale this runner simulates at.
+    pub fn scale(&self) -> &Scale {
+        &self.scale
+    }
+
+    /// Number of actual (non-cached) simulations executed.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Returns the report for `workload` under `cfg`, simulating on first
+    /// use. `label` must uniquely identify the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation (experiment configs are
+    /// all statically valid).
+    pub fn report(&mut self, label: &str, cfg: SystemConfig, workload: &Workload) -> Arc<SimReport> {
+        let key = (label.to_string(), workload.meta.name.clone());
+        if let Some(r) = self.cache.get(&key) {
+            return r.clone();
+        }
+        if self.verbose {
+            eprintln!("  sim [{label}] {}", workload.meta.name);
+        }
+        let report = Arc::new(run_workload(cfg, workload).expect("experiment config is valid"));
+        self.runs += 1;
+        self.cache.insert(key, report.clone());
+        report
+    }
+
+    /// Like [`Self::report`] but records the per-sample link timelines
+    /// (Figure 5). Timeline runs are cached under a distinct key.
+    pub fn report_with_timeline(
+        &mut self,
+        label: &str,
+        cfg: SystemConfig,
+        workload: &Workload,
+    ) -> Arc<SimReport> {
+        let key = (format!("{label}+timeline"), workload.meta.name.clone());
+        if let Some(r) = self.cache.get(&key) {
+            return r.clone();
+        }
+        if self.verbose {
+            eprintln!("  sim [{label}+timeline] {}", workload.meta.name);
+        }
+        let report =
+            Arc::new(run_workload_with_timeline(cfg, workload).expect("experiment config is valid"));
+        self.runs += 1;
+        self.cache.insert(key, report.clone());
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+    use numa_gpu_workloads::by_name;
+
+    #[test]
+    fn caches_by_label_and_workload() {
+        let scale = Scale::quick();
+        let wl = by_name("Other-Bitcoin-Crypto", &scale).unwrap();
+        let mut r = Runner::new(scale);
+        let a = r.report("single", configs::single(), &wl);
+        let b = r.report("single", configs::single(), &wl);
+        assert_eq!(r.runs(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+        let _c = r.report("loc4", configs::locality(4), &wl);
+        assert_eq!(r.runs(), 2);
+    }
+}

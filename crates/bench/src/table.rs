@@ -1,0 +1,139 @@
+//! Minimal aligned-text tables for figure output.
+
+use std::fmt;
+
+/// One row: a label plus numeric columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Row label (workload name, mean, …).
+    pub label: String,
+    /// Column values, one per header.
+    pub values: Vec<f64>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Row {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// A titled table of labelled numeric rows, displayed as aligned text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title (e.g. `"Figure 8"`).
+    pub title: String,
+    /// Column headers (not counting the label column).
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the header count.
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(
+            row.values.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(row);
+    }
+
+    /// Column values of column `i` across all rows.
+    pub fn column(&self, i: usize) -> Vec<f64> {
+        self.rows.iter().map(|r| r.values[i]).collect()
+    }
+
+    /// Appends arithmetic-mean and geometric-mean summary rows over the
+    /// current data rows.
+    pub fn push_means(&mut self) {
+        let n = self.headers.len();
+        let (am, gm): (Vec<f64>, Vec<f64>) = (0..n)
+            .map(|i| {
+                let col = self.column(i);
+                (crate::amean(&col), crate::geomean(&col))
+            })
+            .unzip();
+        self.rows.push(Row::new("Arithmetic-Mean", am));
+        self.rows.push(Row::new("Geometric-Mean", gm));
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} ===", self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once(8))
+            .max()
+            .unwrap_or(8);
+        write!(f, "{:label_w$}", "")?;
+        for h in &self.headers {
+            write!(f, " {h:>12}")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "{:label_w$}", row.label)?;
+            for v in &row.values {
+                if v.abs() >= 1000.0 {
+                    write!(f, " {v:>12.0}")?;
+                } else {
+                    write!(f, " {v:>12.3}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push(Row::new("x", vec![1.0, 2.0]));
+        let s = t.to_string();
+        assert!(s.contains("=== Demo ==="));
+        assert!(s.contains("1.000"));
+    }
+
+    #[test]
+    fn means_appended() {
+        let mut t = Table::new("Demo", &["v"]);
+        t.push(Row::new("x", vec![2.0]));
+        t.push(Row::new("y", vec![8.0]));
+        t.push_means();
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows[2].values[0], 5.0); // arithmetic
+        assert!((t.rows[3].values[0] - 4.0).abs() < 1e-12); // geometric
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("Demo", &["a"]);
+        t.push(Row::new("x", vec![1.0, 2.0]));
+    }
+}

@@ -1,0 +1,153 @@
+//! Miss status holding registers.
+
+use numa_gpu_types::LineAddr;
+use std::collections::HashMap;
+
+/// Result of attempting to track a miss in the MSHR file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAllocation {
+    /// First miss for this line — the caller must send the fill request.
+    Primary,
+    /// Merged into an outstanding miss for the same line; no new request.
+    Merged,
+    /// All MSHRs busy — the caller must stall and retry.
+    Full,
+}
+
+/// A file of miss status holding registers that merges concurrent misses to
+/// the same cache line, bounding both outstanding traffic and the SM's
+/// memory-level parallelism (as real GPU L1s do).
+///
+/// `W` identifies a waiter (typically a warp slot) to wake on fill.
+///
+/// # Examples
+///
+/// ```
+/// use numa_gpu_cache::{MshrAllocation, MshrFile};
+/// use numa_gpu_types::LineAddr;
+///
+/// let mut mshrs: MshrFile<u32> = MshrFile::new(2);
+/// let l = LineAddr::from_index(9);
+/// assert_eq!(mshrs.allocate(l, 0), MshrAllocation::Primary);
+/// assert_eq!(mshrs.allocate(l, 1), MshrAllocation::Merged);
+/// assert_eq!(mshrs.complete(l), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile<W> {
+    capacity: usize,
+    entries: HashMap<LineAddr, Vec<W>>,
+}
+
+impl<W> MshrFile<W> {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be nonzero");
+        MshrFile {
+            capacity,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Tracks a miss on `line` for `waiter`.
+    pub fn allocate(&mut self, line: LineAddr, waiter: W) -> MshrAllocation {
+        if let Some(waiters) = self.entries.get_mut(&line) {
+            waiters.push(waiter);
+            return MshrAllocation::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrAllocation::Full;
+        }
+        self.entries.insert(line, vec![waiter]);
+        MshrAllocation::Primary
+    }
+
+    /// Completes the miss on `line`, releasing its register and returning
+    /// the waiters to wake (empty if the line was not outstanding).
+    pub fn complete(&mut self, line: LineAddr) -> Vec<W> {
+        self.entries.remove(&line).unwrap_or_default()
+    }
+
+    /// Whether a miss on `line` is outstanding.
+    pub fn is_outstanding(&self, line: LineAddr) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Registers currently in use.
+    pub fn in_use(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every register is busy.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Total registers.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u64) -> LineAddr {
+        LineAddr::from_index(i)
+    }
+
+    #[test]
+    fn primary_then_merge() {
+        let mut m: MshrFile<u8> = MshrFile::new(4);
+        assert_eq!(m.allocate(l(1), 0), MshrAllocation::Primary);
+        assert_eq!(m.allocate(l(1), 1), MshrAllocation::Merged);
+        assert_eq!(m.in_use(), 1);
+    }
+
+    #[test]
+    fn fills_wake_all_waiters_in_order() {
+        let mut m: MshrFile<u8> = MshrFile::new(4);
+        m.allocate(l(2), 5);
+        m.allocate(l(2), 6);
+        m.allocate(l(2), 7);
+        assert_eq!(m.complete(l(2)), vec![5, 6, 7]);
+        assert!(!m.is_outstanding(l(2)));
+        assert_eq!(m.in_use(), 0);
+    }
+
+    #[test]
+    fn full_when_capacity_reached() {
+        let mut m: MshrFile<u8> = MshrFile::new(2);
+        assert_eq!(m.allocate(l(1), 0), MshrAllocation::Primary);
+        assert_eq!(m.allocate(l(2), 0), MshrAllocation::Primary);
+        assert!(m.is_full());
+        assert_eq!(m.allocate(l(3), 0), MshrAllocation::Full);
+        // Merging into an existing entry still works at capacity.
+        assert_eq!(m.allocate(l(1), 1), MshrAllocation::Merged);
+    }
+
+    #[test]
+    fn complete_unknown_line_is_empty() {
+        let mut m: MshrFile<u8> = MshrFile::new(2);
+        assert!(m.complete(l(9)).is_empty());
+    }
+
+    #[test]
+    fn capacity_frees_on_complete() {
+        let mut m: MshrFile<u8> = MshrFile::new(1);
+        m.allocate(l(1), 0);
+        assert_eq!(m.allocate(l(2), 0), MshrAllocation::Full);
+        m.complete(l(1));
+        assert_eq!(m.allocate(l(2), 0), MshrAllocation::Primary);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_panics() {
+        let _: MshrFile<u8> = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Kernel execution: event loop, warp lifecycle, CTA dispatch.
+
+use crate::system::{Ev, NumaGpuSystem};
+use numa_gpu_cache::LineClass;
+use numa_gpu_runtime::{Kernel, LaunchPlan};
+use numa_gpu_sm::L1ReadOutcome;
+use numa_gpu_types::{
+    cycles_to_ticks, CacheMode, MemKind, SocketId, Tick, WarpOp, WarpSlot, SATURATION_THRESHOLD,
+    TICKS_PER_CYCLE,
+};
+use std::sync::Arc;
+
+/// Latency between CTA dispatch and its warps' first issue, in cycles.
+const DISPATCH_LATENCY_CYCLES: u64 = 10;
+
+impl NumaGpuSystem {
+    /// Runs one kernel to completion. `self.now` must already be the kernel
+    /// launch time (after the boundary flush).
+    pub(crate) fn run_kernel(&mut self, kernel: Arc<dyn Kernel>) {
+        let total_ctas = kernel.num_ctas();
+        assert!(total_ctas > 0, "kernel with zero CTAs");
+        self.plan = Some(LaunchPlan::new(
+            self.cfg.cta_policy,
+            total_ctas,
+            self.cfg.num_sockets,
+        ));
+        self.kernel = Some(kernel);
+        self.outstanding_ctas = total_ctas;
+
+        let launch = self.now;
+        for s in 0..self.cfg.num_sockets {
+            self.dispatch_socket(launch, SocketId::new(s));
+        }
+        self.ensure_samplers(launch);
+
+        while self.outstanding_ctas > 0 || self.inflight_mem > 0 {
+            let (t, ev) = self
+                .events
+                .pop()
+                .expect("event queue empty with CTAs outstanding (deadlock)");
+            self.now = self.now.max(t);
+            if ev.is_mem_stage() {
+                self.inflight_mem -= 1;
+            }
+            match ev {
+                Ev::WarpIssue { sm, slot } => self.on_warp_issue(t, sm, slot),
+                Ev::ReadAtL2 { sm, line, home } => self.on_read_at_l2(t, sm, line, home),
+                Ev::ReadAtHome { sm, line, home } => self.on_read_at_home(t, sm, line, home),
+                Ev::ReadReturn { sm, line, home } => self.on_read_return(t, sm, line, home),
+                Ev::DataToSm {
+                    sm,
+                    line,
+                    class,
+                    fill_l2,
+                } => self.on_data_to_sm(t, sm, line, class, fill_l2),
+                Ev::L1Fill { sm, line, class } => self.on_l1_fill(t, sm, line, class),
+                Ev::WriteAtL2 { sm, slot, line, home } => {
+                    self.on_write_at_l2(t, sm, slot, line, home)
+                }
+                Ev::WriteAtHome { from, line, home } => self.on_write_at_home(t, from, line, home),
+                Ev::LinkSample => self.on_link_sample(t),
+                Ev::CacheSample => self.on_cache_sample(t),
+            }
+        }
+        self.kernel = None;
+        self.plan = None;
+    }
+
+    /// Schedules the periodic samplers the first time a kernel runs.
+    fn ensure_samplers(&mut self, now: Tick) {
+        if self.samplers_scheduled {
+            return;
+        }
+        self.samplers_scheduled = true;
+        self.events.push(
+            now + cycles_to_ticks(self.cfg.link.sample_time_cycles as u64),
+            Ev::LinkSample,
+        );
+        self.events.push(
+            now + cycles_to_ticks(self.cfg.cache_sample_time_cycles as u64),
+            Ev::CacheSample,
+        );
+        for s in 0..self.cfg.num_sockets as usize {
+            self.drams[s].begin_window(now);
+        }
+    }
+
+    /// Fills every SM of `socket` with pending CTAs, in SM order.
+    pub(crate) fn dispatch_socket(&mut self, t: Tick, socket: SocketId) {
+        let kernel = match &self.kernel {
+            Some(k) => k.clone(),
+            None => return,
+        };
+        let warps = kernel.warps_per_cta();
+        let base = socket.index() as u32 * self.sms_per_socket;
+        'outer: loop {
+            let plan = self.plan.as_mut().expect("plan during kernel");
+            if plan.remaining_for(socket) == 0 {
+                break;
+            }
+            // Find the next SM with capacity.
+            let mut placed = false;
+            for i in 0..self.sms_per_socket {
+                let sm = (base + i) as usize;
+                if self.sms[sm].can_accept_cta(warps) {
+                    let plan = self.plan.as_mut().expect("plan during kernel");
+                    let cta = match plan.next_for_socket(socket) {
+                        Some(c) => c,
+                        None => break 'outer,
+                    };
+                    let program = kernel.cta(cta);
+                    let slots = self.sms[sm].dispatch_cta(cta, program);
+                    for slot in slots {
+                        self.warp_mem[sm][slot.index()] = Default::default();
+                        // Deterministic per-warp jitter staggers first
+                        // issues so near-simultaneous first touches spread
+                        // across sockets instead of following event order.
+                        let jitter = (sm as u64)
+                            .wrapping_mul(2_654_435_761)
+                            .wrapping_add(slot.index() as u64 * 40_503)
+                            % 509;
+                        let wake = t + cycles_to_ticks(DISPATCH_LATENCY_CYCLES + jitter);
+                        self.events.push(wake, Ev::WarpIssue { sm: sm as u32, slot });
+                    }
+                    placed = true;
+                }
+            }
+            if !placed {
+                break;
+            }
+        }
+    }
+
+    /// A warp is ready: pull its next op (or replay a parked one) and model
+    /// its issue.
+    fn on_warp_issue(&mut self, t: Tick, sm: u32, slot: WarpSlot) {
+        let smi = sm as usize;
+        let op = match self.pending_ops[smi][slot.index()].take() {
+            Some(op) => op,
+            None => match self.sms[smi].next_op(slot) {
+                Some(op) => op,
+                None => {
+                    // Trace exhausted: wait for outstanding loads, then
+                    // retire (and maybe complete the CTA).
+                    if self.warp_mem[smi][slot.index()].outstanding > 0 {
+                        self.warp_mem[smi][slot.index()].draining = true;
+                        return;
+                    }
+                    if self.sms[smi].retire_warp(slot).is_some() {
+                        self.outstanding_ctas -= 1;
+                        let socket = self.socket_of_sm(sm);
+                        self.dispatch_socket(t, socket);
+                    }
+                    return;
+                }
+            },
+        };
+        match op {
+            WarpOp::Compute { cycles } => {
+                let issue = self.sms[smi].reserve_issue(t);
+                self.events.push(
+                    issue + cycles_to_ticks(cycles as u64),
+                    Ev::WarpIssue { sm, slot },
+                );
+            }
+            WarpOp::Mem { addr, kind } => {
+                let issue = self.sms[smi].reserve_issue(t);
+                let socket = self.socket_of_sm(sm);
+                let line = addr.line();
+                let home = self.pages.home_of_line(line, socket);
+                let class = if home == socket {
+                    LineClass::Local
+                } else {
+                    LineClass::Remote
+                };
+                match kind {
+                    MemKind::Write => {
+                        self.sms[smi].l1_write(line);
+                        // The warp resumes when the store is accepted
+                        // (WriteAtL2 schedules the wakeup).
+                        self.start_write(issue, sm, slot, line, home);
+                    }
+                    MemKind::Read => {
+                        match self.sms[smi].l1_read(line, class, slot) {
+                            L1ReadOutcome::Hit => {
+                                self.count_read(class);
+                                let lat = self.sms[smi].l1_hit_latency();
+                                self.events.push(issue + lat, Ev::WarpIssue { sm, slot });
+                            }
+                            outcome @ (L1ReadOutcome::MissMerged | L1ReadOutcome::MissPrimary) => {
+                                self.count_read(class);
+                                if outcome == L1ReadOutcome::MissPrimary {
+                                    self.start_read(issue, sm, line, home);
+                                }
+                                // The load enters the warp's scoreboard; the
+                                // warp keeps issuing until the scoreboard
+                                // fills (memory-level parallelism), then
+                                // blocks until a fill wakes it.
+                                let st = &mut self.warp_mem[smi][slot.index()];
+                                st.outstanding += 1;
+                                if (st.outstanding as u32)
+                                    < self.cfg.sm.max_pending_loads as u32
+                                {
+                                    self.events.push(
+                                        issue + TICKS_PER_CYCLE,
+                                        Ev::WarpIssue { sm, slot },
+                                    );
+                                } else {
+                                    st.blocked = true;
+                                }
+                            }
+                            L1ReadOutcome::MshrFull => {
+                                self.pending_ops[smi][slot.index()] = Some(op);
+                                self.sms[smi].park_retry(slot);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accounts one issued read by NUMA class (MSHR-full retries are not
+    /// counted until they issue).
+    fn count_read(&mut self, class: LineClass) {
+        match class {
+            LineClass::Local => self.reads_local_class += 1,
+            LineClass::Remote => self.reads_remote_class += 1,
+        }
+    }
+
+    /// A fill arrived at an SM: install the line, credit each waiting
+    /// warp's scoreboard, and wake the ones that were stalled on it.
+    fn on_l1_fill(&mut self, t: Tick, sm: u32, line: numa_gpu_types::LineAddr, class: LineClass) {
+        let smi = sm as usize;
+        for slot in self.sms[smi].l1_fill(line, class) {
+            let st = &mut self.warp_mem[smi][slot.index()];
+            debug_assert!(st.outstanding > 0, "fill without outstanding load");
+            st.outstanding -= 1;
+            if st.blocked {
+                st.blocked = false;
+                self.events.push(t, Ev::WarpIssue { sm, slot });
+            } else if st.draining && st.outstanding == 0 {
+                self.events.push(t, Ev::WarpIssue { sm, slot });
+            }
+        }
+        // An MSHR freed: retry one parked warp.
+        if let Some(slot) = self.sms[smi].pop_retry() {
+            self.events.push(t, Ev::WarpIssue { sm, slot });
+        }
+    }
+
+    /// Periodic link load balancer tick (§4).
+    fn on_link_sample(&mut self, t: Tick) {
+        self.switch
+            .sample_and_rebalance_all(t, SATURATION_THRESHOLD);
+        self.events.push(
+            t + cycles_to_ticks(self.cfg.link.sample_time_cycles as u64),
+            Ev::LinkSample,
+        );
+    }
+
+    /// Periodic NUMA-aware cache partition tick (§5, Figure 7(d)).
+    fn on_cache_sample(&mut self, t: Tick) {
+        let window = self.cfg.cache_sample_time_cycles as u64;
+        if self.cfg.cache_mode == CacheMode::NumaAwareDynamic {
+            for s in 0..self.cfg.num_sockets as usize {
+                let socket = SocketId::new(s as u8);
+                // Step 1: estimate incoming inter-GPU bandwidth from the
+                // outgoing read-request rate times the response packet size
+                // (avoids mistaking incoming writes for read pressure).
+                let resp_bytes = numa_gpu_types::LINE_SIZE as u64 + numa_gpu_types::HEADER_BYTES as u64;
+                let est_incoming = self.remote_reads_window[s] * resp_bytes;
+                let capacity = self
+                    .switch
+                    .link(socket)
+                    .direction_rate(numa_gpu_interconnect::LinkDirection::Ingress)
+                    * window;
+                // The paper projects link utilization from demand. A
+                // link-throttled requester issues at exactly the link rate
+                // (the estimate hovers *at* capacity, never above), so the
+                // projection counts ≥85% of capacity — or a directly
+                // backlogged ingress queue — as saturated demand.
+                let link_sat = est_incoming as f64 >= 0.85 * capacity as f64
+                    || self.switch.link(socket).is_saturated(
+                        t,
+                        numa_gpu_interconnect::LinkDirection::Ingress,
+                        SATURATION_THRESHOLD,
+                    );
+                let dram_sat = self.drams[s].is_saturated(t, SATURATION_THRESHOLD);
+                self.ctls[s].step(link_sat, dram_sat);
+                let p = self.ctls[s].partition();
+                self.l2s[s].set_partition(p);
+                if self.cfg.partition_l1 {
+                    let l1p = scale_partition(p, self.cfg.l1.ways);
+                    let base = s as u32 * self.sms_per_socket;
+                    for i in 0..self.sms_per_socket {
+                        self.sms[(base + i) as usize].set_l1_partition(l1p);
+                    }
+                }
+                self.remote_reads_window[s] = 0;
+                self.drams[s].begin_window(t);
+            }
+        }
+        self.events
+            .push(t + cycles_to_ticks(window), Ev::CacheSample);
+    }
+}
+
+/// Projects an L2 way split onto a cache with `ways` ways, preserving the
+/// local fraction and both one-way floors.
+pub(crate) fn scale_partition(
+    p: numa_gpu_cache::WayPartition,
+    ways: u16,
+) -> numa_gpu_cache::WayPartition {
+    let local = (p.local_ways() as u32 * ways as u32 / p.total_ways() as u32) as u16;
+    let local = local.clamp(1, ways - 1);
+    numa_gpu_cache::WayPartition::with_local_ways(local, ways)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_gpu_cache::WayPartition;
+
+    #[test]
+    fn scale_partition_preserves_fraction() {
+        let p = WayPartition::with_local_ways(4, 16); // 25% local
+        let q = scale_partition(p, 4);
+        assert_eq!(q.local_ways(), 1);
+        assert_eq!(q.total_ways(), 4);
+    }
+
+    #[test]
+    fn scale_partition_respects_floors() {
+        let p = WayPartition::with_local_ways(15, 16);
+        let q = scale_partition(p, 4);
+        assert!(q.local_ways() >= 1 && q.remote_ways() >= 1);
+        let p = WayPartition::with_local_ways(1, 16);
+        let q = scale_partition(p, 4);
+        assert_eq!(q.local_ways(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! The NUMA-aware multi-socket GPU system of *"Beyond the Socket:
+//! NUMA-Aware GPUs"* (Milic et al., MICRO-50, 2017).
+//!
+//! This crate assembles the substrates — SMs with private L1s
+//! ([`numa_gpu_sm`]), per-socket L2s and the partition controller
+//! ([`numa_gpu_cache`]), DRAM and page placement ([`numa_gpu_mem`]), and
+//! the switched interconnect with reversible lanes
+//! ([`numa_gpu_interconnect`]) — into a runnable system,
+//! [`NumaGpuSystem`], that executes [`Workload`](numa_gpu_runtime::Workload)s
+//! under every design point the paper evaluates:
+//!
+//! * **Runtime policies** (§3): CTA interleaving vs contiguous block
+//!   scheduling; fine-grained, page-interleaved, or first-touch placement.
+//! * **Interconnect** (§4): static symmetric links, dynamic asymmetric lane
+//!   allocation, or doubled bandwidth.
+//! * **Caches** (§5): memory-side local-only L2, static 50/50 remote cache,
+//!   shared coherent L1+L2, or NUMA-aware dynamic partitioning.
+//!
+//! Speedups come from ratios of [`SimReport::total_cycles`] between
+//! configurations built by [`SystemConfig`](numa_gpu_types::SystemConfig)
+//! constructors (`pascal_single`, `numa_sockets`, `numa_aware_sockets`,
+//! `hypothetical_scaled`).
+//!
+//! # Examples
+//!
+//! ```
+//! use numa_gpu_core::NumaGpuSystem;
+//! use numa_gpu_types::SystemConfig;
+//!
+//! let sys = NumaGpuSystem::new(SystemConfig::pascal_4_socket())?;
+//! assert_eq!(sys.config().num_sockets, 4);
+//! # Ok::<(), numa_gpu_types::ConfigError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod exec;
+mod flush;
+mod mempath;
+pub mod power;
+mod report;
+mod system;
+pub mod tenancy;
+
+pub use report::{SimReport, SocketReport};
+pub use system::NumaGpuSystem;
+
+/// Runs `workload` on a fresh system built from `cfg` — the one-call entry
+/// point used by the benchmark harness.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`](numa_gpu_types::ConfigError) if the configuration
+/// is invalid.
+///
+/// # Examples
+///
+/// ```no_run
+/// use numa_gpu_core::run_workload;
+/// use numa_gpu_types::SystemConfig;
+///
+/// # fn wl() -> numa_gpu_runtime::Workload { unimplemented!() }
+/// let report = run_workload(SystemConfig::numa_aware_sockets(4), &wl())?;
+/// println!("{} cycles", report.total_cycles);
+/// # Ok::<(), numa_gpu_types::ConfigError>(())
+/// ```
+pub fn run_workload(
+    cfg: numa_gpu_types::SystemConfig,
+    workload: &numa_gpu_runtime::Workload,
+) -> Result<SimReport, numa_gpu_types::ConfigError> {
+    let mut sys = NumaGpuSystem::new(cfg)?;
+    Ok(sys.run(workload))
+}
+
+/// Like [`run_workload`] but with per-sample link timeline recording
+/// enabled (Figure 5).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`](numa_gpu_types::ConfigError) if the configuration
+/// is invalid.
+pub fn run_workload_with_timeline(
+    cfg: numa_gpu_types::SystemConfig,
+    workload: &numa_gpu_runtime::Workload,
+) -> Result<SimReport, numa_gpu_types::ConfigError> {
+    let mut sys = NumaGpuSystem::new(cfg)?;
+    sys.enable_link_timeline();
+    Ok(sys.run(workload))
+}

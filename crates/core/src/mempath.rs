@@ -1,0 +1,251 @@
+//! The staged memory path: L1 miss → NoC → L2 → DRAM or switch → home.
+//!
+//! Every resource (NoC direction, DRAM interface, link direction) is a
+//! bandwidth-limited FIFO, and each is touched by an *event at its actual
+//! arrival time*, so queue timestamps stay monotone and a far-future
+//! response never blocks a present-time request.
+
+use crate::system::{Ev, NumaGpuSystem};
+use numa_gpu_cache::LineClass;
+use numa_gpu_types::{LineAddr, SocketId, Tick, WarpSlot, WritePolicy, HEADER_BYTES, LINE_SIZE};
+
+/// Bytes of a cache-line data packet.
+pub(crate) const LINE_BYTES: u32 = LINE_SIZE as u32;
+/// Bytes of a read request or write acknowledgment (header only).
+pub(crate) const REQ_BYTES: u32 = HEADER_BYTES;
+/// Bytes of a read response or write packet (line + header).
+pub(crate) const DATA_PACKET_BYTES: u32 = LINE_BYTES + HEADER_BYTES;
+
+impl NumaGpuSystem {
+    /// Stage 1 (issue time): a read miss leaves the SM and crosses the
+    /// request NoC toward the L2 / switch stop.
+    pub(crate) fn start_read(&mut self, t: Tick, sm: u32, line: LineAddr, home: SocketId) {
+        let s = self.socket_of_sm(sm).index();
+        let at_l2 = self.noc_req[s].service(t, REQ_BYTES) + self.noc_latency;
+        self.push_mem(at_l2, Ev::ReadAtL2 { sm, line, home });
+    }
+
+    /// Stage 2: the read request is at the requester's L2 complex.
+    pub(crate) fn on_read_at_l2(&mut self, t: Tick, sm: u32, line: LineAddr, home: SocketId) {
+        let socket = self.socket_of_sm(sm);
+        let s = socket.index();
+        if home == socket {
+            if self.l2s[s].probe_read(line) {
+                self.push_mem(
+                    t + self.l2_hit_latency,
+                    Ev::DataToSm {
+                        sm,
+                        line,
+                        class: LineClass::Local,
+                        fill_l2: false,
+                    },
+                );
+                return;
+            }
+            self.l2s[s].record_miss(LineClass::Local);
+            let ready = self.drams[s].read(t + self.l2_hit_latency, LINE_BYTES);
+            self.push_mem(
+                ready,
+                Ev::DataToSm {
+                    sm,
+                    line,
+                    class: LineClass::Local,
+                    fill_l2: true,
+                },
+            );
+            return;
+        }
+        // Remote line: GPU-side modes may have it cached locally.
+        if self.cfg.cache_mode.caches_remote() {
+            if self.l2s[s].probe_read(line) {
+                self.push_mem(
+                    t + self.l2_hit_latency,
+                    Ev::DataToSm {
+                        sm,
+                        line,
+                        class: LineClass::Remote,
+                        fill_l2: false,
+                    },
+                );
+                return;
+            }
+            self.l2s[s].record_miss(LineClass::Remote);
+        }
+        self.remote_reads_window[s] += 1;
+        let arrive = self.switch.transfer(t, socket, home, REQ_BYTES);
+        self.push_mem(arrive, Ev::ReadAtHome { sm, line, home });
+    }
+
+    /// Stage 3 (remote path): the request reached the home socket, whose L2
+    /// is memory-side for incoming traffic in every mode.
+    pub(crate) fn on_read_at_home(&mut self, t: Tick, sm: u32, line: LineAddr, home: SocketId) {
+        let h = home.index();
+        let ready = if self.l2s[h].probe_read(line) {
+            t + self.l2_hit_latency
+        } else {
+            self.l2s[h].record_miss(LineClass::Local);
+            let r = self.drams[h].read(t + self.l2_hit_latency, LINE_BYTES);
+            self.fill_l2(t, home, line, LineClass::Local, false);
+            r
+        };
+        self.push_mem(ready, Ev::ReadReturn { sm, line, home });
+    }
+
+    /// Stage 4 (remote path): data travels back over the switch.
+    pub(crate) fn on_read_return(&mut self, t: Tick, sm: u32, line: LineAddr, home: SocketId) {
+        let socket = self.socket_of_sm(sm);
+        let arrive = self
+            .switch
+            .transfer(t, home, socket, DATA_PACKET_BYTES);
+        self.push_mem(
+            arrive,
+            Ev::DataToSm {
+                sm,
+                line,
+                class: LineClass::Remote,
+                fill_l2: self.cfg.cache_mode.caches_remote(),
+            },
+        );
+    }
+
+    /// Stage 5: data is at the requester socket — optionally fill the local
+    /// L2, then cross the response NoC to the SM.
+    pub(crate) fn on_data_to_sm(
+        &mut self,
+        t: Tick,
+        sm: u32,
+        line: LineAddr,
+        class: LineClass,
+        fill_l2: bool,
+    ) {
+        let socket = self.socket_of_sm(sm);
+        let s = socket.index();
+        if fill_l2 {
+            self.fill_l2(t, socket, line, class, false);
+        }
+        let at_sm = self.noc_resp[s].service(t, LINE_BYTES) + self.noc_latency;
+        self.push_mem(at_sm, Ev::L1Fill { sm, line, class });
+    }
+
+    /// Write stage 1 (issue time): write data crosses the request NoC.
+    /// The issuing warp is blocked until the store is *accepted* (absorbed
+    /// locally or clear of the egress lanes) — finite store buffering, which
+    /// gives the natural backpressure real SMs have.
+    pub(crate) fn start_write(&mut self, t: Tick, sm: u32, slot: WarpSlot, line: LineAddr, home: SocketId) {
+        let s = self.socket_of_sm(sm).index();
+        let at_l2 = self.noc_req[s].service(t, DATA_PACKET_BYTES) + self.noc_latency;
+        self.push_mem(at_l2, Ev::WriteAtL2 { sm, slot, line, home });
+    }
+
+    /// Write stage 2: at the requester's L2 complex. Returns control to the
+    /// issuing warp at the acceptance tick.
+    pub(crate) fn on_write_at_l2(
+        &mut self,
+        t: Tick,
+        sm: u32,
+        slot: WarpSlot,
+        line: LineAddr,
+        home: SocketId,
+    ) {
+        let socket = self.socket_of_sm(sm);
+        let s = socket.index();
+        let write_back = self.cfg.l2.write_policy == WritePolicy::WriteBack;
+        let accept = if home == socket {
+            let done = if write_back {
+                if !self.l2s[s].probe_write(line, true) {
+                    // Write-allocate without fetch (coalesced full-line
+                    // writes, the common GPU case).
+                    self.fill_l2(t, socket, line, LineClass::Local, true);
+                }
+                t
+            } else {
+                let _ = self.l2s[s].probe_write(line, false);
+                self.drams[s].write(t, LINE_BYTES)
+            };
+            self.write_drain = self.write_drain.max(done);
+            t
+        } else if self.cfg.cache_mode.caches_remote() && write_back {
+            // The GPU-side write-back L2 absorbs remote writes locally; data
+            // crosses the link on eviction or at the coherence flush — the
+            // §5.2 WB-vs-WT inter-GPU write bandwidth saving.
+            if !self.l2s[s].probe_write(line, true) {
+                self.fill_l2(t, socket, line, LineClass::Remote, true);
+            }
+            self.write_drain = self.write_drain.max(t);
+            t
+        } else {
+            let (egress_clear, arrive) =
+                self.switch
+                    .transfer_timed(t, socket, home, DATA_PACKET_BYTES);
+            self.push_mem(
+                arrive,
+                Ev::WriteAtHome {
+                    from: socket,
+                    line,
+                    home,
+                },
+            );
+            egress_clear
+        };
+        self.events.push(accept, Ev::WarpIssue { sm, slot });
+    }
+
+    /// Write stage 3 (remote path): absorbed at the home socket; a small
+    /// acknowledgment returns.
+    pub(crate) fn on_write_at_home(&mut self, t: Tick, from: SocketId, line: LineAddr, home: SocketId) {
+        let done = self.absorb_write_at_home(t, home, line);
+        let ack = self.switch.transfer(t, home, from, REQ_BYTES);
+        self.write_drain = self.write_drain.max(done.max(ack));
+    }
+
+    /// A write (or writeback) arriving at its home socket: absorbed by the
+    /// memory-side L2 or forwarded to DRAM under write-through.
+    fn absorb_write_at_home(&mut self, t: Tick, home: SocketId, line: LineAddr) -> Tick {
+        let h = home.index();
+        if self.cfg.l2.write_policy == WritePolicy::WriteBack {
+            if !self.l2s[h].probe_write(line, true) {
+                self.fill_l2(t, home, line, LineClass::Local, true);
+            }
+            t
+        } else {
+            let _ = self.l2s[h].probe_write(line, false);
+            self.drams[h].write(t, LINE_BYTES)
+        }
+    }
+
+    /// Installs a line into `socket`'s L2, draining any dirty victim.
+    pub(crate) fn fill_l2(
+        &mut self,
+        t: Tick,
+        socket: SocketId,
+        line: LineAddr,
+        class: LineClass,
+        dirty: bool,
+    ) {
+        if let Some(victim) = self.l2s[socket.index()].fill(line, class, dirty) {
+            if victim.dirty {
+                let done = self.writeback(t, socket, victim.line);
+                self.write_drain = self.write_drain.max(done);
+            }
+        }
+    }
+
+    /// Writes a dirty line back to its home memory; returns completion tick.
+    pub(crate) fn writeback(&mut self, t: Tick, socket: SocketId, line: LineAddr) -> Tick {
+        let home = self.pages.home_of_line(line, socket);
+        if home == socket {
+            self.drams[socket.index()].write(t, LINE_BYTES)
+        } else {
+            let arrive = self.switch.transfer(t, socket, home, DATA_PACKET_BYTES);
+            self.push_mem(
+                arrive,
+                Ev::WriteAtHome {
+                    from: socket,
+                    line,
+                    home,
+                },
+            );
+            arrive
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Interconnect power model (paper §6).
+//!
+//! The paper estimates on-board link + switch energy at **10 pJ/bit**
+//! (extrapolated from public Mellanox switch and adapter data) and reports
+//! average communication power for the 4-GPU baseline (~30 W) versus the
+//! NUMA-aware design (~14 W), with communication-intensive workloads
+//! reaching ~130 W.
+
+/// Energy per transported bit in picojoules (combined links and switch).
+pub const PICOJOULES_PER_BIT: f64 = 10.0;
+
+/// GPU clock period in nanoseconds (1 GHz).
+pub const CYCLE_NS: f64 = 1.0;
+
+/// Average interconnect power in watts for `bytes` transported end-to-end
+/// over `cycles` of execution.
+///
+/// # Examples
+///
+/// ```
+/// use numa_gpu_core::power::average_link_power_w;
+///
+/// // 64 B/cycle sustained = 64 GB/s = 5.12 W at 10 pJ/b.
+/// let w = average_link_power_w(64_000, 1_000);
+/// assert!((w - 5.12).abs() < 1e-9);
+/// ```
+pub fn average_link_power_w(bytes: u64, cycles: u64) -> f64 {
+    if cycles == 0 {
+        return 0.0;
+    }
+    let joules = bytes as f64 * 8.0 * PICOJOULES_PER_BIT * 1e-12;
+    let seconds = cycles as f64 * CYCLE_NS * 1e-9;
+    joules / seconds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cycles_zero_power() {
+        assert_eq!(average_link_power_w(1000, 0), 0.0);
+    }
+
+    #[test]
+    fn full_duplex_4gpu_ballpark() {
+        // 4 GPUs each sustaining 64 GB/s egress for 1M cycles:
+        // 4 * 64e9 B/s * 8 b/B * 10 pJ/b = 20.5 W.
+        let bytes = 4 * 64_000_000u64; // 64 B/cycle * 1e6 cycles * 4 links
+        let w = average_link_power_w(bytes, 1_000_000);
+        assert!((w - 20.48).abs() < 0.01, "got {w}");
+    }
+
+    #[test]
+    fn power_scales_linearly_with_traffic() {
+        let w1 = average_link_power_w(1_000_000, 1_000);
+        let w2 = average_link_power_w(2_000_000, 1_000);
+        assert!((w2 / w1 - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,151 @@
+//! Simulation reports.
+
+use numa_gpu_cache::CacheStats;
+use numa_gpu_interconnect::LinkSample;
+
+/// Per-socket results of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SocketReport {
+    /// Bytes this socket sent toward the switch.
+    pub egress_bytes: u64,
+    /// Bytes this socket received from the switch.
+    pub ingress_bytes: u64,
+    /// Bytes moved through this socket's DRAM interface.
+    pub dram_bytes: u64,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// Lane reversals performed on this socket's link.
+    pub lane_turns: u64,
+    /// Equalization steps performed on this socket's link.
+    pub equalizations: u64,
+    /// Final L2 way split (local ways, remote ways) when partitioned.
+    pub l2_partition: Option<(u16, u16)>,
+}
+
+/// Complete result of simulating one workload on one configuration.
+///
+/// Speedups between configurations are ratios of [`SimReport::total_cycles`]
+/// ([`SimReport::speedup_over`]).
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Workload name.
+    pub workload: String,
+    /// Total execution time of the region of interest, in GPU cycles.
+    pub total_cycles: u64,
+    /// Per-kernel execution cycles, in launch order.
+    pub kernel_cycles: Vec<u64>,
+    /// Cycle at which each kernel launched (for Fig-5-style timelines).
+    pub kernel_start_cycles: Vec<u64>,
+    /// Per-socket breakdowns.
+    pub sockets: Vec<SocketReport>,
+    /// Per-socket link utilization timelines (empty unless recording was
+    /// enabled).
+    pub link_timelines: Vec<Vec<LinkSample>>,
+    /// Aggregated L1 statistics over every SM.
+    pub l1: CacheStats,
+    /// Fraction of read accesses whose home was a remote socket.
+    pub remote_read_fraction: f64,
+    /// End-to-end bytes transported over the switch (each packet counted
+    /// once).
+    pub interconnect_bytes: u64,
+    /// Average interconnect power in watts under the §6 energy model.
+    pub link_power_w: f64,
+}
+
+impl std::fmt::Display for SimReport {
+    /// One-line human summary: cycles, remote fraction, link traffic/power.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} cycles over {} kernels, {:.0}% reads remote, {} MiB over links ({:.1} W), {} lane turns",
+            self.workload,
+            self.total_cycles,
+            self.kernel_cycles.len(),
+            100.0 * self.remote_read_fraction,
+            self.interconnect_bytes >> 20,
+            self.link_power_w,
+            self.lane_turns(),
+        )
+    }
+}
+
+impl SimReport {
+    /// Speedup of `self` relative to `baseline` (`>1` means faster).
+    ///
+    /// Returns `0.0` if `self` recorded zero cycles (empty workload).
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            baseline.total_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Total lane turns across all sockets.
+    pub fn lane_turns(&self) -> u64 {
+        self.sockets.iter().map(|s| s.lane_turns).sum()
+    }
+
+    /// Total DRAM bytes across all sockets.
+    pub fn dram_bytes(&self) -> u64 {
+        self.sockets.iter().map(|s| s.dram_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_ratio() {
+        let base = SimReport {
+            total_cycles: 1000,
+            ..SimReport::default()
+        };
+        let fast = SimReport {
+            total_cycles: 500,
+            ..SimReport::default()
+        };
+        assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
+        assert!((base.speedup_over(&fast) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_speedup_is_zero() {
+        let base = SimReport {
+            total_cycles: 100,
+            ..SimReport::default()
+        };
+        let empty = SimReport::default();
+        assert_eq!(empty.speedup_over(&base), 0.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let r = SimReport {
+            workload: "w".into(),
+            total_cycles: 10,
+            kernel_cycles: vec![10],
+            ..SimReport::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("w: 10 cycles over 1 kernels"));
+    }
+
+    #[test]
+    fn aggregates_sum_over_sockets() {
+        let mut r = SimReport::default();
+        r.sockets.push(SocketReport {
+            lane_turns: 2,
+            dram_bytes: 10,
+            ..SocketReport::default()
+        });
+        r.sockets.push(SocketReport {
+            lane_turns: 3,
+            dram_bytes: 30,
+            ..SocketReport::default()
+        });
+        assert_eq!(r.lane_turns(), 5);
+        assert_eq!(r.dram_bytes(), 40);
+    }
+}

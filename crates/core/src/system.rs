@@ -1,0 +1,368 @@
+//! The multi-socket NUMA GPU system: construction and public API.
+
+use crate::report::{SimReport, SocketReport};
+use crate::power::average_link_power_w;
+use numa_gpu_cache::{CacheStats, PartitionController, SetAssocCache, WayPartition};
+use numa_gpu_engine::{EventQueue, ServiceQueue};
+use numa_gpu_interconnect::Switch;
+use numa_gpu_mem::{Dram, PageTable};
+use numa_gpu_runtime::{Kernel, LaunchPlan, Workload};
+use numa_gpu_sm::Sm;
+use numa_gpu_types::{
+    cycles_to_ticks, ticks_to_cycles, CacheMode, ConfigError, LineAddr, SocketId, SystemConfig,
+    Tick, WarpOp, WarpSlot,
+};
+use numa_gpu_cache::LineClass;
+use std::sync::Arc;
+
+/// Events driving the simulation. Memory-path stages are separate events so
+/// each bandwidth resource is touched at its true arrival time (keeping
+/// queue timestamps monotone).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Ev {
+    /// A warp is ready to issue its next operation.
+    WarpIssue { sm: u32, slot: WarpSlot },
+    /// Read request reached the requester's L2 complex.
+    ReadAtL2 {
+        sm: u32,
+        line: LineAddr,
+        home: SocketId,
+    },
+    /// Read request reached the home socket (remote path).
+    ReadAtHome {
+        sm: u32,
+        line: LineAddr,
+        home: SocketId,
+    },
+    /// Data ready at home; response crosses the switch back.
+    ReadReturn {
+        sm: u32,
+        line: LineAddr,
+        home: SocketId,
+    },
+    /// Data at the requester socket boundary: optional L2 fill, then the
+    /// response NoC.
+    DataToSm {
+        sm: u32,
+        line: LineAddr,
+        class: LineClass,
+        fill_l2: bool,
+    },
+    /// A fill response arrives at an SM's L1.
+    L1Fill {
+        sm: u32,
+        line: LineAddr,
+        class: LineClass,
+    },
+    /// Write data reached the requester's L2 complex. Carries the issuing
+    /// warp so store backpressure can wake it on acceptance.
+    WriteAtL2 {
+        sm: u32,
+        slot: WarpSlot,
+        line: LineAddr,
+        home: SocketId,
+    },
+    /// Write data reached the home socket (remote path).
+    WriteAtHome {
+        from: SocketId,
+        line: LineAddr,
+        home: SocketId,
+    },
+    /// Periodic link load balancer sampling (§4).
+    LinkSample,
+    /// Periodic NUMA-aware cache partition sampling (§5).
+    CacheSample,
+}
+
+impl Ev {
+    /// Whether this event is an in-flight memory-path stage (tracked so the
+    /// kernel loop drains outstanding traffic before finishing).
+    pub(crate) fn is_mem_stage(&self) -> bool {
+        !matches!(self, Ev::WarpIssue { .. } | Ev::LinkSample | Ev::CacheSample)
+    }
+}
+
+/// Per-warp load scoreboard state.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct WarpMemState {
+    /// Loads in flight for this warp.
+    pub outstanding: u16,
+    /// Warp stalled because the scoreboard is full.
+    pub blocked: bool,
+    /// Warp has exhausted its trace and waits for outstanding loads.
+    pub draining: bool,
+}
+
+/// A simulated multi-socket NUMA GPU (or single-GPU baseline).
+///
+/// Build one per run with [`NumaGpuSystem::new`], optionally enable
+/// timeline recording, then call [`NumaGpuSystem::run`] with a workload.
+///
+/// # Examples
+///
+/// ```no_run
+/// use numa_gpu_core::NumaGpuSystem;
+/// use numa_gpu_types::SystemConfig;
+///
+/// # fn workload() -> numa_gpu_runtime::Workload { unimplemented!() }
+/// let mut sys = NumaGpuSystem::new(SystemConfig::numa_aware_sockets(4))?;
+/// let report = sys.run(&workload());
+/// println!("took {} cycles", report.total_cycles);
+/// # Ok::<(), numa_gpu_types::ConfigError>(())
+/// ```
+pub struct NumaGpuSystem {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) sms: Vec<Sm>,
+    /// Pending (not yet successfully issued) memory op per warp slot,
+    /// parked on MSHR-full and replayed on retry.
+    pub(crate) pending_ops: Vec<Vec<Option<WarpOp>>>,
+    /// Per-warp memory scoreboard: outstanding loads and wait state.
+    pub(crate) warp_mem: Vec<Vec<WarpMemState>>,
+    pub(crate) l2s: Vec<SetAssocCache>,
+    pub(crate) drams: Vec<Dram>,
+    /// Per-socket request-direction crossbar (SM -> L2/switch).
+    pub(crate) noc_req: Vec<ServiceQueue>,
+    /// Per-socket response-direction crossbar (L2/switch -> SM).
+    pub(crate) noc_resp: Vec<ServiceQueue>,
+    pub(crate) switch: Switch,
+    pub(crate) pages: PageTable,
+    pub(crate) ctls: Vec<PartitionController>,
+    pub(crate) events: EventQueue<Ev>,
+    pub(crate) now: Tick,
+    pub(crate) plan: Option<LaunchPlan>,
+    pub(crate) kernel: Option<Arc<dyn Kernel>>,
+    pub(crate) outstanding_ctas: u32,
+    /// In-flight staged memory events (the kernel loop drains these).
+    pub(crate) inflight_mem: u64,
+    /// High-water mark of fire-and-forget write completions, so a kernel
+    /// that ends in a write burst is charged for the drain.
+    pub(crate) write_drain: Tick,
+    /// Outgoing remote read requests per socket in the current cache
+    /// sampling window (the paper's incoming-bandwidth estimator).
+    pub(crate) remote_reads_window: Vec<u64>,
+    pub(crate) reads_local_class: u64,
+    pub(crate) reads_remote_class: u64,
+    pub(crate) samplers_scheduled: bool,
+    pub(crate) has_run: bool,
+    pub(crate) kernel_starts: Vec<u64>,
+    // Derived constants.
+    pub(crate) noc_latency: Tick,
+    pub(crate) l2_hit_latency: Tick,
+    pub(crate) sms_per_socket: u32,
+}
+
+impl std::fmt::Debug for NumaGpuSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NumaGpuSystem")
+            .field("sockets", &self.cfg.num_sockets)
+            .field("sms", &self.sms.len())
+            .field("now_cycles", &ticks_to_cycles(self.now))
+            .finish_non_exhaustive()
+    }
+}
+
+impl NumaGpuSystem {
+    /// Builds a system from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `cfg.validate()` fails.
+    pub fn new(cfg: SystemConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let sockets = cfg.num_sockets as usize;
+        let sms_per_socket = cfg.sm.sms_per_socket as u32;
+        let total_sms = sockets * sms_per_socket as usize;
+
+        let l1_partition = if cfg.cache_mode == CacheMode::NumaAwareDynamic && cfg.partition_l1 {
+            Some(WayPartition::balanced(cfg.l1.ways))
+        } else {
+            None
+        };
+        let l2_partition = match cfg.cache_mode {
+            CacheMode::NumaAwareDynamic | CacheMode::StaticRemoteCache => {
+                Some(WayPartition::balanced(cfg.l2.ways))
+            }
+            _ => None,
+        };
+
+        let sms = (0..total_sms)
+            .map(|_| Sm::new(&cfg.sm, &cfg.l1, l1_partition))
+            .collect::<Vec<_>>();
+        let pending_ops = (0..total_sms)
+            .map(|_| vec![None; cfg.sm.max_warps as usize])
+            .collect();
+        let warp_mem = (0..total_sms)
+            .map(|_| vec![WarpMemState::default(); cfg.sm.max_warps as usize])
+            .collect();
+        let l2s = (0..sockets)
+            .map(|_| SetAssocCache::new(&cfg.l2, l2_partition))
+            .collect();
+        let drams = (0..sockets).map(|_| Dram::new(cfg.dram)).collect();
+        let noc_req = (0..sockets)
+            .map(|_| ServiceQueue::new(cfg.noc.bytes_per_cycle))
+            .collect();
+        let noc_resp = (0..sockets)
+            .map(|_| ServiceQueue::new(cfg.noc.bytes_per_cycle))
+            .collect();
+        let switch = Switch::new(&cfg.link, cfg.num_sockets);
+        let pages = PageTable::new(cfg.placement, cfg.num_sockets);
+        let ctls = (0..sockets)
+            .map(|_| PartitionController::new(cfg.l2.ways))
+            .collect();
+
+        Ok(NumaGpuSystem {
+            noc_latency: cycles_to_ticks(cfg.noc.latency_cycles as u64),
+            l2_hit_latency: cycles_to_ticks(cfg.l2.hit_latency_cycles as u64),
+            sms_per_socket,
+            cfg,
+            sms,
+            pending_ops,
+            warp_mem,
+            l2s,
+            drams,
+            noc_req,
+            noc_resp,
+            switch,
+            pages,
+            ctls,
+            events: EventQueue::new(),
+            now: 0,
+            plan: None,
+            kernel: None,
+            outstanding_ctas: 0,
+            inflight_mem: 0,
+            write_drain: 0,
+            remote_reads_window: vec![0; sockets],
+            reads_local_class: 0,
+            reads_remote_class: 0,
+            samplers_scheduled: false,
+            has_run: false,
+            kernel_starts: Vec::new(),
+        })
+    }
+
+    /// The configuration this system was built from.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Enables per-sample link utilization recording (Fig 5 timelines).
+    /// Call before [`Self::run`].
+    pub fn enable_link_timeline(&mut self) {
+        for s in 0..self.cfg.num_sockets {
+            self.switch.link_mut(SocketId::new(s)).enable_timeline();
+        }
+    }
+
+    /// Socket that owns SM `sm`.
+    #[inline]
+    pub(crate) fn socket_of_sm(&self, sm: u32) -> SocketId {
+        SocketId::new((sm / self.sms_per_socket) as u8)
+    }
+
+    /// Schedules a memory-path stage event, tracking it as in flight.
+    #[inline]
+    pub(crate) fn push_mem(&mut self, at: Tick, ev: Ev) {
+        debug_assert!(ev.is_mem_stage());
+        self.inflight_mem += 1;
+        self.events.push(at, ev);
+    }
+
+    /// Runs `workload` to completion and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice on the same system (state is single-use), if
+    /// the workload has no kernels, or if a kernel's CTAs need more warps
+    /// than an SM can hold.
+    pub fn run(&mut self, workload: &Workload) -> SimReport {
+        assert!(!self.has_run, "NumaGpuSystem::run is single-use");
+        assert!(
+            !workload.kernels.is_empty(),
+            "workload must contain at least one kernel"
+        );
+        self.has_run = true;
+
+        for kernel in &workload.kernels {
+            assert!(
+                kernel.warps_per_cta() >= 1
+                    && kernel.warps_per_cta() <= self.cfg.sm.max_warps as u32,
+                "kernel warps_per_cta {} exceeds SM capacity",
+                kernel.warps_per_cta()
+            );
+            let start = self.kernel_boundary();
+            self.now = start;
+            self.kernel_starts.push(ticks_to_cycles(start));
+            self.run_kernel(kernel.clone());
+        }
+        // Charge the final write drain.
+        self.now = self.now.max(self.write_drain);
+        self.build_report(workload)
+    }
+
+    fn build_report(&self, workload: &Workload) -> SimReport {
+        let total_cycles = ticks_to_cycles(self.now);
+        let sockets: Vec<SocketReport> = (0..self.cfg.num_sockets as usize)
+            .map(|s| {
+                let link = self.switch.link(SocketId::new(s as u8));
+                SocketReport {
+                    egress_bytes: link.stats().egress_bytes.get(),
+                    ingress_bytes: link.stats().ingress_bytes.get(),
+                    dram_bytes: self.drams[s].stats().bytes.get(),
+                    l2: self.l2s[s].stats(),
+                    lane_turns: link.stats().lane_turns.get(),
+                    equalizations: link.stats().equalizations.get(),
+                    l2_partition: self.l2s[s]
+                        .partition()
+                        .map(|p| (p.local_ways(), p.remote_ways())),
+                }
+            })
+            .collect();
+        let interconnect_bytes: u64 = sockets.iter().map(|s| s.egress_bytes).sum();
+        let mut l1 = CacheStats::default();
+        for sm in &self.sms {
+            let s = sm.l1_stats();
+            l1.local_hits.add(s.local_hits.get());
+            l1.local_misses.add(s.local_misses.get());
+            l1.remote_hits.add(s.remote_hits.get());
+            l1.remote_misses.add(s.remote_misses.get());
+            l1.fills.add(s.fills.get());
+            l1.evictions.add(s.evictions.get());
+        }
+        let reads = self.reads_local_class + self.reads_remote_class;
+        let link_timelines = (0..self.cfg.num_sockets)
+            .map(|s| self.switch.link(SocketId::new(s)).timeline().to_vec())
+            .collect();
+        SimReport {
+            workload: workload.meta.name.clone(),
+            total_cycles,
+            kernel_cycles: self.kernel_cycles(),
+            kernel_start_cycles: self.kernel_starts.clone(),
+            sockets,
+            link_timelines,
+            l1,
+            remote_read_fraction: if reads == 0 {
+                0.0
+            } else {
+                self.reads_remote_class as f64 / reads as f64
+            },
+            interconnect_bytes,
+            link_power_w: average_link_power_w(interconnect_bytes, total_cycles),
+        }
+    }
+
+    fn kernel_cycles(&self) -> Vec<u64> {
+        // Derive per-kernel durations from consecutive start marks plus the
+        // final end time.
+        let mut cycles = Vec::with_capacity(self.kernel_starts.len());
+        for (i, &start) in self.kernel_starts.iter().enumerate() {
+            let end = self
+                .kernel_starts
+                .get(i + 1)
+                .copied()
+                .unwrap_or_else(|| ticks_to_cycles(self.now));
+            cycles.push(end.saturating_sub(start));
+        }
+        cycles
+    }
+}

@@ -1,0 +1,270 @@
+//! Multi-tenancy on large NUMA GPUs (paper §6, "Multi-Tenancy on Large
+//! GPUs").
+//!
+//! When a workload cannot fill a large multi-socket GPU, the paper suggests
+//! partitioning the machine *along NUMA boundaries* into 1–N logical GPUs
+//! rather than time-multiplexing the whole machine. Because sockets are
+//! whole resource islands (SMs + L2 + DRAM + link), a NUMA-boundary
+//! partition gives each tenant fully isolated hardware; this module
+//! simulates both provisioning strategies so they can be compared:
+//!
+//! * [`run_space_partitioned`] — tenants run **concurrently**, each on its
+//!   own group of sockets (makespan = slowest tenant).
+//! * [`run_time_multiplexed`] — tenants run **sequentially**, each getting
+//!   the whole machine (makespan = sum of runtimes).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use numa_gpu_core::tenancy::{run_space_partitioned, TenantSpec};
+//! use numa_gpu_types::SystemConfig;
+//!
+//! # fn wl() -> numa_gpu_runtime::Workload { unimplemented!() }
+//! let tenants = vec![
+//!     TenantSpec { workload: wl(), sockets: 2 },
+//!     TenantSpec { workload: wl(), sockets: 2 },
+//! ];
+//! let r = run_space_partitioned(&SystemConfig::numa_aware_sockets(4), &tenants)?;
+//! println!("makespan: {} cycles", r.makespan_cycles);
+//! # Ok::<(), numa_gpu_types::ConfigError>(())
+//! ```
+
+use crate::{NumaGpuSystem, SimReport};
+use numa_gpu_runtime::Workload;
+use numa_gpu_types::{ConfigError, SystemConfig};
+
+/// One tenant: a workload plus the number of sockets its logical GPU gets.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// The tenant's workload.
+    pub workload: Workload,
+    /// Sockets allocated to this tenant's logical GPU.
+    pub sockets: u8,
+}
+
+/// Result of running a set of tenants under one provisioning strategy.
+#[derive(Debug, Clone)]
+pub struct TenancyReport {
+    /// Per-tenant simulation reports, in input order.
+    pub per_tenant: Vec<SimReport>,
+    /// Total machine occupancy: the slowest tenant for space partitioning,
+    /// the sum of runtimes for time multiplexing.
+    pub makespan_cycles: u64,
+}
+
+impl TenancyReport {
+    /// Aggregate throughput in tenant-workloads per million cycles.
+    pub fn throughput_per_mcycle(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            0.0
+        } else {
+            self.per_tenant.len() as f64 * 1.0e6 / self.makespan_cycles as f64
+        }
+    }
+}
+
+/// Runs every tenant concurrently, each on its own NUMA-boundary partition
+/// of `base` (a logical GPU of `tenant.sockets` sockets with the same
+/// per-socket resources and policies).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the tenants request more sockets than `base`
+/// provides, request zero sockets, or the derived configuration is invalid.
+pub fn run_space_partitioned(
+    base: &SystemConfig,
+    tenants: &[TenantSpec],
+) -> Result<TenancyReport, ConfigError> {
+    let requested: u32 = tenants.iter().map(|t| t.sockets as u32).sum();
+    if requested > base.num_sockets as u32 {
+        return Err(ConfigError::new(format!(
+            "tenants request {requested} sockets but the machine has {}",
+            base.num_sockets
+        )));
+    }
+    if tenants.iter().any(|t| t.sockets == 0) {
+        return Err(ConfigError::new("each tenant needs at least one socket"));
+    }
+    let mut per_tenant = Vec::with_capacity(tenants.len());
+    let mut makespan = 0u64;
+    for t in tenants {
+        let mut cfg = base.clone();
+        cfg.num_sockets = t.sockets;
+        let mut sys = NumaGpuSystem::new(cfg)?;
+        let report = sys.run(&t.workload);
+        makespan = makespan.max(report.total_cycles);
+        per_tenant.push(report);
+    }
+    Ok(TenancyReport {
+        per_tenant,
+        makespan_cycles: makespan,
+    })
+}
+
+/// Runs every tenant sequentially on the whole machine (cooperative time
+/// multiplexing — the alternative §6 calls undesirable for small kernels).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if `base` is invalid.
+pub fn run_time_multiplexed(
+    base: &SystemConfig,
+    tenants: &[TenantSpec],
+) -> Result<TenancyReport, ConfigError> {
+    let mut per_tenant = Vec::with_capacity(tenants.len());
+    let mut makespan = 0u64;
+    for t in tenants {
+        let mut sys = NumaGpuSystem::new(base.clone())?;
+        let report = sys.run(&t.workload);
+        makespan += report.total_cycles;
+        per_tenant.push(report);
+    }
+    Ok(TenancyReport {
+        per_tenant,
+        makespan_cycles: makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_gpu_runtime::{Kernel, Suite, WorkloadMeta};
+    use numa_gpu_types::{Addr, CtaId, CtaProgram, WarpOp};
+    use std::sync::Arc;
+
+    struct SmallKernel;
+
+    impl Kernel for SmallKernel {
+        fn num_ctas(&self) -> u32 {
+            32
+        }
+        fn warps_per_cta(&self) -> u32 {
+            2
+        }
+        fn cta(&self, cta: CtaId) -> Box<dyn CtaProgram> {
+            struct P {
+                base: u64,
+                left: [u32; 2],
+            }
+            impl CtaProgram for P {
+                fn num_warps(&self) -> u32 {
+                    2
+                }
+                fn next_op(&mut self, warp: u32) -> Option<WarpOp> {
+                    let w = warp as usize;
+                    if self.left[w] == 0 {
+                        return None;
+                    }
+                    self.left[w] -= 1;
+                    Some(WarpOp::read(Addr::new(
+                        self.base + (self.left[w] as u64 + warp as u64 * 64) * 128,
+                    )))
+                }
+            }
+            Box::new(P {
+                base: cta.index() as u64 * 16384,
+                left: [8, 8],
+            })
+        }
+    }
+
+    fn workload() -> Workload {
+        Workload {
+            meta: WorkloadMeta {
+                name: "tenant".into(),
+                suite: Suite::Other,
+                paper_avg_ctas: 32,
+                paper_footprint_mb: 1,
+                study_set: false,
+            },
+            kernels: vec![Arc::new(SmallKernel) as Arc<dyn Kernel>],
+            footprint_bytes: 32 * 16384,
+        }
+    }
+
+    #[test]
+    fn space_partitioning_runs_all_tenants() {
+        let tenants = vec![
+            TenantSpec {
+                workload: workload(),
+                sockets: 2,
+            },
+            TenantSpec {
+                workload: workload(),
+                sockets: 2,
+            },
+        ];
+        let r =
+            run_space_partitioned(&SystemConfig::numa_aware_sockets(4), &tenants).unwrap();
+        assert_eq!(r.per_tenant.len(), 2);
+        assert_eq!(
+            r.makespan_cycles,
+            r.per_tenant.iter().map(|t| t.total_cycles).max().unwrap()
+        );
+        assert!(r.throughput_per_mcycle() > 0.0);
+    }
+
+    #[test]
+    fn time_multiplexing_sums_runtimes() {
+        let tenants = vec![
+            TenantSpec {
+                workload: workload(),
+                sockets: 4,
+            },
+            TenantSpec {
+                workload: workload(),
+                sockets: 4,
+            },
+        ];
+        let r = run_time_multiplexed(&SystemConfig::numa_aware_sockets(4), &tenants).unwrap();
+        assert_eq!(
+            r.makespan_cycles,
+            r.per_tenant.iter().map(|t| t.total_cycles).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn space_beats_time_for_small_tenants() {
+        // Two tenants that cannot fill a 4-socket machine each: running
+        // them side by side on 2+2 sockets should beat running them one
+        // after another on all 4 (the §6 argument).
+        let tenants = vec![
+            TenantSpec {
+                workload: workload(),
+                sockets: 2,
+            },
+            TenantSpec {
+                workload: workload(),
+                sockets: 2,
+            },
+        ];
+        let base = SystemConfig::numa_aware_sockets(4);
+        let space = run_space_partitioned(&base, &tenants).unwrap();
+        let time = run_time_multiplexed(&base, &tenants).unwrap();
+        assert!(
+            space.makespan_cycles < time.makespan_cycles,
+            "space {} !< time {}",
+            space.makespan_cycles,
+            time.makespan_cycles
+        );
+    }
+
+    #[test]
+    fn over_subscription_rejected() {
+        let tenants = vec![TenantSpec {
+            workload: workload(),
+            sockets: 8,
+        }];
+        let err = run_space_partitioned(&SystemConfig::numa_aware_sockets(4), &tenants);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn zero_socket_tenant_rejected() {
+        let tenants = vec![TenantSpec {
+            workload: workload(),
+            sockets: 0,
+        }];
+        assert!(run_space_partitioned(&SystemConfig::numa_aware_sockets(4), &tenants).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Deterministic event queue.
+
+use numa_gpu_types::Tick;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A min-heap of timestamped events with FIFO ordering among events
+/// scheduled for the same tick.
+///
+/// Determinism matters: the simulator's results must be bit-identical run to
+/// run, so ties are broken by insertion sequence rather than payload order.
+///
+/// # Examples
+///
+/// ```
+/// use numa_gpu_engine::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(20, "b");
+/// q.push(10, "a");
+/// q.push(20, "c");
+/// assert_eq!(q.pop(), Some((10, "a")));
+/// assert_eq!(q.pop(), Some((20, "b"))); // FIFO among equal ticks
+/// assert_eq!(q.pop(), Some((20, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Tick,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at tick `at`.
+    #[inline]
+    pub fn push(&mut self, at: Tick, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+    }
+
+    /// Removes and returns the earliest event, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(Tick, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.payload))
+    }
+
+    /// Tick of the earliest pending event.
+    #[inline]
+    pub fn peek_tick(&self) -> Option<Tick> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_tick() {
+        let mut q = EventQueue::new();
+        q.push(5, 'x');
+        q.push(1, 'y');
+        q.push(3, 'z');
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(order, vec![(1, 'y'), (3, 'z'), (5, 'x')]);
+    }
+
+    #[test]
+    fn fifo_within_same_tick() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(9, ());
+        assert_eq!(q.peek_tick(), Some(9));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_tick(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.push(10, 0);
+        q.push(20, 1);
+        assert_eq!(q.pop().unwrap().0, 10);
+        q.push(15, 2);
+        q.push(5, 3);
+        assert_eq!(q.pop().unwrap(), (5, 3));
+        assert_eq!(q.pop().unwrap(), (15, 2));
+        assert_eq!(q.pop().unwrap(), (20, 1));
+    }
+}

@@ -1,0 +1,32 @@
+//! Discrete-event simulation primitives for the `numa-gpu` workspace.
+//!
+//! Two building blocks drive the whole simulator:
+//!
+//! * [`EventQueue`] — a deterministic min-heap of `(Tick, payload)` pairs
+//!   with FIFO tie-breaking, so identical runs replay identically.
+//! * [`ServiceQueue`] — a bandwidth-limited FIFO resource (DRAM interface,
+//!   NoC, one link direction). Requests occupy the resource for
+//!   `bytes / rate` cycles; the queue tracks windowed busy time so the
+//!   paper's controllers can ask "was this ≥99% saturated in the last
+//!   sample period?".
+//!
+//! # Examples
+//!
+//! ```
+//! use numa_gpu_engine::ServiceQueue;
+//! use numa_gpu_types::TICKS_PER_CYCLE;
+//!
+//! // A 64 B/cycle link direction.
+//! let mut link = ServiceQueue::new(64);
+//! let done = link.service(0, 128); // one cache line
+//! assert_eq!(done, 2 * TICKS_PER_CYCLE);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod event_queue;
+mod service_queue;
+
+pub use event_queue::EventQueue;
+pub use service_queue::ServiceQueue;

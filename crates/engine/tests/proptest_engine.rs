@@ -1,0 +1,95 @@
+//! Property tests for the simulation engine.
+
+use numa_gpu_engine::{EventQueue, ServiceQueue};
+use numa_gpu_types::TICKS_PER_CYCLE;
+use proptest::prelude::*;
+
+proptest! {
+    /// The event queue pops events in exactly the order of a stable sort by
+    /// tick (ties broken by insertion sequence).
+    #[test]
+    fn event_queue_matches_stable_sort(events in prop::collection::vec((0u64..1000, any::<u16>()), 0..200)) {
+        let mut q = EventQueue::new();
+        for (tick, payload) in &events {
+            q.push(*tick, *payload);
+        }
+        let mut expected: Vec<(u64, usize, u16)> = events
+            .iter()
+            .enumerate()
+            .map(|(i, (t, p))| (*t, i, *p))
+            .collect();
+        expected.sort();
+        let mut got = Vec::new();
+        while let Some((t, p)) = q.pop() {
+            got.push((t, p));
+        }
+        let expected: Vec<(u64, u16)> = expected.into_iter().map(|(t, _, p)| (t, p)).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Interleaved push/pop never yields an event earlier than one already
+    /// popped at or after the same push horizon.
+    #[test]
+    fn event_queue_pop_is_monotone_when_pushes_are_future(seed_events in prop::collection::vec(0u64..100, 1..50)) {
+        let mut q = EventQueue::new();
+        let mut now = 0u64;
+        for (i, dt) in seed_events.iter().enumerate() {
+            q.push(now + dt, i);
+            if i % 3 == 0 {
+                if let Some((t, _)) = q.pop() {
+                    prop_assert!(t >= now || t >= now.saturating_sub(*dt));
+                    now = now.max(t);
+                }
+            }
+        }
+    }
+
+    /// Total busy time equals the sum of per-request occupancies, and the
+    /// total bytes equal the sum of request sizes.
+    #[test]
+    fn service_queue_conserves_work(rate in 1u64..2048, reqs in prop::collection::vec((0u64..10_000, 1u32..100_000), 1..100)) {
+        let mut q = ServiceQueue::new(rate);
+        let mut bytes = 0u64;
+        let mut busy = 0u64;
+        let mut now = 0;
+        for (dt, b) in reqs {
+            now += dt;
+            q.service(now, b);
+            bytes += b as u64;
+            busy += (b as u64 * TICKS_PER_CYCLE).div_ceil(rate);
+        }
+        prop_assert_eq!(q.total_bytes(), bytes);
+        prop_assert_eq!(q.total_busy(), busy);
+    }
+
+    /// Window utilization is always within [0, 1] and saturation implies
+    /// nonzero utilization or backlog.
+    #[test]
+    fn utilization_bounded(rate in 1u64..2048, reqs in prop::collection::vec((0u64..10_000, 1u32..100_000), 1..100)) {
+        let mut q = ServiceQueue::new(rate);
+        let mut now = 0;
+        q.begin_window(0);
+        for (dt, b) in reqs {
+            now += dt;
+            q.service(now, b);
+            let u = q.window_utilization(now + 1);
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+        if q.is_saturated(now + 1, 0.99) {
+            prop_assert!(q.window_utilization(now + 1) > 0.0 || q.next_free() > now + 1);
+        }
+    }
+
+    /// Rate changes preserve FIFO ordering of completions.
+    #[test]
+    fn rate_change_keeps_fifo(rates in prop::collection::vec(1u64..1024, 2..20)) {
+        let mut q = ServiceQueue::new(rates[0]);
+        let mut last = 0;
+        for (i, r) in rates.iter().enumerate() {
+            q.set_rate(*r);
+            let done = q.service(i as u64 * 10, 256);
+            prop_assert!(done >= last);
+            last = done;
+        }
+    }
+}

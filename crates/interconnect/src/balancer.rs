@@ -1,0 +1,107 @@
+//! The link load balancer's pure decision function (§4).
+
+/// Decision taken by one sampling period of the link load balancer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalanceAction {
+    /// Reverse one ingress lane to serve egress traffic.
+    TurnTowardEgress,
+    /// Reverse one egress lane to serve ingress traffic.
+    TurnTowardIngress,
+    /// Both directions saturated in an asymmetric configuration: move one
+    /// lane back toward symmetry ("encourage global bandwidth
+    /// equalization").
+    Equalize,
+    /// No reconfiguration.
+    Hold,
+}
+
+/// Stateless decision logic of the paper's link load balancer, split from
+/// the timed link model so the policy is testable in isolation.
+///
+/// Rules (paper §4):
+/// * If one direction's lanes are ≥99% saturated while the opposite
+///   direction is not, reverse one unsaturated lane — unless that would
+///   leave the donor direction with no lanes ("all but one lane").
+/// * If both directions are saturated and the configuration is asymmetric,
+///   reconfigure back toward symmetric.
+/// * Otherwise hold.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkBalancer;
+
+impl LinkBalancer {
+    /// Decides the action for one sampling period.
+    ///
+    /// `egress_lanes` / `ingress_lanes` are the current lane counts;
+    /// saturation flags come from windowed utilization measurements.
+    pub fn decide(
+        egress_saturated: bool,
+        ingress_saturated: bool,
+        egress_lanes: u8,
+        ingress_lanes: u8,
+    ) -> BalanceAction {
+        match (egress_saturated, ingress_saturated) {
+            (true, false) if ingress_lanes > 1 => BalanceAction::TurnTowardEgress,
+            (false, true) if egress_lanes > 1 => BalanceAction::TurnTowardIngress,
+            (true, true) if egress_lanes != ingress_lanes => BalanceAction::Equalize,
+            _ => BalanceAction::Hold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steals_from_idle_ingress() {
+        assert_eq!(
+            LinkBalancer::decide(true, false, 8, 8),
+            BalanceAction::TurnTowardEgress
+        );
+    }
+
+    #[test]
+    fn steals_from_idle_egress() {
+        assert_eq!(
+            LinkBalancer::decide(false, true, 8, 8),
+            BalanceAction::TurnTowardIngress
+        );
+    }
+
+    #[test]
+    fn never_takes_last_lane() {
+        assert_eq!(
+            LinkBalancer::decide(true, false, 15, 1),
+            BalanceAction::Hold
+        );
+        assert_eq!(
+            LinkBalancer::decide(false, true, 1, 15),
+            BalanceAction::Hold
+        );
+    }
+
+    #[test]
+    fn both_saturated_symmetric_holds() {
+        assert_eq!(LinkBalancer::decide(true, true, 8, 8), BalanceAction::Hold);
+    }
+
+    #[test]
+    fn both_saturated_asymmetric_equalizes() {
+        assert_eq!(
+            LinkBalancer::decide(true, true, 12, 4),
+            BalanceAction::Equalize
+        );
+    }
+
+    #[test]
+    fn idle_link_holds() {
+        assert_eq!(
+            LinkBalancer::decide(false, false, 8, 8),
+            BalanceAction::Hold
+        );
+        assert_eq!(
+            LinkBalancer::decide(false, false, 2, 14),
+            BalanceAction::Hold
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! The multi-socket switch fabric.
+
+use crate::link::{GpuLink, LinkDirection};
+use crate::BalanceAction;
+use numa_gpu_types::{cycles_to_ticks, LinkConfig, SocketId, Tick};
+
+/// The high-bandwidth switch connecting every GPU socket (Figure 1).
+///
+/// A socket-to-socket transfer traverses the source link's egress lanes,
+/// the switch (half the one-way latency each side), and the destination
+/// link's ingress lanes — so, as in the paper, a packet from GPU1 to GPU0
+/// loads GPU1's egress *and* GPU0's ingress.
+///
+/// # Examples
+///
+/// ```
+/// use numa_gpu_interconnect::Switch;
+/// use numa_gpu_types::{LinkConfig, LinkMode, SocketId, ticks_to_cycles};
+///
+/// let cfg = LinkConfig {
+///     lanes_per_direction: 8,
+///     lane_bytes_per_cycle: 8,
+///     latency_cycles: 128,
+///     switch_time_cycles: 100,
+///     sample_time_cycles: 5000,
+///     mode: LinkMode::StaticSymmetric,
+/// };
+/// let mut sw = Switch::new(&cfg, 4);
+/// let arrive = sw.transfer(0, SocketId::new(1), SocketId::new(0), 128);
+/// assert!(ticks_to_cycles(arrive) >= 128); // at least the wire latency
+/// ```
+#[derive(Debug, Clone)]
+pub struct Switch {
+    links: Vec<GpuLink>,
+    half_latency: Tick,
+}
+
+impl Switch {
+    /// Builds a switch with one link per socket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sockets` is zero or the link configuration is
+    /// degenerate.
+    pub fn new(config: &LinkConfig, num_sockets: u8) -> Self {
+        assert!(num_sockets > 0, "switch needs at least one socket");
+        Switch {
+            links: (0..num_sockets).map(|_| GpuLink::new(config)).collect(),
+            half_latency: cycles_to_ticks(config.latency_cycles as u64) / 2,
+        }
+    }
+
+    /// Number of attached sockets.
+    pub fn num_sockets(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Transfers `bytes` from `from` to `to`; returns the arrival tick at
+    /// the destination socket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` (local traffic never crosses the switch) or a
+    /// socket index is out of range.
+    pub fn transfer(&mut self, now: Tick, from: SocketId, to: SocketId, bytes: u32) -> Tick {
+        self.transfer_timed(now, from, to, bytes).1
+    }
+
+    /// Like [`Self::transfer`] but also returns the tick at which the packet
+    /// clears the source's egress lanes (used for store backpressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to` or a socket index is out of range.
+    pub fn transfer_timed(
+        &mut self,
+        now: Tick,
+        from: SocketId,
+        to: SocketId,
+        bytes: u32,
+    ) -> (Tick, Tick) {
+        assert_ne!(from, to, "local traffic must not cross the switch");
+        let egress_clear = self.links[from.index()].send(now, LinkDirection::Egress, bytes);
+        let at_switch = egress_clear + self.half_latency;
+        let arrival =
+            self.links[to.index()].send(at_switch, LinkDirection::Ingress, bytes) + self.half_latency;
+        (egress_clear, arrival)
+    }
+
+    /// Immutable access to one socket's link.
+    pub fn link(&self, socket: SocketId) -> &GpuLink {
+        &self.links[socket.index()]
+    }
+
+    /// Mutable access to one socket's link (timeline enablement, etc.).
+    pub fn link_mut(&mut self, socket: SocketId) -> &mut GpuLink {
+        &mut self.links[socket.index()]
+    }
+
+    /// Runs one balancer sampling period on every link; returns the per-link
+    /// actions. Link policy is per-GPU — the paper shows global policies
+    /// fail to capture per-GPU phase behaviour.
+    pub fn sample_and_rebalance_all(&mut self, now: Tick, threshold: f64) -> Vec<BalanceAction> {
+        self.links
+            .iter_mut()
+            .map(|l| l.sample_and_rebalance(now, threshold))
+            .collect()
+    }
+
+    /// Resets every link to the symmetric kernel-launch configuration.
+    pub fn reset_symmetric_all(&mut self, now: Tick) {
+        for l in &mut self.links {
+            l.reset_symmetric(now);
+        }
+    }
+
+    /// Total bytes moved across all links (each transfer counted once per
+    /// link stage it traverses, i.e. twice end to end).
+    pub fn total_bytes(&self) -> u64 {
+        self.links
+            .iter()
+            .map(|l| l.stats().egress_bytes.get() + l.stats().ingress_bytes.get())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_gpu_types::{ticks_to_cycles, LinkMode, TICKS_PER_CYCLE};
+
+    fn cfg() -> LinkConfig {
+        LinkConfig {
+            lanes_per_direction: 8,
+            lane_bytes_per_cycle: 8,
+            latency_cycles: 128,
+            switch_time_cycles: 100,
+            sample_time_cycles: 5_000,
+            mode: LinkMode::StaticSymmetric,
+        }
+    }
+
+    #[test]
+    fn transfer_pays_latency_and_occupancy() {
+        let mut sw = Switch::new(&cfg(), 4);
+        let arrive = sw.transfer(0, SocketId::new(0), SocketId::new(1), 128);
+        // 2 cycles egress + 64 + 2 cycles ingress + 64 = 132 cycles.
+        assert_eq!(ticks_to_cycles(arrive), 132);
+    }
+
+    #[test]
+    fn transfer_loads_both_endpoint_links() {
+        let mut sw = Switch::new(&cfg(), 2);
+        sw.transfer(0, SocketId::new(0), SocketId::new(1), 128);
+        assert_eq!(sw.link(SocketId::new(0)).stats().egress_bytes.get(), 128);
+        assert_eq!(sw.link(SocketId::new(1)).stats().ingress_bytes.get(), 128);
+        assert_eq!(sw.link(SocketId::new(0)).stats().ingress_bytes.get(), 0);
+        assert_eq!(sw.total_bytes(), 256);
+    }
+
+    #[test]
+    fn independent_links_do_not_contend() {
+        let mut sw = Switch::new(&cfg(), 4);
+        let a = sw.transfer(0, SocketId::new(0), SocketId::new(1), 640);
+        let b = sw.transfer(0, SocketId::new(2), SocketId::new(3), 640);
+        assert_eq!(a, b); // disjoint socket pairs, identical timing
+    }
+
+    #[test]
+    fn same_source_transfers_serialize_on_egress() {
+        let mut sw = Switch::new(&cfg(), 4);
+        let a = sw.transfer(0, SocketId::new(0), SocketId::new(1), 6400);
+        let b = sw.transfer(0, SocketId::new(0), SocketId::new(2), 6400);
+        assert!(b > a);
+        assert!(b - a >= 100 * TICKS_PER_CYCLE); // 6400 B / 64 B-per-cycle
+    }
+
+    #[test]
+    #[should_panic(expected = "local traffic")]
+    fn local_transfer_panics() {
+        let mut sw = Switch::new(&cfg(), 2);
+        sw.transfer(0, SocketId::new(1), SocketId::new(1), 128);
+    }
+
+    #[test]
+    fn rebalance_all_touches_every_link() {
+        let mut sw = Switch::new(&cfg(), 4);
+        let actions = sw.sample_and_rebalance_all(cycles_to_ticks(5_000), 0.99);
+        assert_eq!(actions.len(), 4);
+    }
+
+    #[test]
+    fn reset_all_is_symmetric() {
+        let mut sw = Switch::new(&cfg(), 2);
+        sw.reset_symmetric_all(0);
+        for s in 0..2 {
+            assert_eq!(sw.link(SocketId::new(s)).lanes(LinkDirection::Egress), 8);
+        }
+    }
+}

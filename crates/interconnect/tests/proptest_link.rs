@@ -1,0 +1,101 @@
+//! Property tests for the reversible-lane link.
+
+use numa_gpu_interconnect::{GpuLink, LinkDirection, Switch};
+use numa_gpu_types::{cycles_to_ticks, LinkConfig, LinkMode, SocketId};
+use proptest::prelude::*;
+
+fn cfg(mode: LinkMode) -> LinkConfig {
+    LinkConfig {
+        lanes_per_direction: 8,
+        lane_bytes_per_cycle: 8,
+        latency_cycles: 128,
+        switch_time_cycles: 100,
+        sample_time_cycles: 5_000,
+        mode,
+    }
+}
+
+proptest! {
+    /// Under any traffic/rebalance schedule: the lane total is conserved,
+    /// no direction drops below one lane, and per-direction completions
+    /// stay FIFO.
+    #[test]
+    fn lanes_conserved_under_arbitrary_traffic(
+        steps in prop::collection::vec((0u64..5_000, any::<bool>(), 1u32..100_000), 1..200)
+    ) {
+        let mut link = GpuLink::new(&cfg(LinkMode::DynamicAsymmetric));
+        let mut now = 0;
+        let mut last_eg = 0;
+        let mut last_in = 0;
+        for (i, (dt, egress, bytes)) in steps.iter().enumerate() {
+            now += dt;
+            let dir = if *egress { LinkDirection::Egress } else { LinkDirection::Ingress };
+            let done = link.send(cycles_to_ticks(now), dir, *bytes);
+            match dir {
+                LinkDirection::Egress => {
+                    prop_assert!(done >= last_eg, "egress FIFO violated");
+                    last_eg = done;
+                }
+                LinkDirection::Ingress => {
+                    prop_assert!(done >= last_in, "ingress FIFO violated");
+                    last_in = done;
+                }
+            }
+            if i % 7 == 0 {
+                link.sample_and_rebalance(cycles_to_ticks(now + 5_000), 0.99);
+                now += 5_000;
+            }
+            let eg = link.lanes(LinkDirection::Egress);
+            let ing = link.lanes(LinkDirection::Ingress);
+            prop_assert_eq!(eg + ing, 16, "lane total must be conserved");
+            prop_assert!(eg >= 1 && ing >= 1, "no direction below one lane");
+        }
+    }
+
+    /// Reset always restores the symmetric launch configuration, from any
+    /// state.
+    #[test]
+    fn reset_restores_symmetry(turn_rounds in 0u64..20) {
+        let mut link = GpuLink::new(&cfg(LinkMode::DynamicAsymmetric));
+        let mut now = 0u64;
+        for _ in 0..turn_rounds {
+            for _ in 0..50_000 {
+                link.send(cycles_to_ticks(now), LinkDirection::Egress, 128);
+            }
+            now += 5_200;
+            link.sample_and_rebalance(cycles_to_ticks(now), 0.99);
+        }
+        link.reset_symmetric(cycles_to_ticks(now));
+        prop_assert_eq!(link.lanes(LinkDirection::Egress), 8);
+        prop_assert_eq!(link.lanes(LinkDirection::Ingress), 8);
+    }
+
+    /// A switch transfer always arrives no earlier than the wire latency
+    /// plus the minimum occupancy, and loads exactly the two endpoint links.
+    #[test]
+    fn switch_transfer_bounds(bytes in 1u32..100_000, from in 0u8..4, to in 0u8..4) {
+        prop_assume!(from != to);
+        let mut sw = Switch::new(&cfg(LinkMode::StaticSymmetric), 4);
+        let arrive = sw.transfer(0, SocketId::new(from), SocketId::new(to), bytes);
+        let min_occ = (bytes as u64 * 1024).div_ceil(64);
+        prop_assert!(arrive >= cycles_to_ticks(128) + 2 * min_occ);
+        prop_assert_eq!(sw.link(SocketId::new(from)).stats().egress_bytes.get(), bytes as u64);
+        prop_assert_eq!(sw.link(SocketId::new(to)).stats().ingress_bytes.get(), bytes as u64);
+        prop_assert_eq!(sw.total_bytes(), 2 * bytes as u64);
+    }
+
+    /// Double-bandwidth mode is never slower than the static link for the
+    /// same traffic.
+    #[test]
+    fn double_bandwidth_dominates(sends in prop::collection::vec((0u64..100, 1u32..10_000), 1..100)) {
+        let mut fast = GpuLink::new(&cfg(LinkMode::DoubleBandwidth));
+        let mut slow = GpuLink::new(&cfg(LinkMode::StaticSymmetric));
+        let mut now = 0;
+        for (dt, bytes) in sends {
+            now += dt;
+            let f = fast.send(cycles_to_ticks(now), LinkDirection::Egress, bytes);
+            let s = slow.send(cycles_to_ticks(now), LinkDirection::Egress, bytes);
+            prop_assert!(f <= s);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-socket DRAM (on-package HBM) model.
+
+use numa_gpu_engine::ServiceQueue;
+use numa_gpu_types::{cycles_to_ticks, Counter, DramConfig, Tick};
+
+/// DRAM access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Read line transfers serviced.
+    pub reads: Counter,
+    /// Write line transfers serviced.
+    pub writes: Counter,
+    /// Total bytes moved.
+    pub bytes: Counter,
+}
+
+/// One socket's high-bandwidth memory: a bandwidth-limited FIFO interface
+/// plus a fixed access latency (Table 1: 768 GB/s, 100 ns).
+///
+/// # Examples
+///
+/// ```
+/// use numa_gpu_mem::Dram;
+/// use numa_gpu_types::{DramConfig, TICKS_PER_CYCLE};
+///
+/// let mut dram = Dram::new(DramConfig { bytes_per_cycle: 768, latency_cycles: 100 });
+/// let done = dram.read(0, 128);
+/// // occupancy (128/768 of a cycle, rounded up in ticks) + 100-cycle latency
+/// assert!(done > 100 * TICKS_PER_CYCLE);
+/// assert!(done < 101 * TICKS_PER_CYCLE);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dram {
+    queue: ServiceQueue,
+    latency: Tick,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates a DRAM model from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured bandwidth is zero.
+    pub fn new(config: DramConfig) -> Self {
+        Dram {
+            queue: ServiceQueue::new(config.bytes_per_cycle),
+            latency: cycles_to_ticks(config.latency_cycles as u64),
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Services a read of `bytes` at tick `now`; returns the tick the data
+    /// is available (queueing + occupancy + access latency).
+    pub fn read(&mut self, now: Tick, bytes: u32) -> Tick {
+        self.stats.reads.inc();
+        self.stats.bytes.add(bytes as u64);
+        self.queue.service(now, bytes) + self.latency
+    }
+
+    /// Services a write of `bytes` at tick `now`; returns the tick the write
+    /// is globally visible. Callers typically do not block on this.
+    pub fn write(&mut self, now: Tick, bytes: u32) -> Tick {
+        self.stats.writes.inc();
+        self.stats.bytes.add(bytes as u64);
+        self.queue.service(now, bytes) + self.latency
+    }
+
+    /// Starts a fresh utilization window (for the NUMA-aware cache
+    /// controller's local-DRAM-saturation input).
+    pub fn begin_window(&mut self, now: Tick) {
+        self.queue.begin_window(now);
+    }
+
+    /// Whether the DRAM interface is saturated in the current window.
+    pub fn is_saturated(&self, now: Tick, threshold: f64) -> bool {
+        self.queue.is_saturated(now, threshold)
+    }
+
+    /// Windowed utilization in `[0, 1]`.
+    pub fn window_utilization(&self, now: Tick) -> f64 {
+        self.queue.window_utilization(now)
+    }
+
+    /// Total busy ticks since construction.
+    pub fn total_busy(&self) -> Tick {
+        self.queue.total_busy()
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_gpu_types::TICKS_PER_CYCLE;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig {
+            bytes_per_cycle: 768,
+            latency_cycles: 100,
+        })
+    }
+
+    #[test]
+    fn read_includes_latency() {
+        let mut d = dram();
+        let done = d.read(0, 128);
+        assert_eq!(done, 171 + 100 * TICKS_PER_CYCLE);
+    }
+
+    #[test]
+    fn bandwidth_limits_throughput() {
+        let mut d = dram();
+        // 6 lines/cycle at 768 B/cycle; the 12th line finishes ~2 cycles in.
+        let mut last = 0;
+        for _ in 0..12 {
+            last = d.read(0, 128);
+        }
+        let occupancy = last - 100 * TICKS_PER_CYCLE;
+        assert!(occupancy >= 2 * TICKS_PER_CYCLE, "occupancy {occupancy}");
+        assert!(occupancy < 3 * TICKS_PER_CYCLE);
+    }
+
+    #[test]
+    fn writes_share_the_interface() {
+        let mut d = dram();
+        let r = d.read(0, 768);
+        let w = d.write(0, 768);
+        assert_eq!(w - r, TICKS_PER_CYCLE);
+    }
+
+    #[test]
+    fn stats_track_reads_writes_bytes() {
+        let mut d = dram();
+        d.read(0, 128);
+        d.write(0, 128);
+        d.write(0, 16);
+        let s = d.stats();
+        assert_eq!(s.reads.get(), 1);
+        assert_eq!(s.writes.get(), 2);
+        assert_eq!(s.bytes.get(), 272);
+    }
+
+    #[test]
+    fn saturation_detected_under_backlog() {
+        let mut d = dram();
+        d.begin_window(0);
+        for _ in 0..10_000 {
+            d.read(0, 128);
+        }
+        assert!(d.is_saturated(TICKS_PER_CYCLE, 0.99));
+        assert_eq!(d.window_utilization(TICKS_PER_CYCLE), 1.0);
+    }
+
+    #[test]
+    fn idle_dram_not_saturated() {
+        let mut d = dram();
+        d.begin_window(0);
+        d.read(0, 128);
+        assert!(!d.is_saturated(1_000 * TICKS_PER_CYCLE, 0.99));
+    }
+}

@@ -1,0 +1,312 @@
+//! NUMA page placement policies (paper §3).
+
+use numa_gpu_types::{Counter, LineAddr, PageId, PagePlacement, SocketId};
+use std::collections::HashMap;
+
+/// Per-page migration bookkeeping for
+/// [`PagePlacement::FirstTouchMigrate`].
+#[derive(Debug, Clone, Copy, Default)]
+struct MigrationState {
+    /// Socket issuing the current run of remote accesses.
+    contender: Option<SocketId>,
+    /// Length of that run.
+    run: u32,
+}
+
+/// Statistics gathered by the placement layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementStats {
+    /// Pages placed by first-touch.
+    pub pages_placed: Counter,
+    /// Line-home lookups answered.
+    pub lookups: Counter,
+    /// Pages migrated (only under `FirstTouchMigrate`).
+    pub pages_migrated: Counter,
+}
+
+/// Maps cache lines to their home socket under one of the paper's three
+/// placement policies.
+///
+/// * [`PagePlacement::FineInterleave`] — line-granular modulo interleaving,
+///   the traditional single-GPU policy: in an `N`-socket system `(N-1)/N` of
+///   all traffic is remote.
+/// * [`PagePlacement::PageInterleave`] — round-robin by page index (the
+///   Linux `interleave` NUMA policy). Load balanced, still mostly remote.
+/// * [`PagePlacement::FirstTouch`] — UVM-style: the first socket to touch a
+///   page becomes its home; pages never move afterwards (§3: "after which
+///   pages are not dynamically moved between GPUs").
+///
+/// # Examples
+///
+/// ```
+/// use numa_gpu_mem::PageTable;
+/// use numa_gpu_types::{Addr, PagePlacement, SocketId};
+///
+/// let mut pt = PageTable::new(PagePlacement::FineInterleave, 4);
+/// let l0 = Addr::new(0).line();
+/// let l1 = Addr::new(128).line();
+/// assert_eq!(pt.home_of_line(l0, SocketId::new(0)).index(), 0);
+/// assert_eq!(pt.home_of_line(l1, SocketId::new(0)).index(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    policy: PagePlacement,
+    num_sockets: u8,
+    first_touch: HashMap<PageId, SocketId>,
+    migration: HashMap<PageId, MigrationState>,
+    stats: PlacementStats,
+}
+
+impl PageTable {
+    /// Creates a page table for `num_sockets` sockets under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sockets` is zero.
+    pub fn new(policy: PagePlacement, num_sockets: u8) -> Self {
+        assert!(num_sockets > 0, "num_sockets must be nonzero");
+        PageTable {
+            policy,
+            num_sockets,
+            first_touch: HashMap::new(),
+            migration: HashMap::new(),
+            stats: PlacementStats::default(),
+        }
+    }
+
+    /// Policy in force.
+    #[inline]
+    pub fn policy(&self) -> PagePlacement {
+        self.policy
+    }
+
+    /// Resolves the home socket of `line` for an access issued by
+    /// `requester`. Under first-touch this may *place* the page; under
+    /// [`PagePlacement::FirstTouchMigrate`] it may also *move* it after a
+    /// run of remote accesses.
+    pub fn home_of_line(&mut self, line: LineAddr, requester: SocketId) -> SocketId {
+        self.stats.lookups.inc();
+        let n = self.num_sockets as u64;
+        match self.policy {
+            PagePlacement::FineInterleave => SocketId::new((line.raw() % n) as u8),
+            PagePlacement::PageInterleave => SocketId::new((line.page().index() % n) as u8),
+            PagePlacement::FirstTouch => self.first_touch_home(line.page(), requester),
+            PagePlacement::FirstTouchMigrate { migrate_threshold } => {
+                let home = self.first_touch_home(line.page(), requester);
+                if home == requester {
+                    // A local access resets any remote run.
+                    self.migration.remove(&line.page());
+                    return home;
+                }
+                let st = self.migration.entry(line.page()).or_default();
+                if st.contender == Some(requester) {
+                    st.run += 1;
+                } else {
+                    *st = MigrationState {
+                        contender: Some(requester),
+                        run: 1,
+                    };
+                }
+                if st.run >= migrate_threshold.max(1) {
+                    self.migration.remove(&line.page());
+                    self.first_touch.insert(line.page(), requester);
+                    self.stats.pages_migrated.inc();
+                    return requester;
+                }
+                home
+            }
+        }
+    }
+
+    fn first_touch_home(&mut self, page: PageId, requester: SocketId) -> SocketId {
+        let stats = &mut self.stats;
+        *self.first_touch.entry(page).or_insert_with(|| {
+            stats.pages_placed.inc();
+            requester
+        })
+    }
+
+    /// Looks up a page's current home without placing it.
+    pub fn peek_page(&self, page: PageId) -> Option<SocketId> {
+        let n = self.num_sockets as u64;
+        match self.policy {
+            PagePlacement::FineInterleave => None, // sub-page granularity
+            PagePlacement::PageInterleave => Some(SocketId::new((page.index() % n) as u8)),
+            PagePlacement::FirstTouch | PagePlacement::FirstTouchMigrate { .. } => {
+                self.first_touch.get(&page).copied()
+            }
+        }
+    }
+
+    /// Number of pages placed so far (first-touch only; interleaved policies
+    /// report zero because placement is computed, not recorded).
+    pub fn resident_pages(&self) -> usize {
+        self.first_touch.len()
+    }
+
+    /// Placement statistics.
+    pub fn stats(&self) -> PlacementStats {
+        self.stats
+    }
+
+    /// Drops all first-touch placements (used between independent workload
+    /// runs sharing a system instance).
+    pub fn reset(&mut self) {
+        self.first_touch.clear();
+        self.migration.clear();
+        self.stats = PlacementStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_gpu_types::{Addr, PAGE_SIZE};
+
+    fn line(addr: u64) -> LineAddr {
+        Addr::new(addr).line()
+    }
+
+    #[test]
+    fn fine_interleave_rotates_per_line() {
+        let mut pt = PageTable::new(PagePlacement::FineInterleave, 4);
+        let homes: Vec<_> = (0..8)
+            .map(|i| pt.home_of_line(line(i * 128), SocketId::new(0)).index())
+            .collect();
+        assert_eq!(homes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fine_interleave_75pct_remote_on_4_sockets() {
+        let mut pt = PageTable::new(PagePlacement::FineInterleave, 4);
+        let me = SocketId::new(1);
+        let remote = (0..1000)
+            .filter(|i| pt.home_of_line(line(i * 128), me) != me)
+            .count();
+        assert_eq!(remote, 750);
+    }
+
+    #[test]
+    fn page_interleave_constant_within_page() {
+        let mut pt = PageTable::new(PagePlacement::PageInterleave, 4);
+        let me = SocketId::new(0);
+        let h0 = pt.home_of_line(line(0), me);
+        let h1 = pt.home_of_line(line(PAGE_SIZE - 128), me);
+        assert_eq!(h0, h1);
+        let h2 = pt.home_of_line(line(PAGE_SIZE), me);
+        assert_eq!(h2.index(), (h0.index() + 1) % 4);
+    }
+
+    #[test]
+    fn first_touch_sticks_to_first_requester() {
+        let mut pt = PageTable::new(PagePlacement::FirstTouch, 4);
+        let l = line(5 * PAGE_SIZE);
+        assert_eq!(pt.home_of_line(l, SocketId::new(3)), SocketId::new(3));
+        // A later touch by another socket does not move the page.
+        assert_eq!(pt.home_of_line(l, SocketId::new(1)), SocketId::new(3));
+        assert_eq!(pt.resident_pages(), 1);
+        assert_eq!(pt.stats().pages_placed.get(), 1);
+    }
+
+    #[test]
+    fn first_touch_distinguishes_pages() {
+        let mut pt = PageTable::new(PagePlacement::FirstTouch, 2);
+        pt.home_of_line(line(0), SocketId::new(0));
+        pt.home_of_line(line(PAGE_SIZE), SocketId::new(1));
+        assert_eq!(pt.peek_page(PageId::from_index(0)), Some(SocketId::new(0)));
+        assert_eq!(pt.peek_page(PageId::from_index(1)), Some(SocketId::new(1)));
+        assert_eq!(pt.peek_page(PageId::from_index(2)), None);
+    }
+
+    #[test]
+    fn single_socket_everything_local() {
+        for policy in [
+            PagePlacement::FineInterleave,
+            PagePlacement::PageInterleave,
+            PagePlacement::FirstTouch,
+        ] {
+            let mut pt = PageTable::new(policy, 1);
+            for i in 0..64 {
+                assert_eq!(
+                    pt.home_of_line(line(i * 12345), SocketId::new(0)),
+                    SocketId::new(0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_placements() {
+        let mut pt = PageTable::new(PagePlacement::FirstTouch, 2);
+        pt.home_of_line(line(0), SocketId::new(1));
+        pt.reset();
+        assert_eq!(pt.resident_pages(), 0);
+        assert_eq!(pt.home_of_line(line(0), SocketId::new(0)), SocketId::new(0));
+    }
+
+    #[test]
+    fn lookups_counted() {
+        let mut pt = PageTable::new(PagePlacement::PageInterleave, 2);
+        for i in 0..5 {
+            pt.home_of_line(line(i), SocketId::new(0));
+        }
+        assert_eq!(pt.stats().lookups.get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_sockets must be nonzero")]
+    fn zero_sockets_panics() {
+        let _ = PageTable::new(PagePlacement::FirstTouch, 0);
+    }
+
+    #[test]
+    fn migration_moves_page_after_threshold() {
+        let mut pt = PageTable::new(
+            PagePlacement::FirstTouchMigrate {
+                migrate_threshold: 3,
+            },
+            4,
+        );
+        let l = line(0);
+        assert_eq!(pt.home_of_line(l, SocketId::new(0)), SocketId::new(0));
+        // Two remote touches: not yet migrated.
+        assert_eq!(pt.home_of_line(l, SocketId::new(2)), SocketId::new(0));
+        assert_eq!(pt.home_of_line(l, SocketId::new(2)), SocketId::new(0));
+        // Third consecutive remote touch from the same socket migrates.
+        assert_eq!(pt.home_of_line(l, SocketId::new(2)), SocketId::new(2));
+        assert_eq!(pt.peek_page(PageId::from_index(0)), Some(SocketId::new(2)));
+        assert_eq!(pt.stats().pages_migrated.get(), 1);
+    }
+
+    #[test]
+    fn migration_run_resets_on_local_or_different_remote() {
+        let mut pt = PageTable::new(
+            PagePlacement::FirstTouchMigrate {
+                migrate_threshold: 2,
+            },
+            4,
+        );
+        let l = line(0);
+        pt.home_of_line(l, SocketId::new(0)); // place on 0
+        pt.home_of_line(l, SocketId::new(1)); // run(1)=1
+        pt.home_of_line(l, SocketId::new(2)); // run(2)=1 (reset)
+        pt.home_of_line(l, SocketId::new(0)); // local access resets
+        pt.home_of_line(l, SocketId::new(2)); // run(2)=1 again
+        assert_eq!(pt.home_of_line(l, SocketId::new(2)), SocketId::new(2));
+        assert_eq!(pt.stats().pages_migrated.get(), 1);
+    }
+
+    #[test]
+    fn migration_threshold_zero_clamps_to_one() {
+        let mut pt = PageTable::new(
+            PagePlacement::FirstTouchMigrate {
+                migrate_threshold: 0,
+            },
+            2,
+        );
+        let l = line(0);
+        pt.home_of_line(l, SocketId::new(0));
+        // A single remote touch migrates immediately.
+        assert_eq!(pt.home_of_line(l, SocketId::new(1)), SocketId::new(1));
+    }
+}

@@ -1,0 +1,483 @@
+//! Kernel trace recording and replay.
+//!
+//! The paper's evaluation vehicle is a *trace-driven* simulator. This
+//! module makes any [`Kernel`] recordable: [`RecordedKernel::record`]
+//! materializes every CTA's warp streams, the result replays as a
+//! [`Kernel`] itself, and a simple line-oriented text codec
+//! ([`RecordedKernel::to_text`] / [`RecordedKernel::from_text`]) lets
+//! traces be stored, diffed, edited, or produced by external tools and fed
+//! to the simulator.
+//!
+//! Format (one directive per line):
+//!
+//! ```text
+//! kernel <name> ctas=<n> warps=<w>
+//! cta <index>
+//! warp <index>
+//! c <cycles>          # compute
+//! r <byte-address>    # read
+//! w <byte-address>    # write
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use numa_gpu_runtime::{Kernel, RecordedKernel};
+//! # use numa_gpu_runtime::Workload;
+//! # use numa_gpu_types::{Addr, CtaId, CtaProgram, WarpOp};
+//! # struct OneRead;
+//! # impl Kernel for OneRead {
+//! #     fn num_ctas(&self) -> u32 { 1 }
+//! #     fn warps_per_cta(&self) -> u32 { 1 }
+//! #     fn cta(&self, _c: CtaId) -> Box<dyn CtaProgram> {
+//! #         struct P(bool);
+//! #         impl CtaProgram for P {
+//! #             fn num_warps(&self) -> u32 { 1 }
+//! #             fn next_op(&mut self, _w: u32) -> Option<WarpOp> {
+//! #                 if self.0 { self.0 = false; Some(WarpOp::read(Addr::new(128))) } else { None }
+//! #             }
+//! #         }
+//! #         Box::new(P(true))
+//! #     }
+//! # }
+//! let recorded = RecordedKernel::record(&OneRead);
+//! let text = recorded.to_text();
+//! let replayed = RecordedKernel::from_text(&text).unwrap();
+//! assert_eq!(replayed.num_ctas(), 1);
+//! ```
+
+use crate::Kernel;
+use numa_gpu_types::{Addr, CtaId, CtaProgram, MemKind, WarpOp};
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing a textual trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    line: usize,
+    message: String,
+}
+
+impl ParseTraceError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseTraceError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number where parsing failed.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// A fully materialized kernel trace: every CTA's per-warp op streams.
+///
+/// Replays as a [`Kernel`]; round-trips through the text codec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedKernel {
+    name: String,
+    warps_per_cta: u32,
+    /// `ctas[cta][warp]` = op stream.
+    ctas: Vec<Vec<Vec<WarpOp>>>,
+}
+
+impl RecordedKernel {
+    /// Materializes every CTA of `kernel` by draining its generators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel reports zero warps per CTA.
+    pub fn record(kernel: &dyn Kernel) -> Self {
+        let warps = kernel.warps_per_cta();
+        assert!(warps > 0, "kernel must have at least one warp per CTA");
+        let ctas = (0..kernel.num_ctas())
+            .map(|c| {
+                let mut program = kernel.cta(CtaId::new(c));
+                (0..warps)
+                    .map(|w| {
+                        let mut ops = Vec::new();
+                        while let Some(op) = program.next_op(w) {
+                            ops.push(op);
+                        }
+                        ops
+                    })
+                    .collect()
+            })
+            .collect();
+        RecordedKernel {
+            name: kernel.name().to_string(),
+            warps_per_cta: warps,
+            ctas,
+        }
+    }
+
+    /// Total operations across all CTAs and warps.
+    pub fn total_ops(&self) -> u64 {
+        self.ctas
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(|w| w.len() as u64)
+            .sum()
+    }
+
+    /// Serializes to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "kernel {} ctas={} warps={}\n",
+            self.name,
+            self.ctas.len(),
+            self.warps_per_cta
+        );
+        for (c, warps) in self.ctas.iter().enumerate() {
+            out.push_str(&format!("cta {c}\n"));
+            for (w, ops) in warps.iter().enumerate() {
+                out.push_str(&format!("warp {w}\n"));
+                for op in ops {
+                    match op {
+                        WarpOp::Compute { cycles } => out.push_str(&format!("c {cycles}\n")),
+                        WarpOp::Mem { addr, kind } => {
+                            let tag = match kind {
+                                MemKind::Read => 'r',
+                                MemKind::Write => 'w',
+                            };
+                            out.push_str(&format!("{tag} {}\n", addr.raw()));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`Self::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] on malformed directives, out-of-order
+    /// cta/warp indices, or a missing header.
+    pub fn from_text(text: &str) -> Result<Self, ParseTraceError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| ParseTraceError::new(1, "empty trace"))?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("kernel") {
+            return Err(ParseTraceError::new(1, "expected `kernel` header"));
+        }
+        let name = parts
+            .next()
+            .ok_or_else(|| ParseTraceError::new(1, "missing kernel name"))?
+            .to_string();
+        let mut num_ctas = None;
+        let mut warps_per_cta = None;
+        for kv in parts {
+            match kv.split_once('=') {
+                Some(("ctas", v)) => {
+                    num_ctas = Some(v.parse::<u32>().map_err(|_| {
+                        ParseTraceError::new(1, format!("bad ctas count `{v}`"))
+                    })?);
+                }
+                Some(("warps", v)) => {
+                    warps_per_cta = Some(v.parse::<u32>().map_err(|_| {
+                        ParseTraceError::new(1, format!("bad warps count `{v}`"))
+                    })?);
+                }
+                _ => return Err(ParseTraceError::new(1, format!("unknown field `{kv}`"))),
+            }
+        }
+        let num_ctas = num_ctas.ok_or_else(|| ParseTraceError::new(1, "missing ctas="))?;
+        let warps_per_cta =
+            warps_per_cta.ok_or_else(|| ParseTraceError::new(1, "missing warps="))?;
+        if num_ctas == 0 || warps_per_cta == 0 {
+            return Err(ParseTraceError::new(1, "ctas and warps must be nonzero"));
+        }
+
+        let mut ctas: Vec<Vec<Vec<WarpOp>>> = Vec::with_capacity(num_ctas as usize);
+        let mut current_warp: Option<usize> = None;
+        for (idx, raw) in lines {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match tag {
+                "cta" => {
+                    let c: usize = rest
+                        .trim()
+                        .parse()
+                        .map_err(|_| ParseTraceError::new(line_no, "bad cta index"))?;
+                    if c != ctas.len() {
+                        return Err(ParseTraceError::new(line_no, "cta indices must be in order"));
+                    }
+                    ctas.push(Vec::new());
+                    current_warp = None;
+                }
+                "warp" => {
+                    let w: usize = rest
+                        .trim()
+                        .parse()
+                        .map_err(|_| ParseTraceError::new(line_no, "bad warp index"))?;
+                    let cta = ctas
+                        .last_mut()
+                        .ok_or_else(|| ParseTraceError::new(line_no, "warp before cta"))?;
+                    if w != cta.len() {
+                        return Err(ParseTraceError::new(line_no, "warp indices must be in order"));
+                    }
+                    if w >= warps_per_cta as usize {
+                        return Err(ParseTraceError::new(line_no, "warp index out of range"));
+                    }
+                    cta.push(Vec::new());
+                    current_warp = Some(w);
+                }
+                "c" | "r" | "w" => {
+                    let cta = ctas
+                        .last_mut()
+                        .ok_or_else(|| ParseTraceError::new(line_no, "op before cta"))?;
+                    let warp = current_warp
+                        .ok_or_else(|| ParseTraceError::new(line_no, "op before warp"))?;
+                    let value: u64 = rest
+                        .trim()
+                        .parse()
+                        .map_err(|_| ParseTraceError::new(line_no, "bad operand"))?;
+                    let op = match tag {
+                        "c" => WarpOp::compute(value.min(u32::MAX as u64) as u32),
+                        "r" => WarpOp::read(Addr::new(value)),
+                        _ => WarpOp::write(Addr::new(value)),
+                    };
+                    cta[warp].push(op);
+                }
+                other => {
+                    return Err(ParseTraceError::new(
+                        line_no,
+                        format!("unknown directive `{other}`"),
+                    ))
+                }
+            }
+        }
+        if ctas.len() != num_ctas as usize {
+            return Err(ParseTraceError::new(
+                0,
+                format!("expected {num_ctas} ctas, found {}", ctas.len()),
+            ));
+        }
+        // Pad missing warp streams (a warp may legally have no ops).
+        for cta in &mut ctas {
+            while cta.len() < warps_per_cta as usize {
+                cta.push(Vec::new());
+            }
+        }
+        Ok(RecordedKernel {
+            name,
+            warps_per_cta,
+            ctas,
+        })
+    }
+}
+
+impl RecordedKernel {
+    /// Parses a file containing one or more concatenated kernel traces
+    /// (each beginning with a `kernel` header line).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ParseTraceError`] encountered. Line numbers are
+    /// relative to each kernel's own block.
+    pub fn parse_all(text: &str) -> Result<Vec<RecordedKernel>, ParseTraceError> {
+        let mut kernels = Vec::new();
+        let mut block = String::new();
+        for line in text.lines() {
+            if line.starts_with("kernel ") && !block.is_empty() {
+                kernels.push(Self::from_text(&block)?);
+                block.clear();
+            }
+            block.push_str(line);
+            block.push('\n');
+        }
+        if !block.trim().is_empty() {
+            kernels.push(Self::from_text(&block)?);
+        }
+        Ok(kernels)
+    }
+}
+
+impl Kernel for RecordedKernel {
+    fn num_ctas(&self) -> u32 {
+        self.ctas.len() as u32
+    }
+
+    fn warps_per_cta(&self) -> u32 {
+        self.warps_per_cta
+    }
+
+    fn cta(&self, cta: CtaId) -> Box<dyn CtaProgram> {
+        struct Replay {
+            warps: Vec<Vec<WarpOp>>,
+            cursors: Vec<usize>,
+        }
+        impl CtaProgram for Replay {
+            fn num_warps(&self) -> u32 {
+                self.warps.len() as u32
+            }
+            fn next_op(&mut self, warp: u32) -> Option<WarpOp> {
+                let w = warp as usize;
+                let op = self.warps[w].get(self.cursors[w]).copied();
+                if op.is_some() {
+                    self.cursors[w] += 1;
+                }
+                op
+            }
+        }
+        let warps = self.ctas[cta.index() as usize].clone();
+        let cursors = vec![0; warps.len()];
+        Box::new(Replay { warps, cursors })
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TwoWarps;
+
+    impl Kernel for TwoWarps {
+        fn num_ctas(&self) -> u32 {
+            2
+        }
+        fn warps_per_cta(&self) -> u32 {
+            2
+        }
+        fn cta(&self, cta: CtaId) -> Box<dyn CtaProgram> {
+            struct P {
+                base: u64,
+                left: [u32; 2],
+            }
+            impl CtaProgram for P {
+                fn num_warps(&self) -> u32 {
+                    2
+                }
+                fn next_op(&mut self, warp: u32) -> Option<WarpOp> {
+                    let w = warp as usize;
+                    if self.left[w] == 0 {
+                        return None;
+                    }
+                    self.left[w] -= 1;
+                    Some(if self.left[w] % 2 == 0 {
+                        WarpOp::read(Addr::new(self.base + self.left[w] as u64 * 128))
+                    } else {
+                        WarpOp::compute(4)
+                    })
+                }
+            }
+            Box::new(P {
+                base: cta.index() as u64 * 4096,
+                left: [4, 2],
+            })
+        }
+        fn name(&self) -> &str {
+            "twowarps"
+        }
+    }
+
+    fn drain(k: &dyn Kernel, cta: u32, warp: u32) -> Vec<WarpOp> {
+        let mut p = k.cta(CtaId::new(cta));
+        std::iter::from_fn(|| p.next_op(warp)).collect()
+    }
+
+    #[test]
+    fn record_preserves_streams() {
+        let rec = RecordedKernel::record(&TwoWarps);
+        assert_eq!(rec.num_ctas(), 2);
+        assert_eq!(rec.warps_per_cta(), 2);
+        assert_eq!(rec.name(), "twowarps");
+        for cta in 0..2 {
+            for warp in 0..2 {
+                assert_eq!(drain(&rec, cta, warp), drain(&TwoWarps, cta, warp));
+            }
+        }
+        assert_eq!(rec.total_ops(), 2 * (4 + 2));
+    }
+
+    #[test]
+    fn text_roundtrip_is_identity() {
+        let rec = RecordedKernel::record(&TwoWarps);
+        let text = rec.to_text();
+        let back = RecordedKernel::from_text(&text).unwrap();
+        assert_eq!(back, rec);
+        // And the text itself round-trips.
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn text_format_is_line_oriented() {
+        let rec = RecordedKernel::record(&TwoWarps);
+        let text = rec.to_text();
+        assert!(text.starts_with("kernel twowarps ctas=2 warps=2\n"));
+        assert!(text.contains("\ncta 0\n"));
+        assert!(text.contains("\nwarp 1\n"));
+        assert!(text.contains("\nc 4\n"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "kernel k ctas=1 warps=1\n# a comment\n\ncta 0\nwarp 0\nr 256\n";
+        let k = RecordedKernel::from_text(text).unwrap();
+        assert_eq!(k.total_ops(), 1);
+        assert_eq!(drain(&k, 0, 0), vec![WarpOp::read(Addr::new(256))]);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "kernel k ctas=1 warps=1\ncta 0\nwarp 0\nx 12\n";
+        let err = RecordedKernel::from_text(bad).unwrap_err();
+        assert_eq!(err.line(), 4);
+        assert!(err.to_string().contains("unknown directive"));
+    }
+
+    #[test]
+    fn rejects_out_of_order_indices() {
+        let bad = "kernel k ctas=2 warps=1\ncta 1\n";
+        assert!(RecordedKernel::from_text(bad).is_err());
+        let bad = "kernel k ctas=1 warps=2\ncta 0\nwarp 1\n";
+        assert!(RecordedKernel::from_text(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_header_fields() {
+        assert!(RecordedKernel::from_text("kernel k ctas=1\n").is_err());
+        assert!(RecordedKernel::from_text("").is_err());
+        assert!(RecordedKernel::from_text("kernel k ctas=0 warps=1\n").is_err());
+    }
+
+    #[test]
+    fn parse_all_splits_concatenated_traces() {
+        let rec = RecordedKernel::record(&TwoWarps);
+        let text = format!("{}{}", rec.to_text(), rec.to_text());
+        let all = RecordedKernel::parse_all(&text).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0], all[1]);
+        assert!(RecordedKernel::parse_all("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_trailing_warps_are_padded_empty() {
+        let text = "kernel k ctas=1 warps=3\ncta 0\nwarp 0\nr 0\n";
+        let k = RecordedKernel::from_text(text).unwrap();
+        assert_eq!(k.warps_per_cta(), 3);
+        assert!(drain(&k, 0, 2).is_empty());
+    }
+}

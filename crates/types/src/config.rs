@@ -1,0 +1,484 @@
+//! System configuration, transcribing the paper's Table 1 and the policy
+//! knobs studied in Sections 3–5.
+
+use crate::error::ConfigError;
+use crate::LINE_SIZE;
+use serde::{Deserialize, Serialize};
+
+/// CTA-to-socket scheduling policy used by the NUMA-aware runtime (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CtaSchedulingPolicy {
+    /// Fine-grained modulo interleaving of CTAs across sockets — the
+    /// traditional single-GPU policy adapted to multiple sockets.
+    Interleave,
+    /// Contiguous block decomposition: CTA `i` of `C` goes to socket
+    /// `i * N / C`. Preserves inter-CTA locality (the paper's
+    /// locality-optimized runtime).
+    ContiguousBlock,
+}
+
+/// Memory page placement policy (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PagePlacement {
+    /// Cache-line-granular interleaving across sockets — the traditional
+    /// single-GPU channel interleaving extended across sockets.
+    FineInterleave,
+    /// Round-robin page-granular interleaving (Linux `interleave` style).
+    PageInterleave,
+    /// First-touch: a page is placed on the socket that first accesses it
+    /// (UVM on-demand migration as in Arunkumar et al.).
+    FirstTouch,
+    /// First-touch plus reactive migration: a page that suffers
+    /// `migrate_threshold` consecutive remote accesses from the same socket
+    /// moves there. The paper deliberately does *not* migrate ("pages are
+    /// not dynamically moved between GPUs"); this variant exists as an
+    /// ablation of that choice.
+    FirstTouchMigrate {
+        /// Consecutive same-socket remote accesses before a page moves.
+        migrate_threshold: u32,
+    },
+}
+
+/// L2 cache organization under study (paper Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheMode {
+    /// (a) Memory-side L2 caching local memory only; remote accesses are
+    /// never cached on the requesting socket's L2.
+    MemSideLocalOnly,
+    /// (b) Static 50/50 split: half the ways are a GPU-side coherent remote
+    /// cache (R$), half remain a memory-side local cache.
+    StaticRemoteCache,
+    /// (c) Fully GPU-side coherent L1+L2 where local and remote data contend
+    /// for the whole capacity.
+    SharedCoherent,
+    /// (d) NUMA-aware dynamic way partitioning between local and remote
+    /// classes, driven by link/DRAM saturation (the paper's proposal).
+    NumaAwareDynamic,
+}
+
+impl CacheMode {
+    /// Whether a socket's own L2 may cache *remote* data in this mode.
+    #[inline]
+    pub const fn caches_remote(self) -> bool {
+        !matches!(self, CacheMode::MemSideLocalOnly)
+    }
+
+    /// Whether kernel-boundary software coherence flushes must extend into
+    /// the L2 (true whenever the L2 holds GPU-side, possibly-stale data).
+    #[inline]
+    pub const fn l2_needs_flush(self) -> bool {
+        self.caches_remote()
+    }
+}
+
+/// Inter-socket link management policy (paper §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkMode {
+    /// Static symmetric design-time lane assignment (baseline).
+    StaticSymmetric,
+    /// Dynamic asymmetric lane allocation: the link load balancer samples
+    /// directional saturation and turns lanes around at runtime.
+    DynamicAsymmetric,
+    /// Hypothetical doubled link bandwidth (the red upper-bound bars of
+    /// Figure 6). Lanes stay symmetric.
+    DoubleBandwidth,
+}
+
+/// Write policy for a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WritePolicy {
+    /// Writes propagate to the next level immediately; lines never dirty.
+    WriteThrough,
+    /// Writes dirty the line; data moves on eviction or coherence flush.
+    WriteBack,
+}
+
+/// Geometry and policy of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u16,
+    /// Hit latency in cycles.
+    pub hit_latency_cycles: u32,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; invalid geometries are caught by
+    /// [`SystemConfig::validate`].
+    #[inline]
+    pub const fn num_sets(&self) -> u64 {
+        self.size_bytes / (LINE_SIZE * self.ways as u64)
+    }
+
+    /// Total number of lines.
+    #[inline]
+    pub const fn num_lines(&self) -> u64 {
+        self.size_bytes / LINE_SIZE
+    }
+}
+
+/// Streaming multiprocessor parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SmConfig {
+    /// SMs per GPU socket (Table 1: 64).
+    pub sms_per_socket: u16,
+    /// Maximum resident warps per SM (Table 1: 64).
+    pub max_warps: u16,
+    /// Maximum resident CTAs per SM regardless of warp occupancy.
+    pub max_ctas: u16,
+    /// L1 miss status holding registers per SM.
+    pub mshrs: u16,
+    /// L1 hit latency in cycles.
+    pub l1_hit_latency_cycles: u32,
+    /// Maximum independent outstanding loads per warp (scoreboard depth):
+    /// a warp keeps issuing until this many reads are in flight, then
+    /// blocks — the memory-level parallelism real SIMT cores extract.
+    pub max_pending_loads: u16,
+}
+
+/// DRAM (on-package HBM) parameters per socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Aggregate bandwidth in bytes per GPU cycle (768 GB/s at 1 GHz = 768).
+    pub bytes_per_cycle: u64,
+    /// Access latency in cycles (100 ns at 1 GHz).
+    pub latency_cycles: u32,
+}
+
+/// Intra-socket network-on-chip parameters (SM↔L2 crossbar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Aggregate crossbar bandwidth in bytes per cycle.
+    pub bytes_per_cycle: u64,
+    /// Traversal latency in cycles.
+    pub latency_cycles: u32,
+}
+
+/// Inter-socket link parameters (Table 1 plus §4 policy knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Lanes per direction at kernel launch (Table 1: 8).
+    pub lanes_per_direction: u8,
+    /// Bandwidth of one lane in bytes per cycle (8 GB/s at 1 GHz = 8).
+    pub lane_bytes_per_cycle: u64,
+    /// One-way GPU-to-GPU latency in cycles (Table 1: 128).
+    pub latency_cycles: u32,
+    /// Cost of reversing one lane's direction, in cycles (§4.1: 100).
+    pub switch_time_cycles: u32,
+    /// Link load balancer sampling period in cycles (§4.1: 5000).
+    pub sample_time_cycles: u32,
+    /// Link management policy.
+    pub mode: LinkMode,
+}
+
+impl LinkConfig {
+    /// Aggregate per-direction bandwidth at symmetric configuration, in
+    /// bytes per cycle.
+    #[inline]
+    pub const fn direction_bytes_per_cycle(&self) -> u64 {
+        self.lanes_per_direction as u64 * self.lane_bytes_per_cycle
+    }
+}
+
+/// Saturation threshold used by both the link load balancer and the cache
+/// partitioning algorithm (the paper uses "99% saturated").
+pub const SATURATION_THRESHOLD: f64 = 0.99;
+
+/// Request/response header and acknowledgment packet size in bytes.
+pub const HEADER_BYTES: u32 = 16;
+
+/// Full configuration of a simulated system: one or more GPU sockets behind
+/// a switch, plus every policy knob the paper studies.
+///
+/// # Examples
+///
+/// ```
+/// use numa_gpu_types::SystemConfig;
+///
+/// let cfg = SystemConfig::pascal_4_socket();
+/// cfg.validate().expect("Table 1 config is valid");
+/// assert_eq!(cfg.total_sms(), 256);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of GPU sockets (1 for the single-GPU baselines).
+    pub num_sockets: u8,
+    /// SM parameters.
+    pub sm: SmConfig,
+    /// Per-SM L1 cache.
+    pub l1: CacheConfig,
+    /// Per-socket L2 cache.
+    pub l2: CacheConfig,
+    /// Per-socket DRAM.
+    pub dram: DramConfig,
+    /// Per-socket NoC.
+    pub noc: NocConfig,
+    /// Per-socket switch link.
+    pub link: LinkConfig,
+    /// L2 organization (Figure 7 variants).
+    pub cache_mode: CacheMode,
+    /// Page placement policy.
+    pub placement: PagePlacement,
+    /// CTA scheduling policy.
+    pub cta_policy: CtaSchedulingPolicy,
+    /// NUMA-aware cache partition controller sampling period in cycles.
+    pub cache_sample_time_cycles: u32,
+    /// When `true`, L2 caches ignore kernel-boundary invalidation events —
+    /// the hypothetical upper bound of Figure 9.
+    pub ideal_no_l2_invalidate: bool,
+    /// Apply dynamic way partitioning to the L1 caches as well as the L2
+    /// (the paper partitions both; disabling is an ablation).
+    pub partition_l1: bool,
+}
+
+impl SystemConfig {
+    /// The paper's Table 1 single-GPU baseline (one 64-SM Pascal-class
+    /// socket with uniform memory).
+    pub fn pascal_single() -> Self {
+        SystemConfig {
+            num_sockets: 1,
+            sm: SmConfig {
+                sms_per_socket: 64,
+                max_warps: 64,
+                max_ctas: 32,
+                mshrs: 64,
+                l1_hit_latency_cycles: 28,
+                max_pending_loads: 4,
+            },
+            l1: CacheConfig {
+                size_bytes: 128 * 1024,
+                ways: 4,
+                hit_latency_cycles: 28,
+                write_policy: WritePolicy::WriteThrough,
+            },
+            l2: CacheConfig {
+                size_bytes: 4 * 1024 * 1024,
+                ways: 16,
+                hit_latency_cycles: 34,
+                write_policy: WritePolicy::WriteBack,
+            },
+            dram: DramConfig {
+                bytes_per_cycle: 768,
+                latency_cycles: 100,
+            },
+            noc: NocConfig {
+                bytes_per_cycle: 2048,
+                latency_cycles: 10,
+            },
+            link: LinkConfig {
+                lanes_per_direction: 8,
+                lane_bytes_per_cycle: 8,
+                latency_cycles: 128,
+                switch_time_cycles: 100,
+                sample_time_cycles: 5_000,
+                mode: LinkMode::StaticSymmetric,
+            },
+            cache_mode: CacheMode::MemSideLocalOnly,
+            placement: PagePlacement::FineInterleave,
+            cta_policy: CtaSchedulingPolicy::Interleave,
+            cache_sample_time_cycles: 5_000,
+            ideal_no_l2_invalidate: false,
+            partition_l1: true,
+        }
+    }
+
+    /// The paper's evaluated 4-socket NUMA GPU with the locality-optimized
+    /// runtime but baseline microarchitecture (mem-side L2, static links).
+    pub fn pascal_4_socket() -> Self {
+        Self::numa_sockets(4)
+    }
+
+    /// An `n`-socket NUMA GPU with the locality-optimized runtime
+    /// (first-touch pages + contiguous-block CTAs) and baseline
+    /// microarchitecture.
+    pub fn numa_sockets(n: u8) -> Self {
+        let mut cfg = Self::pascal_single();
+        cfg.num_sockets = n;
+        cfg.placement = PagePlacement::FirstTouch;
+        cfg.cta_policy = CtaSchedulingPolicy::ContiguousBlock;
+        cfg
+    }
+
+    /// The fully NUMA-aware `n`-socket design: dynamic asymmetric links plus
+    /// dynamic L1/L2 cache partitioning (the paper's proposal, Figures 10
+    /// and 11).
+    pub fn numa_aware_sockets(n: u8) -> Self {
+        let mut cfg = Self::numa_sockets(n);
+        cfg.link.mode = LinkMode::DynamicAsymmetric;
+        cfg.cache_mode = CacheMode::NumaAwareDynamic;
+        cfg
+    }
+
+    /// A hypothetical (unbuildable) single GPU with all resources scaled by
+    /// `factor`: SM count, DRAM bandwidth, L2 capacity, and NoC bandwidth.
+    /// This is the red-dash theoretical ceiling of Figures 3, 10 and 11.
+    pub fn hypothetical_scaled(factor: u8) -> Self {
+        let mut cfg = Self::pascal_single();
+        let f = factor as u64;
+        cfg.sm.sms_per_socket *= factor as u16;
+        cfg.dram.bytes_per_cycle *= f;
+        cfg.l2.size_bytes *= f;
+        cfg.noc.bytes_per_cycle *= f;
+        cfg
+    }
+
+    /// Total SMs across all sockets.
+    #[inline]
+    pub fn total_sms(&self) -> u32 {
+        self.num_sockets as u32 * self.sm.sms_per_socket as u32
+    }
+
+    /// Maximum concurrently resident warps per CTA the SM geometry allows.
+    #[inline]
+    pub fn warps_per_sm(&self) -> u32 {
+        self.sm.max_warps as u32
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when any geometry or policy parameter is
+    /// degenerate (zero sockets, non-power-of-two sets, fewer than two lanes
+    /// per link, etc.).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_sockets == 0 || self.num_sockets > 16 {
+            return Err(ConfigError::new(format!(
+                "num_sockets must be in 1..=16, got {}",
+                self.num_sockets
+            )));
+        }
+        if self.sm.sms_per_socket == 0 {
+            return Err(ConfigError::new("sms_per_socket must be nonzero"));
+        }
+        if self.sm.max_warps == 0 || self.sm.max_ctas == 0 || self.sm.mshrs == 0 {
+            return Err(ConfigError::new(
+                "max_warps, max_ctas and mshrs must be nonzero",
+            ));
+        }
+        if self.sm.max_pending_loads == 0 {
+            return Err(ConfigError::new("max_pending_loads must be nonzero"));
+        }
+        for (name, c) in [("l1", &self.l1), ("l2", &self.l2)] {
+            if c.ways == 0 {
+                return Err(ConfigError::new(format!("{name}: ways must be nonzero")));
+            }
+            if c.size_bytes == 0 || c.size_bytes % (LINE_SIZE * c.ways as u64) != 0 {
+                return Err(ConfigError::new(format!(
+                    "{name}: size {} is not a multiple of line_size*ways",
+                    c.size_bytes
+                )));
+            }
+        }
+        if self.dram.bytes_per_cycle == 0 || self.noc.bytes_per_cycle == 0 {
+            return Err(ConfigError::new("dram and noc bandwidth must be nonzero"));
+        }
+        if self.link.lanes_per_direction == 0 || self.link.lane_bytes_per_cycle == 0 {
+            return Err(ConfigError::new("link lanes and lane rate must be nonzero"));
+        }
+        if self.link.sample_time_cycles == 0 || self.cache_sample_time_cycles == 0 {
+            return Err(ConfigError::new("sample times must be nonzero"));
+        }
+        if self.cache_mode == CacheMode::StaticRemoteCache && self.l2.ways < 2 {
+            return Err(ConfigError::new(
+                "static remote cache requires at least 2 L2 ways",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    /// Defaults to the paper's 4-socket evaluation platform.
+    fn default() -> Self {
+        Self::pascal_4_socket()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults_validate() {
+        SystemConfig::pascal_single().validate().unwrap();
+        SystemConfig::pascal_4_socket().validate().unwrap();
+        SystemConfig::numa_aware_sockets(8).validate().unwrap();
+        SystemConfig::hypothetical_scaled(8).validate().unwrap();
+    }
+
+    #[test]
+    fn table1_values_match_paper() {
+        let c = SystemConfig::pascal_4_socket();
+        assert_eq!(c.num_sockets, 4);
+        assert_eq!(c.sm.sms_per_socket, 64);
+        assert_eq!(c.sm.max_warps, 64);
+        assert_eq!(c.l1.size_bytes, 128 * 1024);
+        assert_eq!(c.l1.ways, 4);
+        assert_eq!(c.l2.size_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.l2.ways, 16);
+        assert_eq!(c.dram.bytes_per_cycle, 768);
+        assert_eq!(c.dram.latency_cycles, 100);
+        assert_eq!(c.link.direction_bytes_per_cycle(), 64);
+        assert_eq!(c.link.latency_cycles, 128);
+    }
+
+    #[test]
+    fn scaled_gpu_multiplies_resources() {
+        let c = SystemConfig::hypothetical_scaled(4);
+        assert_eq!(c.num_sockets, 1);
+        assert_eq!(c.sm.sms_per_socket, 256);
+        assert_eq!(c.dram.bytes_per_cycle, 768 * 4);
+        assert_eq!(c.l2.size_bytes, 16 * 1024 * 1024);
+    }
+
+    #[test]
+    fn numa_aware_turns_on_both_mechanisms() {
+        let c = SystemConfig::numa_aware_sockets(4);
+        assert_eq!(c.link.mode, LinkMode::DynamicAsymmetric);
+        assert_eq!(c.cache_mode, CacheMode::NumaAwareDynamic);
+        assert_eq!(c.placement, PagePlacement::FirstTouch);
+        assert_eq!(c.cta_policy, CtaSchedulingPolicy::ContiguousBlock);
+    }
+
+    #[test]
+    fn zero_sockets_rejected() {
+        let mut c = SystemConfig::pascal_single();
+        c.num_sockets = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn bad_cache_geometry_rejected() {
+        let mut c = SystemConfig::pascal_single();
+        c.l2.size_bytes = 1000; // not a multiple of 128*16
+        assert!(c.validate().is_err());
+        let mut c = SystemConfig::pascal_single();
+        c.l1.ways = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn cache_mode_predicates() {
+        assert!(!CacheMode::MemSideLocalOnly.caches_remote());
+        assert!(CacheMode::StaticRemoteCache.caches_remote());
+        assert!(CacheMode::SharedCoherent.l2_needs_flush());
+        assert!(CacheMode::NumaAwareDynamic.l2_needs_flush());
+        assert!(!CacheMode::MemSideLocalOnly.l2_needs_flush());
+    }
+
+    #[test]
+    fn sets_geometry() {
+        let c = SystemConfig::pascal_single();
+        assert_eq!(c.l1.num_sets(), 128 * 1024 / (128 * 4));
+        assert_eq!(c.l2.num_sets(), 4 * 1024 * 1024 / (128 * 16));
+    }
+}

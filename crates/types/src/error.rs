@@ -1,0 +1,60 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Returned when a [`SystemConfig`](crate::SystemConfig) is internally
+/// inconsistent.
+///
+/// # Examples
+///
+/// ```
+/// use numa_gpu_types::SystemConfig;
+/// let mut cfg = SystemConfig::pascal_single();
+/// cfg.num_sockets = 0;
+/// let err = cfg.validate().unwrap_err();
+/// assert!(err.to_string().contains("num_sockets"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable description of what is invalid.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_describes() {
+        let e = ConfigError::new("ways must be nonzero");
+        assert_eq!(e.to_string(), "invalid configuration: ways must be nonzero");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<ConfigError>();
+    }
+}

@@ -1,0 +1,113 @@
+//! Small statistics helpers shared across subsystems.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A saturating event counter.
+///
+/// # Examples
+///
+/// ```
+/// use numa_gpu_types::Counter;
+/// let mut hits = Counter::default();
+/// hits.add(3);
+/// hits.inc();
+/// assert_eq!(hits.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 = self.0.saturating_add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A numerator/denominator pair reported as a fraction (hit rates,
+/// utilizations, efficiencies).
+///
+/// # Examples
+///
+/// ```
+/// use numa_gpu_types::Ratio;
+/// let r = Ratio::new(3, 4);
+/// assert!((r.value() - 0.75).abs() < 1e-12);
+/// assert_eq!(Ratio::new(1, 0).value(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Ratio {
+    /// Numerator.
+    pub num: u64,
+    /// Denominator.
+    pub den: u64,
+}
+
+impl Ratio {
+    /// Creates a ratio.
+    pub const fn new(num: u64, den: u64) -> Self {
+        Ratio { num, den }
+    }
+
+    /// The fraction `num/den`, or `0.0` when the denominator is zero.
+    #[inline]
+    pub fn value(self) -> f64 {
+        if self.den == 0 {
+            0.0
+        } else {
+            self.num as f64 / self.den as f64
+        }
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} ({}/{})", self.value(), self.num, self.den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn ratio_display() {
+        assert_eq!(Ratio::new(1, 2).to_string(), "0.5000 (1/2)");
+    }
+
+    #[test]
+    fn zero_denominator_is_zero() {
+        assert_eq!(Ratio::new(5, 0).value(), 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Simulation time base.
+//!
+//! The simulator accounts time in integer **ticks**. One GPU clock cycle is
+//! [`TICKS_PER_CYCLE`] ticks, so sub-cycle bandwidth occupancies (e.g. a
+//! 128 B line on a 768 B/cycle DRAM interface occupies 1/6 of a cycle) are
+//! represented exactly without floating point drift.
+
+/// A point in simulated time, measured in ticks.
+///
+/// `Tick` is a plain `u64` alias rather than a newtype: nearly every
+/// arithmetic expression in the simulator mixes ticks with tick deltas, and
+/// the paper-facing unit (cycles) is converted at the edges via
+/// [`cycles_to_ticks`] / [`ticks_to_cycles`].
+pub type Tick = u64;
+
+/// Number of ticks per GPU clock cycle (1 GHz in the paper's Table 1).
+///
+/// 1024 is a power of two so cycle↔tick conversions are shifts.
+pub const TICKS_PER_CYCLE: u64 = 1024;
+
+/// Converts a cycle count to ticks.
+///
+/// # Examples
+///
+/// ```
+/// use numa_gpu_types::{cycles_to_ticks, TICKS_PER_CYCLE};
+/// assert_eq!(cycles_to_ticks(100), 100 * TICKS_PER_CYCLE);
+/// ```
+#[inline]
+pub const fn cycles_to_ticks(cycles: u64) -> Tick {
+    cycles * TICKS_PER_CYCLE
+}
+
+/// Converts ticks to whole cycles, rounding down.
+///
+/// # Examples
+///
+/// ```
+/// use numa_gpu_types::{ticks_to_cycles, TICKS_PER_CYCLE};
+/// assert_eq!(ticks_to_cycles(TICKS_PER_CYCLE * 3 + 1), 3);
+/// ```
+#[inline]
+pub const fn ticks_to_cycles(ticks: Tick) -> u64 {
+    ticks / TICKS_PER_CYCLE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_whole_cycles() {
+        for c in [0u64, 1, 7, 100, 1_000_000] {
+            assert_eq!(ticks_to_cycles(cycles_to_ticks(c)), c);
+        }
+    }
+
+    #[test]
+    fn ticks_per_cycle_is_power_of_two() {
+        assert!(TICKS_PER_CYCLE.is_power_of_two());
+    }
+
+    #[test]
+    fn partial_cycles_round_down() {
+        assert_eq!(ticks_to_cycles(TICKS_PER_CYCLE - 1), 0);
+        assert_eq!(ticks_to_cycles(TICKS_PER_CYCLE), 1);
+    }
+}

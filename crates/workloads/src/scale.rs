@@ -1,0 +1,121 @@
+//! Uniform down-scaling of workloads for tractable simulation.
+
+/// Scale factors applied to every catalog workload.
+///
+/// The paper's traces run minutes on a production simulator; these knobs
+/// shrink grids, footprints, and per-warp trace lengths proportionally so a
+/// full 41-benchmark sweep finishes in minutes on a laptop while preserving
+/// each workload's communication structure.
+///
+/// # Examples
+///
+/// ```
+/// use numa_gpu_workloads::Scale;
+///
+/// let s = Scale::full();
+/// assert!(s.max_ctas >= Scale::quick().max_ctas);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Divide paper CTA counts by this (then clamp).
+    pub cta_divisor: u32,
+    /// Minimum simulated CTAs per kernel.
+    pub min_ctas: u32,
+    /// Maximum simulated CTAs per kernel.
+    pub max_ctas: u32,
+    /// Divide paper footprints (MB) by this to get simulated MB (then
+    /// clamp to at least 2 MB).
+    pub footprint_divisor: u64,
+    /// Multiplier (percent) on per-warp trace length; 100 = archetype
+    /// default.
+    pub ops_percent: u32,
+}
+
+impl Scale {
+    /// The scale used for the committed experiment results: big enough that
+    /// caches, links, and DRAM all operate in their paper-like regimes.
+    pub const fn full() -> Self {
+        Scale {
+            cta_divisor: 4,
+            min_ctas: 48,
+            max_ctas: 3072,
+            footprint_divisor: 24,
+            ops_percent: 100,
+        }
+    }
+
+    /// A much smaller scale for unit tests and Criterion benches.
+    pub const fn quick() -> Self {
+        Scale {
+            cta_divisor: 64,
+            min_ctas: 16,
+            max_ctas: 128,
+            footprint_divisor: 96,
+            ops_percent: 25,
+        }
+    }
+
+    /// Scaled CTA count from a paper CTA count.
+    pub fn ctas(&self, paper_ctas: u64) -> u32 {
+        let scaled = (paper_ctas / self.cta_divisor as u64).max(1) as u32;
+        scaled.clamp(self.min_ctas, self.max_ctas)
+    }
+
+    /// Scaled footprint in bytes from a paper footprint in MB.
+    ///
+    /// Small footprints are preserved rather than scaled: shrinking a hot
+    /// shared structure below a few hundred 64 KiB pages would concentrate
+    /// it on one socket under first-touch and manufacture a hotspot the
+    /// real benchmark does not have.
+    pub fn footprint_bytes(&self, paper_mb: u64) -> u64 {
+        let scaled = paper_mb / self.footprint_divisor;
+        let floor = paper_mb.min(48).max(2);
+        scaled.max(floor).min(256) * 1024 * 1024
+    }
+
+    /// Scaled per-warp op count from an archetype default.
+    pub fn ops(&self, default_ops: u32) -> u32 {
+        (default_ops * self.ops_percent / 100).max(4)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctas_clamp_both_ends() {
+        let s = Scale::full();
+        assert_eq!(s.ctas(1), 48);
+        assert_eq!(s.ctas(241_549), 3072);
+        assert_eq!(s.ctas(4096), 1024);
+    }
+
+    #[test]
+    fn footprint_preserves_small_and_caps_large() {
+        let s = Scale::full();
+        assert_eq!(s.footprint_bytes(8), 8 * 1024 * 1024); // preserved
+        assert_eq!(s.footprint_bytes(19), 19 * 1024 * 1024); // preserved
+        assert_eq!(s.footprint_bytes(200), 48 * 1024 * 1024); // floored at 48
+        assert_eq!(s.footprint_bytes(3744), 156 * 1024 * 1024); // scaled
+        assert_eq!(s.footprint_bytes(100_000), 256 * 1024 * 1024); // capped
+    }
+
+    #[test]
+    fn ops_scale_has_floor() {
+        let s = Scale::quick();
+        assert_eq!(s.ops(64), 16);
+        assert_eq!(s.ops(4), 4);
+    }
+
+    #[test]
+    fn default_is_full() {
+        assert_eq!(Scale::default(), Scale::full());
+    }
+}

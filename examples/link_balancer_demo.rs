@@ -1,0 +1,67 @@
+//! Drive one GPU↔switch link directly with synthetic traffic to watch the
+//! §4 load balancer turn lanes — no full system needed. Useful for
+//! understanding the mechanism in isolation.
+//!
+//! ```text
+//! cargo run --release --example link_balancer_demo
+//! ```
+
+use numa_gpu::interconnect::{GpuLink, LinkDirection};
+use numa_gpu::types::{cycles_to_ticks, LinkConfig, LinkMode, SATURATION_THRESHOLD};
+
+fn main() {
+    let cfg = LinkConfig {
+        lanes_per_direction: 8,
+        lane_bytes_per_cycle: 8,
+        latency_cycles: 128,
+        switch_time_cycles: 100,
+        sample_time_cycles: 5_000,
+        mode: LinkMode::DynamicAsymmetric,
+    };
+    let mut link = GpuLink::new(&cfg);
+    link.enable_timeline();
+
+    println!("phase 1: egress-only traffic (a remote-write burst, e.g. a reduction)");
+    run_phase(&mut link, 0, 20, 1.5, 0.0);
+    println!("\nphase 2: balanced traffic (both directions near saturation)");
+    run_phase(&mut link, 20, 40, 1.2, 1.2);
+    println!("\nphase 3: ingress-only traffic (remote-read responses streaming in)");
+    run_phase(&mut link, 40, 60, 0.0, 1.5);
+
+    let s = link.stats();
+    println!(
+        "\ntotals: {} lane turns, {} equalizations, {} B egress, {} B ingress",
+        s.lane_turns.get(),
+        s.equalizations.get(),
+        s.egress_bytes.get(),
+        s.ingress_bytes.get()
+    );
+}
+
+/// Injects `demand × capacity` traffic per direction for sampling windows
+/// `[from, to)` and prints the balancer's reaction each window.
+fn run_phase(link: &mut GpuLink, from: u64, to: u64, egress_demand: f64, ingress_demand: f64) {
+    let window = 5_000u64; // cycles per sample
+    for w in from..to {
+        let start = cycles_to_ticks(w * window);
+        // Offered load in 128-byte packets against the symmetric capacity.
+        let packets = |demand: f64| (demand * 64.0 * window as f64 / 128.0) as u64;
+        for i in 0..packets(egress_demand) {
+            let t = start + cycles_to_ticks(i * window / packets(egress_demand).max(1));
+            link.send(t, LinkDirection::Egress, 128);
+        }
+        for i in 0..packets(ingress_demand) {
+            let t = start + cycles_to_ticks(i * window / packets(ingress_demand).max(1));
+            link.send(t, LinkDirection::Ingress, 128);
+        }
+        let end = cycles_to_ticks((w + 1) * window);
+        let action = link.sample_and_rebalance(end, SATURATION_THRESHOLD);
+        if w % 4 == 0 || format!("{action:?}") != "Hold" {
+            println!(
+                "  window {w:>3}: egress {:>2} lanes, ingress {:>2} lanes  -> {action:?}",
+                link.lanes(LinkDirection::Egress),
+                link.lanes(LinkDirection::Ingress),
+            );
+        }
+    }
+}

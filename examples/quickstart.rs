@@ -1,0 +1,66 @@
+//! Quickstart: simulate one workload on a single GPU, a 4-socket NUMA GPU
+//! with and without the paper's NUMA-aware mechanisms, and the hypothetical
+//! 4×-larger GPU.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload-name]
+//! ```
+
+use numa_gpu::core::run_workload;
+use numa_gpu::types::SystemConfig;
+use numa_gpu::workloads::{by_name, Scale, WORKLOAD_NAMES};
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Rodinia-Euler3D".to_string());
+    let Some(workload) = by_name(&name, &Scale::quick()) else {
+        eprintln!("unknown workload `{name}`; choose one of:");
+        for n in WORKLOAD_NAMES {
+            eprintln!("  {n}");
+        }
+        std::process::exit(2);
+    };
+
+    println!(
+        "workload: {} ({} kernels, {} MiB footprint, Table 2: {} CTAs / {} MB)",
+        workload.meta.name,
+        workload.kernels.len(),
+        workload.footprint_bytes >> 20,
+        workload.meta.paper_avg_ctas,
+        workload.meta.paper_footprint_mb,
+    );
+
+    let single = run_workload(SystemConfig::pascal_single(), &workload).expect("valid config");
+    println!(
+        "single GPU                : {:>10} cycles (baseline)",
+        single.total_cycles
+    );
+
+    let baseline4 = run_workload(SystemConfig::numa_sockets(4), &workload).expect("valid config");
+    println!(
+        "4-socket, SW locality only: {:>10} cycles ({:.2}x, {:.0}% reads remote)",
+        baseline4.total_cycles,
+        baseline4.speedup_over(&single),
+        100.0 * baseline4.remote_read_fraction
+    );
+
+    let aware4 = run_workload(SystemConfig::numa_aware_sockets(4), &workload).expect("valid config");
+    println!(
+        "4-socket, NUMA-aware      : {:>10} cycles ({:.2}x, {} lane turns, {:.1} W links)",
+        aware4.total_cycles,
+        aware4.speedup_over(&single),
+        aware4.lane_turns(),
+        aware4.link_power_w
+    );
+
+    let hypo = run_workload(SystemConfig::hypothetical_scaled(4), &workload).expect("valid config");
+    println!(
+        "hypothetical 4x single GPU: {:>10} cycles ({:.2}x, theoretical ceiling)",
+        hypo.total_cycles,
+        hypo.speedup_over(&single)
+    );
+
+    let eff = 100.0 * aware4.speedup_over(&single) / hypo.speedup_over(&single).max(1e-9);
+    println!("NUMA-aware efficiency vs theoretical scaling: {eff:.0}%");
+}

@@ -1,0 +1,198 @@
+//! Command-line front end: run one catalog workload on one configuration.
+//!
+//! ```text
+//! simulate --workload Rodinia-Euler3D [--sockets N] [--quick|--full]
+//!          [--cache memside|static|shared|numa-aware]
+//!          [--link static|dynamic|2x]
+//!          [--placement fine|page|first-touch]
+//!          [--cta interleave|contiguous]
+//!          [--baseline]            # also run the single-GPU baseline
+//!          [--timeline]            # print the link utilization timeline
+//!          [--dump-trace FILE]     # record the workload's kernels as text traces
+//!          [--from-trace FILE]     # run a recorded trace instead of a catalog workload
+//! ```
+
+use numa_gpu::core::NumaGpuSystem;
+use numa_gpu::runtime::Kernel as _;
+use numa_gpu::types::{
+    CacheMode, CtaSchedulingPolicy, LinkMode, PagePlacement, SystemConfig,
+};
+use numa_gpu::workloads::{by_name, Scale, WORKLOAD_NAMES};
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n");
+    eprintln!(
+        "usage: simulate --workload NAME [--sockets N] [--quick|--full] \
+         [--cache memside|static|shared|numa-aware] [--link static|dynamic|2x] \
+         [--placement fine|page|first-touch] [--cta interleave|contiguous] \
+         [--baseline] [--timeline]"
+    );
+    eprintln!("\nworkloads:");
+    for n in WORKLOAD_NAMES {
+        eprintln!("  {n}");
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload_name = None;
+    let mut sockets: u8 = 4;
+    let mut scale = Scale::full();
+    let mut cache = CacheMode::NumaAwareDynamic;
+    let mut link = LinkMode::DynamicAsymmetric;
+    let mut placement = PagePlacement::FirstTouch;
+    let mut cta = CtaSchedulingPolicy::ContiguousBlock;
+    let mut baseline = false;
+    let mut timeline = false;
+    let mut dump_trace: Option<String> = None;
+    let mut from_trace: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--workload" => workload_name = Some(value("--workload")),
+            "--sockets" => {
+                sockets = value("--sockets")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--sockets must be 1..=16"));
+            }
+            "--quick" => scale = Scale::quick(),
+            "--full" => scale = Scale::full(),
+            "--cache" => {
+                cache = match value("--cache").as_str() {
+                    "memside" => CacheMode::MemSideLocalOnly,
+                    "static" => CacheMode::StaticRemoteCache,
+                    "shared" => CacheMode::SharedCoherent,
+                    "numa-aware" => CacheMode::NumaAwareDynamic,
+                    other => usage(&format!("unknown cache mode `{other}`")),
+                }
+            }
+            "--link" => {
+                link = match value("--link").as_str() {
+                    "static" => LinkMode::StaticSymmetric,
+                    "dynamic" => LinkMode::DynamicAsymmetric,
+                    "2x" => LinkMode::DoubleBandwidth,
+                    other => usage(&format!("unknown link mode `{other}`")),
+                }
+            }
+            "--placement" => {
+                placement = match value("--placement").as_str() {
+                    "fine" => PagePlacement::FineInterleave,
+                    "page" => PagePlacement::PageInterleave,
+                    "first-touch" => PagePlacement::FirstTouch,
+                    other => usage(&format!("unknown placement `{other}`")),
+                }
+            }
+            "--cta" => {
+                cta = match value("--cta").as_str() {
+                    "interleave" => CtaSchedulingPolicy::Interleave,
+                    "contiguous" => CtaSchedulingPolicy::ContiguousBlock,
+                    other => usage(&format!("unknown CTA policy `{other}`")),
+                }
+            }
+            "--baseline" => baseline = true,
+            "--timeline" => timeline = true,
+            "--dump-trace" => dump_trace = Some(value("--dump-trace")),
+            "--from-trace" => from_trace = Some(value("--from-trace")),
+            other => usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let workload = if let Some(path) = &from_trace {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read trace: {e}")));
+        let kernels = numa_gpu::runtime::RecordedKernel::parse_all(&text)
+            .unwrap_or_else(|e| usage(&e.to_string()));
+        if kernels.is_empty() {
+            usage("trace file contains no kernels");
+        }
+        let total_ops: u64 = kernels.iter().map(|k| k.total_ops()).sum();
+        numa_gpu::runtime::Workload {
+            meta: numa_gpu::runtime::WorkloadMeta {
+                name: format!("trace:{path}"),
+                suite: numa_gpu::runtime::Suite::Other,
+                paper_avg_ctas: kernels[0].num_ctas() as u64,
+                paper_footprint_mb: 0,
+                study_set: false,
+            },
+            footprint_bytes: total_ops * 128,
+            kernels: kernels
+                .into_iter()
+                .map(|k| std::sync::Arc::new(k) as std::sync::Arc<dyn numa_gpu::runtime::Kernel>)
+                .collect(),
+        }
+    } else {
+        let Some(name) = workload_name else {
+            usage("--workload or --from-trace is required");
+        };
+        let Some(workload) = by_name(&name, &scale) else {
+            usage(&format!("unknown workload `{name}`"));
+        };
+        workload
+    };
+
+    if let Some(path) = &dump_trace {
+        let mut out = String::new();
+        for kernel in &workload.kernels {
+            let recorded = numa_gpu::runtime::RecordedKernel::record(kernel.as_ref());
+            out.push_str(&recorded.to_text());
+        }
+        std::fs::write(path, out).unwrap_or_else(|e| usage(&format!("cannot write trace: {e}")));
+        eprintln!("wrote {} kernel trace(s) to {path}", workload.kernels.len());
+    }
+
+    let mut cfg = SystemConfig::numa_sockets(sockets);
+    cfg.cache_mode = cache;
+    cfg.link.mode = link;
+    cfg.placement = placement;
+    cfg.cta_policy = cta;
+    cfg.validate().unwrap_or_else(|e| usage(&e.to_string()));
+
+    let mut sys = NumaGpuSystem::new(cfg).expect("validated above");
+    if timeline {
+        sys.enable_link_timeline();
+    }
+    let report = sys.run(&workload);
+    println!("{report}");
+    for (i, s) in report.sockets.iter().enumerate() {
+        println!(
+            "  GPU{i}: egress {:>6} KiB, ingress {:>6} KiB, dram {:>6} KiB, L2 hit {:.1}%, lane turns {}{}",
+            s.egress_bytes >> 10,
+            s.ingress_bytes >> 10,
+            s.dram_bytes >> 10,
+            100.0 * s.l2.hit_rate(),
+            s.lane_turns,
+            match s.l2_partition {
+                Some((l, r)) => format!(", L2 ways {l}L/{r}R"),
+                None => String::new(),
+            }
+        );
+    }
+    if timeline {
+        println!("\ncycle,gpu,egress_util,ingress_util,egress_lanes,ingress_lanes");
+        for (g, tl) in report.link_timelines.iter().enumerate() {
+            for s in tl {
+                println!(
+                    "{},{},{:.3},{:.3},{},{}",
+                    s.cycle, g, s.egress_util, s.ingress_util, s.egress_lanes, s.ingress_lanes
+                );
+            }
+        }
+    }
+
+    if baseline {
+        let single = numa_gpu::core::run_workload(SystemConfig::pascal_single(), &workload)
+            .expect("baseline config is valid");
+        println!("\nbaseline {single}");
+        println!(
+            "speedup vs single GPU: {:.2}x",
+            report.speedup_over(&single)
+        );
+    }
+}
