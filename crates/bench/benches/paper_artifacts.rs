@@ -1,4 +1,4 @@
-//! Criterion benches: one target per paper table/figure.
+//! Paper-artifact benches: one target per paper table/figure.
 //!
 //! Each target times the exact simulator code path that its artifact
 //! exercises, on a *single representative workload* at the reduced CI
@@ -6,10 +6,11 @@
 //! keeps `cargo bench` laptop-sized while still regression-testing every
 //! experiment configuration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use numa_gpu_bench::{configs, experiments, Runner};
 use numa_gpu_core::run_workload;
 use numa_gpu_runtime::Workload;
+use numa_gpu_testkit::bench::{Bench, Group};
+use numa_gpu_testkit::{bench_group, bench_main};
 use numa_gpu_types::{CacheMode, WritePolicy};
 use numa_gpu_workloads::{by_name, Scale};
 use std::time::Duration;
@@ -18,7 +19,7 @@ fn wl(name: &str) -> Workload {
     by_name(name, &Scale::quick()).expect("catalog workload")
 }
 
-fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn group<'a>(c: &'a mut Bench, name: &str) -> Group<'a> {
     let mut g = c.benchmark_group(name);
     g.sample_size(10);
     g.warm_up_time(Duration::from_millis(500));
@@ -27,14 +28,14 @@ fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, 
 }
 
 /// Table 1: configuration construction + validation (pure CPU).
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1(c: &mut Bench) {
     let mut g = group(c, "table1");
     g.bench_function("table1_config", |b| b.iter(experiments::table1));
     g.finish();
 }
 
 /// Table 2: building the whole 41-workload catalog.
-fn bench_table2(c: &mut Criterion) {
+fn bench_table2(c: &mut Bench) {
     let mut g = group(c, "table2");
     g.bench_function("table2_catalog", |b| {
         b.iter(|| experiments::table2(&Runner::new(Scale::quick())))
@@ -43,7 +44,7 @@ fn bench_table2(c: &mut Criterion) {
 }
 
 /// Figure 2: occupancy sweep over the catalog metadata.
-fn bench_fig2(c: &mut Criterion) {
+fn bench_fig2(c: &mut Bench) {
     let mut g = group(c, "fig2");
     g.bench_function("fig2_occupancy", |b| {
         b.iter(|| experiments::fig2(&Runner::new(Scale::quick())))
@@ -52,7 +53,7 @@ fn bench_fig2(c: &mut Criterion) {
 }
 
 /// Figure 3: traditional vs locality runtime on one streaming workload.
-fn bench_fig3(c: &mut Criterion) {
+fn bench_fig3(c: &mut Bench) {
     let w = wl("Other-Stream-Triad");
     let mut g = group(c, "fig3");
     g.bench_function("fig3_locality", |b| {
@@ -66,19 +67,17 @@ fn bench_fig3(c: &mut Criterion) {
 }
 
 /// Figure 5: timeline-recording run of the HPGMG proxy.
-fn bench_fig5(c: &mut Criterion) {
+fn bench_fig5(c: &mut Bench) {
     let w = wl("HPC-HPGMG-UVM");
     let mut g = group(c, "fig5");
     g.bench_function("fig5_linktrace", |b| {
-        b.iter(|| {
-            numa_gpu_core::run_workload_with_timeline(configs::locality(4), &w).unwrap()
-        })
+        b.iter(|| numa_gpu_core::run_workload_with_timeline(configs::locality(4), &w).unwrap())
     });
     g.finish();
 }
 
 /// Figure 6: dynamic link adaptivity on the reduction-phased workload.
-fn bench_fig6(c: &mut Criterion) {
+fn bench_fig6(c: &mut Bench) {
     let w = wl("HPC-HPGMG-UVM");
     let mut g = group(c, "fig6");
     g.bench_function("fig6_dynlink", |b| {
@@ -88,7 +87,7 @@ fn bench_fig6(c: &mut Criterion) {
 }
 
 /// §4.1 sensitivity: 500-cycle lane turns.
-fn bench_fig6_sens(c: &mut Criterion) {
+fn bench_fig6_sens(c: &mut Bench) {
     let w = wl("HPC-HPGMG-UVM");
     let mut cfg = configs::dynamic_link(4, 5_000);
     cfg.link.switch_time_cycles = 500;
@@ -100,7 +99,7 @@ fn bench_fig6_sens(c: &mut Criterion) {
 }
 
 /// Figure 8: the four cache organizations on the lookup-table workload.
-fn bench_fig8(c: &mut Criterion) {
+fn bench_fig8(c: &mut Bench) {
     let w = wl("HPC-RSBench");
     let mut g = group(c, "fig8");
     for (label, mode) in [
@@ -117,7 +116,7 @@ fn bench_fig8(c: &mut Criterion) {
 }
 
 /// Figure 9: invalidation-free L2 upper bound.
-fn bench_fig9(c: &mut Criterion) {
+fn bench_fig9(c: &mut Bench) {
     let w = wl("Rodinia-Euler3D");
     let mut ideal = configs::cache(4, CacheMode::NumaAwareDynamic);
     ideal.ideal_no_l2_invalidate = true;
@@ -129,7 +128,7 @@ fn bench_fig9(c: &mut Criterion) {
 }
 
 /// §5.2 sensitivity: write-through L2.
-fn bench_fig9_wb(c: &mut Criterion) {
+fn bench_fig9_wb(c: &mut Bench) {
     let w = wl("Rodinia-Euler3D");
     let mut wt = configs::cache(4, CacheMode::NumaAwareDynamic);
     wt.l2.write_policy = WritePolicy::WriteThrough;
@@ -141,7 +140,7 @@ fn bench_fig9_wb(c: &mut Criterion) {
 }
 
 /// Figure 10: the combined design.
-fn bench_fig10(c: &mut Criterion) {
+fn bench_fig10(c: &mut Bench) {
     let w = wl("HPC-CoMD");
     let mut g = group(c, "fig10");
     g.bench_function("fig10_combined", |b| {
@@ -151,7 +150,7 @@ fn bench_fig10(c: &mut Criterion) {
 }
 
 /// Figure 11: 8-socket scalability plus the 8× hypothetical ceiling.
-fn bench_fig11(c: &mut Criterion) {
+fn bench_fig11(c: &mut Bench) {
     let w = wl("HPC-MiniAMR");
     let mut g = group(c, "fig11");
     g.bench_function("fig11_scalability_8s", |b| {
@@ -164,7 +163,7 @@ fn bench_fig11(c: &mut Criterion) {
 }
 
 /// §6 power model arithmetic.
-fn bench_power(c: &mut Criterion) {
+fn bench_power(c: &mut Bench) {
     let mut g = group(c, "power");
     g.bench_function("power_model", |b| {
         b.iter(|| numa_gpu_core::power::average_link_power_w(123_456_789, 1_000_000))
@@ -173,7 +172,7 @@ fn bench_power(c: &mut Criterion) {
 }
 
 /// Ablation: NUMA-aware with L1 partitioning disabled.
-fn bench_ablations(c: &mut Criterion) {
+fn bench_ablations(c: &mut Bench) {
     let w = wl("HPC-CoMD-Ta");
     let mut cfg = configs::numa_aware(4);
     cfg.partition_l1 = false;
@@ -184,7 +183,7 @@ fn bench_ablations(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
+bench_group!(
     artifacts,
     bench_table1,
     bench_table2,
@@ -201,4 +200,4 @@ criterion_group!(
     bench_power,
     bench_ablations
 );
-criterion_main!(artifacts);
+bench_main!(artifacts);

@@ -2,15 +2,16 @@
 //! MSHRs, event queue, bandwidth resource, page table, balancer) — the
 //! structures whose per-event cost bounds overall simulation speed.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use numa_gpu_cache::{LineClass, MshrFile, PartitionController, SetAssocCache, WayPartition};
 use numa_gpu_engine::{EventQueue, ServiceQueue};
 use numa_gpu_interconnect::LinkBalancer;
 use numa_gpu_mem::PageTable;
+use numa_gpu_testkit::bench::{Bench, Group};
+use numa_gpu_testkit::{bench_group, bench_main};
 use numa_gpu_types::{Addr, CacheConfig, LineAddr, PagePlacement, SocketId, WritePolicy};
 use std::time::Duration;
 
-fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn group<'a>(c: &'a mut Bench, name: &str) -> Group<'a> {
     let mut g = c.benchmark_group(name);
     g.sample_size(20);
     g.warm_up_time(Duration::from_millis(300));
@@ -18,7 +19,7 @@ fn group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, 
     g
 }
 
-fn bench_cache(c: &mut Criterion) {
+fn bench_cache(c: &mut Bench) {
     let cfg = CacheConfig {
         size_bytes: 4 * 1024 * 1024,
         ways: 16,
@@ -49,7 +50,7 @@ fn bench_cache(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_mshr(c: &mut Criterion) {
+fn bench_mshr(c: &mut Bench) {
     let mut g = group(c, "substrate_mshr");
     g.bench_function("mshr_allocate_complete_4k", |b| {
         b.iter(|| {
@@ -67,7 +68,7 @@ fn bench_mshr(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_event_queue(c: &mut Criterion) {
+fn bench_event_queue(c: &mut Bench) {
     let mut g = group(c, "substrate_events");
     g.bench_function("event_queue_push_pop_100k", |b| {
         b.iter(|| {
@@ -85,7 +86,7 @@ fn bench_event_queue(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_service_queue(c: &mut Criterion) {
+fn bench_service_queue(c: &mut Bench) {
     let mut g = group(c, "substrate_bandwidth");
     g.bench_function("service_queue_1m_requests", |b| {
         b.iter(|| {
@@ -100,7 +101,7 @@ fn bench_service_queue(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_page_table(c: &mut Criterion) {
+fn bench_page_table(c: &mut Bench) {
     let mut g = group(c, "substrate_pages");
     g.bench_function("first_touch_1m_lookups", |b| {
         b.iter(|| {
@@ -116,7 +117,7 @@ fn bench_page_table(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_controllers(c: &mut Criterion) {
+fn bench_controllers(c: &mut Bench) {
     let mut g = group(c, "substrate_controllers");
     g.bench_function("partition_controller_100k_steps", |b| {
         b.iter(|| {
@@ -131,7 +132,12 @@ fn bench_controllers(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u64;
             for i in 0..1_000_000u64 {
-                let a = LinkBalancer::decide(i % 2 == 0, i % 3 == 0, (i % 15) as u8 + 1, 16 - ((i % 15) as u8 + 1));
+                let a = LinkBalancer::decide(
+                    i % 2 == 0,
+                    i % 3 == 0,
+                    (i % 15) as u8 + 1,
+                    16 - ((i % 15) as u8 + 1),
+                );
                 acc += a as u64;
             }
             acc
@@ -140,7 +146,7 @@ fn bench_controllers(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
+bench_group!(
     micro,
     bench_cache,
     bench_mshr,
@@ -149,4 +155,4 @@ criterion_group!(
     bench_page_table,
     bench_controllers
 );
-criterion_main!(micro);
+bench_main!(micro);

@@ -31,7 +31,9 @@ fn main() {
         let base = run_workload(configs::locality(4), &wl).unwrap();
         let aware = run_workload(configs::numa_aware(4), &wl).unwrap();
         let mut mig = configs::numa_aware(4);
-        mig.placement = PagePlacement::FirstTouchMigrate { migrate_threshold: 64 };
+        mig.placement = PagePlacement::FirstTouchMigrate {
+            migrate_threshold: 64,
+        };
         let mig_r = run_workload(mig, &wl).unwrap();
         let mut m1 = configs::numa_aware(4);
         m1.sm.max_pending_loads = 1;

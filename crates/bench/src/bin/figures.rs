@@ -17,8 +17,20 @@ use std::io::Write;
 use std::time::Instant;
 
 const ALL: [&str; 14] = [
-    "table1", "table2", "fig2", "fig3", "fig5", "fig6", "fig6-sens", "fig8", "fig9", "fig9-wb",
-    "fig10", "fig11", "power", "ablations",
+    "table1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig6-sens",
+    "fig8",
+    "fig9",
+    "fig9-wb",
+    "fig10",
+    "fig11",
+    "power",
+    "ablations",
 ];
 
 fn main() {
@@ -79,6 +91,10 @@ fn main() {
             let mut f = std::fs::File::create(&path).expect("create artifact file");
             f.write_all(text.as_bytes()).expect("write artifact");
         }
-        eprintln!("<<< {name} done in {:.1?} ({} sims so far)", t0.elapsed(), runner.runs());
+        eprintln!(
+            "<<< {name} done in {:.1?} ({} sims so far)",
+            t0.elapsed(),
+            runner.runs()
+        );
     }
 }

@@ -1,8 +1,6 @@
 //! Named system configurations used across the experiments.
 
-use numa_gpu_types::{
-    CacheMode, CtaSchedulingPolicy, LinkMode, PagePlacement, SystemConfig,
-};
+use numa_gpu_types::{CacheMode, CtaSchedulingPolicy, LinkMode, PagePlacement, SystemConfig};
 
 /// The single-GPU baseline every speedup is measured against.
 pub fn single() -> SystemConfig {

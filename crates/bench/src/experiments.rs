@@ -158,8 +158,8 @@ pub fn fig3(runner: &mut Runner) -> Table {
 /// (`cycle,gpu,egress_util,ingress_util,egress_lanes`) plus kernel-launch
 /// marker rows (`kernel_start` lines).
 pub fn fig5(runner: &mut Runner) -> String {
-    let wl = numa_gpu_workloads::by_name("HPC-HPGMG-UVM", runner.scale())
-        .expect("HPGMG-UVM exists");
+    let wl =
+        numa_gpu_workloads::by_name("HPC-HPGMG-UVM", runner.scale()).expect("HPGMG-UVM exists");
     let r = runner.report_with_timeline("loc4", configs::locality(4), &wl);
     let mut csv = String::from("cycle,gpu,egress_util,ingress_util,egress_lanes,ingress_lanes\n");
     for (g, timeline) in r.link_timelines.iter().enumerate() {
@@ -220,7 +220,10 @@ pub fn fig6_switch_sensitivity(runner: &mut Runner) -> Table {
             let r = runner.report(&format!("dyn4-sw{sw}"), cfg, &wl);
             speedups.push(r.speedup_over(&base));
         }
-        t.push(Row::new(format!("switch-{sw}-cycles"), vec![geomean(&speedups)]));
+        t.push(Row::new(
+            format!("switch-{sw}-cycles"),
+            vec![geomean(&speedups)],
+        ));
     }
     t
 }
@@ -357,7 +360,13 @@ pub fn fig10(runner: &mut Runner) -> Table {
     });
     let mut t = Table::new(
         "Figure 10: combined NUMA-aware GPU (speedup vs 1 GPU)",
-        &["SW-baseline", "dyn-link", "numa-cache", "combined", "hypo-4x"],
+        &[
+            "SW-baseline",
+            "dyn-link",
+            "numa-cache",
+            "combined",
+            "hypo-4x",
+        ],
     );
     for r in rows {
         t.push(r);
@@ -438,72 +447,48 @@ pub fn ablations(runner: &mut Runner) -> Table {
     );
     let variants: Vec<(&str, SystemConfig)> = vec![
         ("aware4", configs::numa_aware(4)),
-        (
-            "aware-no-l1-partition",
-            {
-                let mut c = configs::numa_aware(4);
-                c.partition_l1 = false;
-                c
-            },
-        ),
-        (
-            "aware-sample-1k",
-            {
-                let mut c = configs::numa_aware(4);
-                c.cache_sample_time_cycles = 1_000;
-                c
-            },
-        ),
-        (
-            "aware-sample-20k",
-            {
-                let mut c = configs::numa_aware(4);
-                c.cache_sample_time_cycles = 20_000;
-                c
-            },
-        ),
-        (
-            "aware-page-interleave",
-            {
-                let mut c = configs::numa_aware(4);
-                c.placement = numa_gpu_types::PagePlacement::PageInterleave;
-                c
-            },
-        ),
-        (
-            "aware-cta-interleave",
-            {
-                let mut c = configs::numa_aware(4);
-                c.cta_policy = numa_gpu_types::CtaSchedulingPolicy::Interleave;
-                c
-            },
-        ),
-        (
-            "aware-page-migration",
-            {
-                let mut c = configs::numa_aware(4);
-                c.placement = numa_gpu_types::PagePlacement::FirstTouchMigrate {
-                    migrate_threshold: 64,
-                };
-                c
-            },
-        ),
-        (
-            "aware-mlp-1",
-            {
-                let mut c = configs::numa_aware(4);
-                c.sm.max_pending_loads = 1;
-                c
-            },
-        ),
-        (
-            "aware-mlp-8",
-            {
-                let mut c = configs::numa_aware(4);
-                c.sm.max_pending_loads = 8;
-                c
-            },
-        ),
+        ("aware-no-l1-partition", {
+            let mut c = configs::numa_aware(4);
+            c.partition_l1 = false;
+            c
+        }),
+        ("aware-sample-1k", {
+            let mut c = configs::numa_aware(4);
+            c.cache_sample_time_cycles = 1_000;
+            c
+        }),
+        ("aware-sample-20k", {
+            let mut c = configs::numa_aware(4);
+            c.cache_sample_time_cycles = 20_000;
+            c
+        }),
+        ("aware-page-interleave", {
+            let mut c = configs::numa_aware(4);
+            c.placement = numa_gpu_types::PagePlacement::PageInterleave;
+            c
+        }),
+        ("aware-cta-interleave", {
+            let mut c = configs::numa_aware(4);
+            c.cta_policy = numa_gpu_types::CtaSchedulingPolicy::Interleave;
+            c
+        }),
+        ("aware-page-migration", {
+            let mut c = configs::numa_aware(4);
+            c.placement = numa_gpu_types::PagePlacement::FirstTouchMigrate {
+                migrate_threshold: 64,
+            };
+            c
+        }),
+        ("aware-mlp-1", {
+            let mut c = configs::numa_aware(4);
+            c.sm.max_pending_loads = 1;
+            c
+        }),
+        ("aware-mlp-8", {
+            let mut c = configs::numa_aware(4);
+            c.sm.max_pending_loads = 8;
+            c
+        }),
     ];
     for (label, cfg) in variants {
         let mut speedups = Vec::new();

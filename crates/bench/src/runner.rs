@@ -61,7 +61,12 @@ impl Runner {
     ///
     /// Panics if the configuration fails validation (experiment configs are
     /// all statically valid).
-    pub fn report(&mut self, label: &str, cfg: SystemConfig, workload: &Workload) -> Arc<SimReport> {
+    pub fn report(
+        &mut self,
+        label: &str,
+        cfg: SystemConfig,
+        workload: &Workload,
+    ) -> Arc<SimReport> {
         let key = (label.to_string(), workload.meta.name.clone());
         if let Some(r) = self.cache.get(&key) {
             return r.clone();
@@ -90,8 +95,9 @@ impl Runner {
         if self.verbose {
             eprintln!("  sim [{label}+timeline] {}", workload.meta.name);
         }
-        let report =
-            Arc::new(run_workload_with_timeline(cfg, workload).expect("experiment config is valid"));
+        let report = Arc::new(
+            run_workload_with_timeline(cfg, workload).expect("experiment config is valid"),
+        );
         self.runs += 1;
         self.cache.insert(key, report.clone());
         report

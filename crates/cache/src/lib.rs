@@ -35,4 +35,6 @@ mod set_assoc;
 
 pub use controller::{PartitionAction, PartitionController};
 pub use mshr::{MshrAllocation, MshrFile};
-pub use set_assoc::{CacheStats, EvictedLine, FlushOutcome, LineClass, SetAssocCache, WayPartition};
+pub use set_assoc::{
+    CacheStats, EvictedLine, FlushOutcome, LineClass, SetAssocCache, WayPartition,
+};

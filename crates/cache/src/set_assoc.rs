@@ -434,13 +434,18 @@ impl SetAssocCache {
     /// Bulk software-coherence invalidation of every line matching `pred`.
     /// Returns the count invalidated plus the dirty lines needing
     /// writebacks.
-    pub fn invalidate_where(&mut self, mut pred: impl FnMut(LineAddr, LineClass) -> bool) -> FlushOutcome {
+    pub fn invalidate_where(
+        &mut self,
+        mut pred: impl FnMut(LineAddr, LineClass) -> bool,
+    ) -> FlushOutcome {
         let mut outcome = FlushOutcome::default();
         for slot in &mut self.array {
             if slot.valid && pred(LineAddr::from_index(slot.tag), slot.class) {
                 outcome.invalidated += 1;
                 if slot.dirty {
-                    outcome.dirty_writebacks.push(LineAddr::from_index(slot.tag));
+                    outcome
+                        .dirty_writebacks
+                        .push(LineAddr::from_index(slot.tag));
                 }
                 *slot = INVALID_WAY;
             }
@@ -528,7 +533,9 @@ mod tests {
         };
         let mut c = SetAssocCache::new(&c1, None);
         c.fill(line(3), LineClass::Remote, true);
-        let ev = c.fill(line(3 + c.num_sets()), LineClass::Local, false).unwrap();
+        let ev = c
+            .fill(line(3 + c.num_sets()), LineClass::Local, false)
+            .unwrap();
         assert!(ev.dirty);
         assert_eq!(ev.class, LineClass::Remote);
         assert_eq!(c.stats().dirty_evictions.get(), 1);

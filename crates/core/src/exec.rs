@@ -54,9 +54,12 @@ impl NumaGpuSystem {
                     fill_l2,
                 } => self.on_data_to_sm(t, sm, line, class, fill_l2),
                 Ev::L1Fill { sm, line, class } => self.on_l1_fill(t, sm, line, class),
-                Ev::WriteAtL2 { sm, slot, line, home } => {
-                    self.on_write_at_l2(t, sm, slot, line, home)
-                }
+                Ev::WriteAtL2 {
+                    sm,
+                    slot,
+                    line,
+                    home,
+                } => self.on_write_at_l2(t, sm, slot, line, home),
                 Ev::WriteAtHome { from, line, home } => self.on_write_at_home(t, from, line, home),
                 Ev::LinkSample => self.on_link_sample(t),
                 Ev::CacheSample => self.on_cache_sample(t),
@@ -120,7 +123,13 @@ impl NumaGpuSystem {
                             .wrapping_add(slot.index() as u64 * 40_503)
                             % 509;
                         let wake = t + cycles_to_ticks(DISPATCH_LATENCY_CYCLES + jitter);
-                        self.events.push(wake, Ev::WarpIssue { sm: sm as u32, slot });
+                        self.events.push(
+                            wake,
+                            Ev::WarpIssue {
+                                sm: sm as u32,
+                                slot,
+                            },
+                        );
                     }
                     placed = true;
                 }
@@ -198,13 +207,9 @@ impl NumaGpuSystem {
                                 // blocks until a fill wakes it.
                                 let st = &mut self.warp_mem[smi][slot.index()];
                                 st.outstanding += 1;
-                                if (st.outstanding as u32)
-                                    < self.cfg.sm.max_pending_loads as u32
-                                {
-                                    self.events.push(
-                                        issue + TICKS_PER_CYCLE,
-                                        Ev::WarpIssue { sm, slot },
-                                    );
+                                if (st.outstanding as u32) < self.cfg.sm.max_pending_loads as u32 {
+                                    self.events
+                                        .push(issue + TICKS_PER_CYCLE, Ev::WarpIssue { sm, slot });
                                 } else {
                                     st.blocked = true;
                                 }
@@ -269,7 +274,7 @@ impl NumaGpuSystem {
                 // Step 1: estimate incoming inter-GPU bandwidth from the
                 // outgoing read-request rate times the response packet size
                 // (avoids mistaking incoming writes for read pressure).
-                let resp_bytes = numa_gpu_types::LINE_SIZE as u64 + numa_gpu_types::HEADER_BYTES as u64;
+                let resp_bytes = numa_gpu_types::LINE_SIZE + numa_gpu_types::HEADER_BYTES as u64;
                 let est_incoming = self.remote_reads_window[s] * resp_bytes;
                 let capacity = self
                     .switch

@@ -47,8 +47,9 @@ impl NumaGpuSystem {
                 let outcome = match self.cfg.cache_mode {
                     // Only the GPU-side remote cache portion is coherent; the
                     // memory-side local portion needs no invalidation.
-                    CacheMode::StaticRemoteCache => self.l2s[s]
-                        .invalidate_where(|_, class| class == LineClass::Remote),
+                    CacheMode::StaticRemoteCache => {
+                        self.l2s[s].invalidate_where(|_, class| class == LineClass::Remote)
+                    }
                     _ => self.l2s[s].invalidate_all(),
                 };
                 for line in outcome.dirty_writebacks {

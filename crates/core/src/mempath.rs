@@ -94,9 +94,7 @@ impl NumaGpuSystem {
     /// Stage 4 (remote path): data travels back over the switch.
     pub(crate) fn on_read_return(&mut self, t: Tick, sm: u32, line: LineAddr, home: SocketId) {
         let socket = self.socket_of_sm(sm);
-        let arrive = self
-            .switch
-            .transfer(t, home, socket, DATA_PACKET_BYTES);
+        let arrive = self.switch.transfer(t, home, socket, DATA_PACKET_BYTES);
         self.push_mem(
             arrive,
             Ev::DataToSm {
@@ -131,10 +129,25 @@ impl NumaGpuSystem {
     /// The issuing warp is blocked until the store is *accepted* (absorbed
     /// locally or clear of the egress lanes) — finite store buffering, which
     /// gives the natural backpressure real SMs have.
-    pub(crate) fn start_write(&mut self, t: Tick, sm: u32, slot: WarpSlot, line: LineAddr, home: SocketId) {
+    pub(crate) fn start_write(
+        &mut self,
+        t: Tick,
+        sm: u32,
+        slot: WarpSlot,
+        line: LineAddr,
+        home: SocketId,
+    ) {
         let s = self.socket_of_sm(sm).index();
         let at_l2 = self.noc_req[s].service(t, DATA_PACKET_BYTES) + self.noc_latency;
-        self.push_mem(at_l2, Ev::WriteAtL2 { sm, slot, line, home });
+        self.push_mem(
+            at_l2,
+            Ev::WriteAtL2 {
+                sm,
+                slot,
+                line,
+                home,
+            },
+        );
     }
 
     /// Write stage 2: at the requester's L2 complex. Returns control to the
@@ -192,7 +205,13 @@ impl NumaGpuSystem {
 
     /// Write stage 3 (remote path): absorbed at the home socket; a small
     /// acknowledgment returns.
-    pub(crate) fn on_write_at_home(&mut self, t: Tick, from: SocketId, line: LineAddr, home: SocketId) {
+    pub(crate) fn on_write_at_home(
+        &mut self,
+        t: Tick,
+        from: SocketId,
+        line: LineAddr,
+        home: SocketId,
+    ) {
         let done = self.absorb_write_at_home(t, home, line);
         let ack = self.switch.transfer(t, home, from, REQ_BYTES);
         self.write_drain = self.write_drain.max(done.max(ack));

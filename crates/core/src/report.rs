@@ -2,9 +2,10 @@
 
 use numa_gpu_cache::CacheStats;
 use numa_gpu_interconnect::LinkSample;
+use numa_gpu_testkit::json::Json;
 
 /// Per-socket results of one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SocketReport {
     /// Bytes this socket sent toward the switch.
     pub egress_bytes: u64,
@@ -26,7 +27,7 @@ pub struct SocketReport {
 ///
 /// Speedups between configurations are ratios of [`SimReport::total_cycles`]
 /// ([`SimReport::speedup_over`]).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
     /// Workload name.
     pub workload: String,
@@ -90,6 +91,65 @@ impl SimReport {
     pub fn dram_bytes(&self) -> u64 {
         self.sockets.iter().map(|s| s.dram_bytes).sum()
     }
+
+    /// Machine-readable form of the report. Fields keep insertion order,
+    /// so the encoding of a given report is byte-stable across runs.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("workload", Json::Str(self.workload.clone())),
+            ("total_cycles", Json::UInt(self.total_cycles)),
+            (
+                "kernel_cycles",
+                Json::Arr(self.kernel_cycles.iter().map(|&c| Json::UInt(c)).collect()),
+            ),
+            (
+                "sockets",
+                Json::Arr(self.sockets.iter().map(SocketReport::to_json).collect()),
+            ),
+            ("l1", cache_stats_json(&self.l1)),
+            (
+                "remote_read_fraction",
+                Json::Float(self.remote_read_fraction),
+            ),
+            ("interconnect_bytes", Json::UInt(self.interconnect_bytes)),
+            ("link_power_w", Json::Float(self.link_power_w)),
+        ])
+    }
+}
+
+impl SocketReport {
+    /// Machine-readable form of one socket's breakdown.
+    pub fn to_json(&self) -> Json {
+        let partition = match self.l2_partition {
+            Some((local, remote)) => {
+                Json::Arr(vec![Json::UInt(local as u64), Json::UInt(remote as u64)])
+            }
+            None => Json::Null,
+        };
+        Json::obj([
+            ("egress_bytes", Json::UInt(self.egress_bytes)),
+            ("ingress_bytes", Json::UInt(self.ingress_bytes)),
+            ("dram_bytes", Json::UInt(self.dram_bytes)),
+            ("l2", cache_stats_json(&self.l2)),
+            ("lane_turns", Json::UInt(self.lane_turns)),
+            ("equalizations", Json::UInt(self.equalizations)),
+            ("l2_partition", partition),
+        ])
+    }
+}
+
+/// JSON form of cache statistics (a free function because both the trait
+/// and the type live in other crates).
+fn cache_stats_json(s: &CacheStats) -> Json {
+    Json::obj([
+        ("local_hits", Json::UInt(s.local_hits.get())),
+        ("local_misses", Json::UInt(s.local_misses.get())),
+        ("remote_hits", Json::UInt(s.remote_hits.get())),
+        ("remote_misses", Json::UInt(s.remote_misses.get())),
+        ("fills", Json::UInt(s.fills.get())),
+        ("evictions", Json::UInt(s.evictions.get())),
+        ("dirty_evictions", Json::UInt(s.dirty_evictions.get())),
+    ])
 }
 
 #[cfg(test)]
@@ -130,6 +190,33 @@ mod tests {
         };
         let s = r.to_string();
         assert!(s.contains("w: 10 cycles over 1 kernels"));
+    }
+
+    #[test]
+    fn json_encoding_is_stable_and_reparses() {
+        let mut r = SimReport {
+            workload: "w".into(),
+            total_cycles: 42,
+            kernel_cycles: vec![40, 2],
+            ..SimReport::default()
+        };
+        r.sockets.push(SocketReport {
+            dram_bytes: 7,
+            l2_partition: Some((3, 5)),
+            ..SocketReport::default()
+        });
+        let a = r.to_json().to_string();
+        let b = r.to_json().to_string();
+        assert_eq!(a, b, "encoding must be byte-stable");
+        let parsed = numa_gpu_testkit::json::Json::parse(&a).unwrap();
+        assert_eq!(parsed.get("total_cycles").unwrap().as_u64(), Some(42));
+        assert_eq!(
+            parsed.get("sockets").unwrap().as_array().unwrap()[0]
+                .get("dram_bytes")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
     }
 
     #[test]

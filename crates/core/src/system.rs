@@ -1,7 +1,8 @@
 //! The multi-socket NUMA GPU system: construction and public API.
 
-use crate::report::{SimReport, SocketReport};
 use crate::power::average_link_power_w;
+use crate::report::{SimReport, SocketReport};
+use numa_gpu_cache::LineClass;
 use numa_gpu_cache::{CacheStats, PartitionController, SetAssocCache, WayPartition};
 use numa_gpu_engine::{EventQueue, ServiceQueue};
 use numa_gpu_interconnect::Switch;
@@ -12,7 +13,6 @@ use numa_gpu_types::{
     cycles_to_ticks, ticks_to_cycles, CacheMode, ConfigError, LineAddr, SocketId, SystemConfig,
     Tick, WarpOp, WarpSlot,
 };
-use numa_gpu_cache::LineClass;
 use std::sync::Arc;
 
 /// Events driving the simulation. Memory-path stages are separate events so
@@ -78,7 +78,10 @@ impl Ev {
     /// Whether this event is an in-flight memory-path stage (tracked so the
     /// kernel loop drains outstanding traffic before finishing).
     pub(crate) fn is_mem_stage(&self) -> bool {
-        !matches!(self, Ev::WarpIssue { .. } | Ev::LinkSample | Ev::CacheSample)
+        !matches!(
+            self,
+            Ev::WarpIssue { .. } | Ev::LinkSample | Ev::CacheSample
+        )
     }
 }
 

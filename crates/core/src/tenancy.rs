@@ -194,8 +194,7 @@ mod tests {
                 sockets: 2,
             },
         ];
-        let r =
-            run_space_partitioned(&SystemConfig::numa_aware_sockets(4), &tenants).unwrap();
+        let r = run_space_partitioned(&SystemConfig::numa_aware_sockets(4), &tenants).unwrap();
         assert_eq!(r.per_tenant.len(), 2);
         assert_eq!(
             r.makespan_cycles,

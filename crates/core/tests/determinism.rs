@@ -1,0 +1,45 @@
+//! Determinism: the same configuration and seed through the full system
+//! must reproduce the entire report — cycle counts, every stats struct,
+//! and the JSON encoding — not just the headline cycle total.
+
+use numa_gpu_core::{run_workload, NumaGpuSystem};
+use numa_gpu_types::SystemConfig;
+use numa_gpu_workloads::{by_name, Scale};
+
+#[test]
+fn identical_runs_reproduce_full_reports() {
+    for name in ["Rodinia-Euler3D", "HPC-RSBench", "Other-Stream-Triad"] {
+        let wl = by_name(name, &Scale::quick()).unwrap();
+        let a = run_workload(SystemConfig::numa_aware_sockets(4), &wl).unwrap();
+        let b = run_workload(SystemConfig::numa_aware_sockets(4), &wl).unwrap();
+        assert_eq!(a, b, "{name}: reports differ between identical runs");
+    }
+}
+
+#[test]
+fn identical_runs_reproduce_timelines_and_json() {
+    let wl = by_name("HPC-HPGMG-UVM", &Scale::quick()).unwrap();
+    let run = || {
+        let mut sys = NumaGpuSystem::new(SystemConfig::numa_sockets(4)).unwrap();
+        sys.enable_link_timeline();
+        sys.run(&wl)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "reports (including timelines) differ");
+    assert_eq!(
+        a.to_json().to_string(),
+        b.to_json().to_string(),
+        "JSON encodings differ"
+    );
+}
+
+#[test]
+fn different_sockets_produce_different_reports() {
+    // Sanity check that the equality above is not vacuous: a different
+    // configuration must actually change the report.
+    let wl = by_name("Rodinia-Euler3D", &Scale::quick()).unwrap();
+    let a = run_workload(SystemConfig::numa_aware_sockets(2), &wl).unwrap();
+    let b = run_workload(SystemConfig::numa_aware_sockets(4), &wl).unwrap();
+    assert_ne!(a, b);
+}

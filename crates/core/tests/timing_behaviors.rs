@@ -3,9 +3,7 @@
 
 use numa_gpu_core::{run_workload, NumaGpuSystem};
 use numa_gpu_runtime::{Kernel, Suite, Workload, WorkloadMeta};
-use numa_gpu_types::{
-    Addr, CtaId, CtaProgram, PagePlacement, SocketId, SystemConfig, WarpOp,
-};
+use numa_gpu_types::{Addr, CtaId, CtaProgram, PagePlacement, SocketId, SystemConfig, WarpOp};
 use std::sync::Arc;
 
 /// A kernel whose single CTA executes a fixed op list on one warp.
@@ -81,16 +79,16 @@ fn l2_hit_is_faster_than_dram() {
     // (same-line second read hits L1 and is nearly free).
     let miss2 = cycles(
         SystemConfig::pascal_single(),
-        vec![
-            WarpOp::read(Addr::new(0)),
-            WarpOp::read(Addr::new(1 << 16)),
-        ],
+        vec![WarpOp::read(Addr::new(0)), WarpOp::read(Addr::new(1 << 16))],
     );
     let hit2 = cycles(
         SystemConfig::pascal_single(),
         vec![WarpOp::read(Addr::new(0)), WarpOp::read(Addr::new(0))],
     );
-    assert!(hit2 < miss2, "L1 hit path must be cheaper ({hit2} vs {miss2})");
+    assert!(
+        hit2 < miss2,
+        "L1 hit path must be cheaper ({hit2} vs {miss2})"
+    );
 }
 
 #[test]
@@ -148,12 +146,18 @@ fn compute_ops_cost_their_cycles() {
 fn writes_do_not_block_like_reads() {
     // A local write's acceptance point is the L2 (a dozen cycles), far
     // cheaper than a read round trip.
-    let write = cycles(SystemConfig::pascal_single(), vec![WarpOp::write(Addr::new(0))]);
+    let write = cycles(
+        SystemConfig::pascal_single(),
+        vec![WarpOp::write(Addr::new(0))],
+    );
     let read = cycles(
         SystemConfig::pascal_single(),
         vec![WarpOp::read(Addr::new(0))],
     );
-    assert!(write < read, "write accept must beat read latency ({write} vs {read})");
+    assert!(
+        write < read,
+        "write accept must beat read latency ({write} vs {read})"
+    );
 }
 
 #[test]

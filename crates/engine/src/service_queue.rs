@@ -150,7 +150,7 @@ impl ServiceQueue {
     /// rounded up to a whole tick.
     #[inline]
     fn occupancy_ticks(bytes: u32, rate: u64) -> Tick {
-        ((bytes as u64 * TICKS_PER_CYCLE) + rate - 1) / rate
+        (bytes as u64 * TICKS_PER_CYCLE).div_ceil(rate)
     }
 }
 

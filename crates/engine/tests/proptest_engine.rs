@@ -1,14 +1,16 @@
 //! Property tests for the simulation engine.
 
 use numa_gpu_engine::{EventQueue, ServiceQueue};
+use numa_gpu_testkit::gen::{ints, pairs, vecs};
+use numa_gpu_testkit::{prop_assert, prop_assert_eq, prop_check};
 use numa_gpu_types::TICKS_PER_CYCLE;
-use proptest::prelude::*;
 
-proptest! {
+prop_check! {
     /// The event queue pops events in exactly the order of a stable sort by
     /// tick (ties broken by insertion sequence).
-    #[test]
-    fn event_queue_matches_stable_sort(events in prop::collection::vec((0u64..1000, any::<u16>()), 0..200)) {
+    fn event_queue_matches_stable_sort(
+        events in vecs(pairs(ints(0u64..1000), ints(0u16..u16::MAX)), 0..200)
+    ) {
         let mut q = EventQueue::new();
         for (tick, payload) in &events {
             q.push(*tick, *payload);
@@ -29,8 +31,9 @@ proptest! {
 
     /// Interleaved push/pop never yields an event earlier than one already
     /// popped at or after the same push horizon.
-    #[test]
-    fn event_queue_pop_is_monotone_when_pushes_are_future(seed_events in prop::collection::vec(0u64..100, 1..50)) {
+    fn event_queue_pop_is_monotone_when_pushes_are_future(
+        seed_events in vecs(ints(0u64..100), 1..50)
+    ) {
         let mut q = EventQueue::new();
         let mut now = 0u64;
         for (i, dt) in seed_events.iter().enumerate() {
@@ -46,8 +49,10 @@ proptest! {
 
     /// Total busy time equals the sum of per-request occupancies, and the
     /// total bytes equal the sum of request sizes.
-    #[test]
-    fn service_queue_conserves_work(rate in 1u64..2048, reqs in prop::collection::vec((0u64..10_000, 1u32..100_000), 1..100)) {
+    fn service_queue_conserves_work(
+        rate in ints(1u64..2048),
+        reqs in vecs(pairs(ints(0u64..10_000), ints(1u32..100_000)), 1..100)
+    ) {
         let mut q = ServiceQueue::new(rate);
         let mut bytes = 0u64;
         let mut busy = 0u64;
@@ -64,8 +69,10 @@ proptest! {
 
     /// Window utilization is always within [0, 1] and saturation implies
     /// nonzero utilization or backlog.
-    #[test]
-    fn utilization_bounded(rate in 1u64..2048, reqs in prop::collection::vec((0u64..10_000, 1u32..100_000), 1..100)) {
+    fn utilization_bounded(
+        rate in ints(1u64..2048),
+        reqs in vecs(pairs(ints(0u64..10_000), ints(1u32..100_000)), 1..100)
+    ) {
         let mut q = ServiceQueue::new(rate);
         let mut now = 0;
         q.begin_window(0);
@@ -81,8 +88,7 @@ proptest! {
     }
 
     /// Rate changes preserve FIFO ordering of completions.
-    #[test]
-    fn rate_change_keeps_fifo(rates in prop::collection::vec(1u64..1024, 2..20)) {
+    fn rate_change_keeps_fifo(rates in vecs(ints(1u64..1024), 2..20)) {
         let mut q = ServiceQueue::new(rates[0]);
         let mut last = 0;
         for (i, r) in rates.iter().enumerate() {

@@ -82,8 +82,8 @@ impl Switch {
         assert_ne!(from, to, "local traffic must not cross the switch");
         let egress_clear = self.links[from.index()].send(now, LinkDirection::Egress, bytes);
         let at_switch = egress_clear + self.half_latency;
-        let arrival =
-            self.links[to.index()].send(at_switch, LinkDirection::Ingress, bytes) + self.half_latency;
+        let arrival = self.links[to.index()].send(at_switch, LinkDirection::Ingress, bytes)
+            + self.half_latency;
         (egress_clear, arrival)
     }
 

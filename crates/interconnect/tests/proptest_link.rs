@@ -1,8 +1,9 @@
 //! Property tests for the reversible-lane link.
 
 use numa_gpu_interconnect::{GpuLink, LinkDirection, Switch};
+use numa_gpu_testkit::gen::{bools, ints, pairs, triples, vecs};
+use numa_gpu_testkit::{prop_assert, prop_assert_eq, prop_assume, prop_check};
 use numa_gpu_types::{cycles_to_ticks, LinkConfig, LinkMode, SocketId};
-use proptest::prelude::*;
 
 fn cfg(mode: LinkMode) -> LinkConfig {
     LinkConfig {
@@ -15,13 +16,12 @@ fn cfg(mode: LinkMode) -> LinkConfig {
     }
 }
 
-proptest! {
+prop_check! {
     /// Under any traffic/rebalance schedule: the lane total is conserved,
     /// no direction drops below one lane, and per-direction completions
     /// stay FIFO.
-    #[test]
     fn lanes_conserved_under_arbitrary_traffic(
-        steps in prop::collection::vec((0u64..5_000, any::<bool>(), 1u32..100_000), 1..200)
+        steps in vecs(triples(ints(0u64..5_000), bools(), ints(1u32..100_000)), 1..200)
     ) {
         let mut link = GpuLink::new(&cfg(LinkMode::DynamicAsymmetric));
         let mut now = 0;
@@ -54,8 +54,7 @@ proptest! {
 
     /// Reset always restores the symmetric launch configuration, from any
     /// state.
-    #[test]
-    fn reset_restores_symmetry(turn_rounds in 0u64..20) {
+    fn reset_restores_symmetry(turn_rounds in ints(0u64..20)) {
         let mut link = GpuLink::new(&cfg(LinkMode::DynamicAsymmetric));
         let mut now = 0u64;
         for _ in 0..turn_rounds {
@@ -72,8 +71,11 @@ proptest! {
 
     /// A switch transfer always arrives no earlier than the wire latency
     /// plus the minimum occupancy, and loads exactly the two endpoint links.
-    #[test]
-    fn switch_transfer_bounds(bytes in 1u32..100_000, from in 0u8..4, to in 0u8..4) {
+    fn switch_transfer_bounds(
+        bytes in ints(1u32..100_000),
+        from in ints(0u8..4),
+        to in ints(0u8..4)
+    ) {
         prop_assume!(from != to);
         let mut sw = Switch::new(&cfg(LinkMode::StaticSymmetric), 4);
         let arrive = sw.transfer(0, SocketId::new(from), SocketId::new(to), bytes);
@@ -86,8 +88,7 @@ proptest! {
 
     /// Double-bandwidth mode is never slower than the static link for the
     /// same traffic.
-    #[test]
-    fn double_bandwidth_dominates(sends in prop::collection::vec((0u64..100, 1u32..10_000), 1..100)) {
+    fn double_bandwidth_dominates(sends in vecs(pairs(ints(0u64..100), ints(1u32..10_000)), 1..100)) {
         let mut fast = GpuLink::new(&cfg(LinkMode::DoubleBandwidth));
         let mut slow = GpuLink::new(&cfg(LinkMode::StaticSymmetric));
         let mut now = 0;

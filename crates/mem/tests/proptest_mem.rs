@@ -1,14 +1,17 @@
 //! Property tests for the memory substrate.
 
 use numa_gpu_mem::{Dram, PageTable};
+use numa_gpu_testkit::gen::{bools, ints, pairs, triples, vecs};
+use numa_gpu_testkit::{prop_assert, prop_assert_eq, prop_check};
 use numa_gpu_types::{Addr, DramConfig, PagePlacement, SocketId, PAGE_SIZE, TICKS_PER_CYCLE};
-use proptest::prelude::*;
 
-proptest! {
+prop_check! {
     /// Interleaved policies are pure functions of the address: the
     /// requester never influences the home.
-    #[test]
-    fn interleave_ignores_requester(addr in 0u64..1u64<<34, reqs in prop::collection::vec(0u8..4, 2..8)) {
+    fn interleave_ignores_requester(
+        addr in ints(0u64..1u64 << 34),
+        reqs in vecs(ints(0u8..4), 2..8)
+    ) {
         for policy in [PagePlacement::FineInterleave, PagePlacement::PageInterleave] {
             let mut pt = PageTable::new(policy, 4);
             let homes: Vec<_> = reqs
@@ -21,8 +24,7 @@ proptest! {
 
     /// First-touch distributes exactly one placement per page regardless of
     /// how many lines of the page are touched.
-    #[test]
-    fn one_placement_per_page(lines in prop::collection::vec((0u64..32, 0u8..4), 1..200)) {
+    fn one_placement_per_page(lines in vecs(pairs(ints(0u64..32), ints(0u8..4)), 1..200)) {
         let mut pt = PageTable::new(PagePlacement::FirstTouch, 4);
         let mut pages = std::collections::HashSet::new();
         for (line_in_page, r) in lines {
@@ -37,10 +39,9 @@ proptest! {
 
     /// Migration never yields an out-of-range home and migrates at most
     /// once per remote run reaching the threshold.
-    #[test]
     fn migration_homes_in_range(
-        threshold in 1u32..8,
-        touches in prop::collection::vec(0u8..4, 1..100),
+        threshold in ints(1u32..8),
+        touches in vecs(ints(0u8..4), 1..100),
     ) {
         let mut pt = PageTable::new(
             PagePlacement::FirstTouchMigrate { migrate_threshold: threshold },
@@ -55,8 +56,9 @@ proptest! {
 
     /// DRAM completions are FIFO and each includes at least the access
     /// latency; total bytes are conserved.
-    #[test]
-    fn dram_fifo_and_latency(reqs in prop::collection::vec((0u64..1_000, 1u32..10_000, any::<bool>()), 1..100)) {
+    fn dram_fifo_and_latency(
+        reqs in vecs(triples(ints(0u64..1_000), ints(1u32..10_000), bools()), 1..100)
+    ) {
         let cfg = DramConfig { bytes_per_cycle: 768, latency_cycles: 100 };
         let mut d = Dram::new(cfg);
         let mut now = 0;

@@ -74,7 +74,11 @@ impl ParseTraceError {
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -183,14 +187,16 @@ impl RecordedKernel {
         for kv in parts {
             match kv.split_once('=') {
                 Some(("ctas", v)) => {
-                    num_ctas = Some(v.parse::<u32>().map_err(|_| {
-                        ParseTraceError::new(1, format!("bad ctas count `{v}`"))
-                    })?);
+                    num_ctas =
+                        Some(v.parse::<u32>().map_err(|_| {
+                            ParseTraceError::new(1, format!("bad ctas count `{v}`"))
+                        })?);
                 }
                 Some(("warps", v)) => {
-                    warps_per_cta = Some(v.parse::<u32>().map_err(|_| {
-                        ParseTraceError::new(1, format!("bad warps count `{v}`"))
-                    })?);
+                    warps_per_cta =
+                        Some(v.parse::<u32>().map_err(|_| {
+                            ParseTraceError::new(1, format!("bad warps count `{v}`"))
+                        })?);
                 }
                 _ => return Err(ParseTraceError::new(1, format!("unknown field `{kv}`"))),
             }
@@ -218,7 +224,10 @@ impl RecordedKernel {
                         .parse()
                         .map_err(|_| ParseTraceError::new(line_no, "bad cta index"))?;
                     if c != ctas.len() {
-                        return Err(ParseTraceError::new(line_no, "cta indices must be in order"));
+                        return Err(ParseTraceError::new(
+                            line_no,
+                            "cta indices must be in order",
+                        ));
                     }
                     ctas.push(Vec::new());
                     current_warp = None;
@@ -232,7 +241,10 @@ impl RecordedKernel {
                         .last_mut()
                         .ok_or_else(|| ParseTraceError::new(line_no, "warp before cta"))?;
                     if w != cta.len() {
-                        return Err(ParseTraceError::new(line_no, "warp indices must be in order"));
+                        return Err(ParseTraceError::new(
+                            line_no,
+                            "warp indices must be in order",
+                        ));
                     }
                     if w >= warps_per_cta as usize {
                         return Err(ParseTraceError::new(line_no, "warp index out of range"));
@@ -376,7 +388,7 @@ mod tests {
                         return None;
                     }
                     self.left[w] -= 1;
-                    Some(if self.left[w] % 2 == 0 {
+                    Some(if self.left[w].is_multiple_of(2) {
                         WarpOp::read(Addr::new(self.base + self.left[w] as u64 * 128))
                     } else {
                         WarpOp::compute(4)

@@ -110,11 +110,7 @@ impl Workload {
             .iter()
             .map(|k| (k.num_ctas() as u64).pow(2))
             .sum();
-        if total == 0 {
-            0
-        } else {
-            weighted / total
-        }
+        weighted.checked_div(total).unwrap_or(0)
     }
 
     /// Whether the paper-reported average CTA count can fill a GPU with

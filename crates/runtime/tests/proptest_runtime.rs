@@ -1,8 +1,9 @@
 //! Property tests for the runtime crate: launch plans and the trace codec.
 
-use numa_gpu_runtime::{Kernel, LaunchPlan, RecordedKernel, socket_for_cta};
+use numa_gpu_runtime::{socket_for_cta, Kernel, LaunchPlan, RecordedKernel};
+use numa_gpu_testkit::gen::{ints, select, strings, vecs};
+use numa_gpu_testkit::{prop_assert_eq, prop_check};
 use numa_gpu_types::{Addr, CtaId, CtaProgram, CtaSchedulingPolicy, SocketId, WarpOp};
-use proptest::prelude::*;
 
 /// A kernel generating a short deterministic mixed stream per warp.
 #[derive(Debug, Clone)]
@@ -59,11 +60,15 @@ impl Kernel for MixKernel {
     }
 }
 
-proptest! {
+prop_check! {
     /// Record → text → parse → text is a fixed point, and the replayed
     /// kernel emits identical streams.
-    #[test]
-    fn trace_roundtrip(ctas in 1u32..8, warps in 1u32..5, ops in 0u32..20, seed: u64) {
+    fn trace_roundtrip(
+        ctas in ints(1u32..8),
+        warps in ints(1u32..5),
+        ops in ints(0u32..20),
+        seed in ints(0u64..u64::MAX)
+    ) {
         let k = MixKernel { ctas, warps, ops, seed };
         let rec = RecordedKernel::record(&k);
         let text = rec.to_text();
@@ -87,18 +92,16 @@ proptest! {
 
     /// Arbitrary garbage never panics the parser — it returns Ok or a
     /// line-numbered error.
-    #[test]
-    fn parser_never_panics(text in ".{0,500}") {
+    fn parser_never_panics(text in strings(0..500)) {
         let _ = RecordedKernel::from_text(&text);
         let _ = RecordedKernel::parse_all(&text);
     }
 
     /// Structured-looking garbage (directives in random order) never
     /// panics either.
-    #[test]
     fn parser_survives_directive_soup(
-        lines in prop::collection::vec(
-            prop::sample::select(vec![
+        lines in vecs(
+            select(vec![
                 "kernel k ctas=2 warps=2", "cta 0", "cta 1", "cta 5",
                 "warp 0", "warp 1", "warp 9", "c 10", "r 128", "w 256",
                 "c x", "r", "#note", "",
@@ -113,8 +116,7 @@ proptest! {
 
     /// Launch plans and `socket_for_cta` agree: the plan's per-socket
     /// queues contain exactly the CTAs the pure function assigns there.
-    #[test]
-    fn plan_agrees_with_assignment(total in 1u32..500, sockets in 1u8..9) {
+    fn plan_agrees_with_assignment(total in ints(1u32..500), sockets in ints(1u8..9)) {
         for policy in [CtaSchedulingPolicy::Interleave, CtaSchedulingPolicy::ContiguousBlock] {
             let mut plan = LaunchPlan::new(policy, total, sockets);
             for s in 0..sockets {

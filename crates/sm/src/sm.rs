@@ -129,7 +129,7 @@ impl Sm {
 
     /// Whether a CTA of `warps` warps can be dispatched right now.
     pub fn can_accept_cta(&self, warps: u32) -> bool {
-        self.free_cta_slots.len() >= 1 && self.free_warp_slots.len() >= warps as usize
+        !self.free_cta_slots.is_empty() && self.free_warp_slots.len() >= warps as usize
     }
 
     /// Number of resident warps.
@@ -386,10 +386,7 @@ mod tests {
         }
         assert!(!sm.can_accept_cta(1)); // max_ctas reached
         let mut sm = make_sm();
-        sm.dispatch_cta(
-            CtaId::new(0),
-            Box::new(ScriptedCta::new(vec![vec![]; 7])),
-        );
+        sm.dispatch_cta(CtaId::new(0), Box::new(ScriptedCta::new(vec![vec![]; 7])));
         assert!(!sm.can_accept_cta(2)); // only 1 warp slot left
         assert!(sm.can_accept_cta(1));
     }

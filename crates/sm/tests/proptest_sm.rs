@@ -2,10 +2,9 @@
 
 use numa_gpu_cache::LineClass;
 use numa_gpu_sm::{L1ReadOutcome, Sm};
-use numa_gpu_types::{
-    CacheConfig, CtaId, CtaProgram, LineAddr, SmConfig, WarpOp, WritePolicy,
-};
-use proptest::prelude::*;
+use numa_gpu_testkit::gen::{ints, vecs};
+use numa_gpu_testkit::{prop_assert, prop_assert_eq, prop_check};
+use numa_gpu_types::{CacheConfig, CtaId, CtaProgram, LineAddr, SmConfig, WarpOp, WritePolicy};
 
 struct NWarps {
     warps: u32,
@@ -40,11 +39,10 @@ fn make_sm(max_warps: u16, max_ctas: u16, mshrs: u16) -> Sm {
     )
 }
 
-proptest! {
+prop_check! {
     /// Dispatch/retire in arbitrary interleavings conserves warp slots and
     /// CTA slots; capacity checks are exact.
-    #[test]
-    fn slots_conserved(ctas in prop::collection::vec(1u32..5, 1..40)) {
+    fn slots_conserved(ctas in vecs(ints(1u32..5), 1..40)) {
         let mut sm = make_sm(16, 8, 8);
         let mut live: Vec<(CtaId, Vec<numa_gpu_types::WarpSlot>)> = Vec::new();
         let mut next_id = 0u32;
@@ -79,8 +77,7 @@ proptest! {
 
     /// Reads always resolve to one of the four outcomes, and fills wake
     /// exactly the registered waiters.
-    #[test]
-    fn mshr_bookkeeping_exact(lines in prop::collection::vec(0u64..8, 1..60)) {
+    fn mshr_bookkeeping_exact(lines in vecs(ints(0u64..8), 1..60)) {
         let mut sm = make_sm(64, 8, 4);
         let slots = sm.dispatch_cta(CtaId::new(0), Box::new(NWarps { warps: 60 }));
         let mut waiting: std::collections::HashMap<u64, Vec<numa_gpu_types::WarpSlot>> =
@@ -120,8 +117,7 @@ proptest! {
 
     /// The issue port never goes backwards and spaces issues by at least a
     /// cycle under contention.
-    #[test]
-    fn issue_port_monotone(times in prop::collection::vec(0u64..1_000_000, 1..100)) {
+    fn issue_port_monotone(times in vecs(ints(0u64..1_000_000), 1..100)) {
         let mut sm = make_sm(8, 4, 4);
         let mut last = 0;
         let mut sorted = times.clone();

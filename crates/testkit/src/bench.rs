@@ -1,0 +1,303 @@
+//! Micro-bench harness: warmup, calibrated batches, median/p95 reporting,
+//! and machine-readable JSON output.
+//!
+//! The surface intentionally mirrors the slice of `criterion` the
+//! workspace used — groups, `sample_size`, `warm_up_time`,
+//! `measurement_time`, `bench_function`, `Bencher::iter` — so bench
+//! targets stay `harness = false` binaries assembled with
+//! [`crate::bench_group!`] and [`crate::bench_main!`].
+//!
+//! Environment knobs:
+//! - `TESTKIT_BENCH_FAST=1` collapses warmup/samples to one iteration each
+//!   (smoke-testing every bench body in CI without paying for timing).
+//! - `TESTKIT_BENCH_JSON=path` appends one JSON document per bench run to
+//!   `path` instead of printing it to stdout.
+
+use crate::json::Json;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level bench context handed to every registered bench function.
+pub struct Bench {
+    results: Vec<BenchResult>,
+    fast: bool,
+}
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` label.
+    pub name: String,
+    /// Samples actually taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Fastest per-iteration time.
+    pub min_ns: f64,
+    /// Median per-iteration time.
+    pub median_ns: f64,
+    /// 95th-percentile per-iteration time.
+    pub p95_ns: f64,
+    /// Slowest per-iteration time.
+    pub max_ns: f64,
+}
+
+impl BenchResult {
+    /// JSON form of this result.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("samples", Json::UInt(self.samples as u64)),
+            ("iters_per_sample", Json::UInt(self.iters_per_sample)),
+            ("min_ns", Json::Float(self.min_ns)),
+            ("median_ns", Json::Float(self.median_ns)),
+            ("p95_ns", Json::Float(self.p95_ns)),
+            ("max_ns", Json::Float(self.max_ns)),
+        ])
+    }
+}
+
+impl Bench {
+    /// Creates the harness, honoring `TESTKIT_BENCH_FAST`.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Bench {
+            results: Vec::new(),
+            fast: std::env::var("TESTKIT_BENCH_FAST").is_ok_and(|v| v == "1"),
+        }
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.to_string(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Results collected so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Emits the JSON report: to `TESTKIT_BENCH_JSON` when set, else to
+    /// stdout.
+    pub fn finish(&self) {
+        let doc = Json::obj([(
+            "benches",
+            Json::Arr(self.results.iter().map(BenchResult::to_json).collect()),
+        )]);
+        match std::env::var("TESTKIT_BENCH_JSON") {
+            Ok(path) if !path.is_empty() => {
+                use std::io::Write as _;
+                let mut f = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+                writeln!(f, "{doc}").expect("bench JSON write failed");
+                eprintln!("bench JSON appended to {path}");
+            }
+            _ => println!("{doc}"),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling parameters.
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Group<'_> {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warmup duration (also calibrates the batch size).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement budget across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark, printing and recording its summary.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name.as_ref());
+        let (samples, warm_up, measurement) = if self.bench.fast {
+            (1, Duration::ZERO, Duration::ZERO)
+        } else {
+            (self.sample_size, self.warm_up_time, self.measurement_time)
+        };
+
+        // Warmup: run until the budget elapses, counting iterations to
+        // estimate the per-iteration cost.
+        let mut bencher = Bencher { iters: 1 };
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            f(&mut bencher);
+            warm_iters += 1;
+            if warm_start.elapsed() >= warm_up {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        // Calibrate so each sample runs long enough to time reliably.
+        let target_sample_ns = (measurement.as_nanos() as f64 / samples as f64).max(100_000.0);
+        let iters_per_sample = if self.bench.fast {
+            1
+        } else {
+            ((target_sample_ns / per_iter.max(1.0)).ceil() as u64).clamp(1, 1 << 24)
+        };
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            bencher.iters = iters_per_sample;
+            let start = Instant::now();
+            f(&mut bencher);
+            sample_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let pick = |q: f64| sample_ns[((sample_ns.len() - 1) as f64 * q).round() as usize];
+        let result = BenchResult {
+            name: label.clone(),
+            samples,
+            iters_per_sample,
+            min_ns: sample_ns[0],
+            median_ns: pick(0.5),
+            p95_ns: pick(0.95),
+            max_ns: sample_ns[sample_ns.len() - 1],
+        };
+        println!(
+            "{label}: median {} (p95 {}, {} samples x {} iters)",
+            fmt_ns(result.median_ns),
+            fmt_ns(result.p95_ns),
+            samples,
+            iters_per_sample,
+        );
+        self.bench.results.push(result);
+        self
+    }
+
+    /// Ends the group (kept for call-site symmetry; results are recorded
+    /// eagerly).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// Times closures inside a benchmark body.
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs the routine for the calibrated number of iterations. Results
+    /// are passed through [`black_box`] so the work is not optimized away.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+    }
+}
+
+/// Declares a bench group function from a list of `fn(&mut Bench)` bodies.
+#[macro_export]
+macro_rules! bench_group {
+    ($group:ident, $($f:path),+ $(,)?) => {
+        fn $group(bench: &mut $crate::bench::Bench) {
+            $( $f(bench); )+
+        }
+    };
+}
+
+/// Declares the `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut bench = $crate::bench::Bench::new();
+            $( $group(&mut bench); )+
+            bench.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_fast<F: FnMut(&mut Bencher)>(name: &str, f: F) -> BenchResult {
+        // Force fast mode regardless of the environment by building the
+        // harness by hand.
+        let mut bench = Bench {
+            results: Vec::new(),
+            fast: true,
+        };
+        bench
+            .benchmark_group("test")
+            .sample_size(3)
+            .bench_function(name, f);
+        bench.results.pop().expect("one result")
+    }
+
+    #[test]
+    fn records_sane_timings() {
+        let r = run_fast("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        assert_eq!(r.name, "test/spin");
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns <= r.p95_ns);
+        assert!(r.p95_ns <= r.max_ns);
+        assert!(r.min_ns >= 0.0);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let r = run_fast("shape", |b| b.iter(|| 1u32 + 1));
+        let j = r.to_json();
+        assert_eq!(j.get("name").unwrap().as_str(), Some("test/shape"));
+        assert!(j.get("median_ns").unwrap().as_f64().is_some());
+        assert!(j.get("p95_ns").unwrap().as_f64().is_some());
+        // The document reparses.
+        assert_eq!(Json::parse(&j.to_string()).unwrap(), j);
+    }
+
+    #[test]
+    fn bencher_runs_each_calibrated_iteration() {
+        let count = std::cell::Cell::new(0u64);
+        let mut b = Bencher { iters: 7 };
+        b.iter(|| count.set(count.get() + 1));
+        assert_eq!(count.get(), 7);
+    }
+}

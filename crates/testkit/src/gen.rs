@@ -1,0 +1,403 @@
+//! Generator combinators for the property harness.
+//!
+//! A [`Gen<T>`] pairs a sampling function with a one-step shrinker. The
+//! shrinker returns *candidate* simplifications of a failing value; the
+//! runner in [`crate::prop`] greedily walks them toward a minimal
+//! counterexample. Combinators built with [`Gen::map`] lose shrinking
+//! (there is no inverse image), which is the usual price of a
+//! value-level — rather than value-tree — design.
+
+use crate::rng::{DetRng, SampleUniform};
+use std::rc::Rc;
+
+/// One-step shrinker: candidate simpler values for a failing input.
+type Shrinker<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
+/// A reusable value generator with an attached shrinker.
+pub struct Gen<T> {
+    sample: Rc<dyn Fn(&mut DetRng) -> T>,
+    shrink: Shrinker<T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            sample: self.sample.clone(),
+            shrink: self.shrink.clone(),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Builds a generator from a sampling closure and a one-step shrinker.
+    pub fn new(
+        sample: impl Fn(&mut DetRng) -> T + 'static,
+        shrink: impl Fn(&T) -> Vec<T> + 'static,
+    ) -> Self {
+        Gen {
+            sample: Rc::new(sample),
+            shrink: Rc::new(shrink),
+        }
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut DetRng) -> T {
+        (self.sample)(rng)
+    }
+
+    /// One-step shrink candidates for `value` (empty when minimal).
+    pub fn shrinks(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+
+    /// Maps generated values. The result does not shrink.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let sample = self.sample;
+        Gen::new(move |rng| f((sample)(rng)), |_| Vec::new())
+    }
+}
+
+/// Constant generator.
+pub fn just<T: Clone + 'static>(value: T) -> Gen<T> {
+    Gen::new(move |_| value.clone(), |_| Vec::new())
+}
+
+/// Uniform integer (or float) in a half-open range, shrinking toward the
+/// range start.
+pub fn ints<T>(range: std::ops::Range<T>) -> Gen<T>
+where
+    T: SampleUniform + ShrinkTowards + 'static,
+{
+    let (lo, hi) = (range.start, range.end);
+    Gen::new(
+        move |rng| rng.gen_range(lo..hi),
+        move |v| v.shrink_towards(lo),
+    )
+}
+
+/// Uniform `f64` in a half-open range, shrinking toward the range start.
+pub fn floats(range: std::ops::Range<f64>) -> Gen<f64> {
+    ints(range)
+}
+
+/// Uniform `f64` in `[0, 1)`.
+pub fn unit() -> Gen<f64> {
+    floats(0.0..1.0)
+}
+
+/// Booleans; `true` shrinks to `false`.
+pub fn bools() -> Gen<bool> {
+    Gen::new(
+        |rng| rng.random_bool(0.5),
+        |v| if *v { vec![false] } else { Vec::new() },
+    )
+}
+
+/// Vector of `elem` values with length drawn from `len`; shrinks by
+/// halving, dropping single elements, and shrinking elements in place
+/// (never below the range's minimum length).
+pub fn vecs<T: Clone + 'static>(elem: Gen<T>, len: std::ops::Range<usize>) -> Gen<Vec<T>> {
+    let min_len = len.start;
+    let shrink_elem = elem.clone();
+    Gen::new(
+        move |rng| {
+            let n = rng.gen_range(len.start..len.end.max(len.start + 1));
+            (0..n).map(|_| elem.sample(rng)).collect()
+        },
+        move |v: &Vec<T>| {
+            let mut out: Vec<Vec<T>> = Vec::new();
+            // Halve the tail off first: biggest structural step.
+            if v.len() / 2 >= min_len && v.len() > min_len {
+                out.push(v[..v.len() / 2].to_vec());
+            }
+            // Drop each element (bounded to keep candidate lists small).
+            if v.len() > min_len {
+                for i in 0..v.len().min(16) {
+                    let mut w = v.clone();
+                    w.remove(i);
+                    out.push(w);
+                }
+            }
+            // Shrink individual elements.
+            for i in 0..v.len().min(16) {
+                for cand in shrink_elem.shrinks(&v[i]).into_iter().take(4) {
+                    let mut w = v.clone();
+                    w[i] = cand;
+                    out.push(w);
+                }
+            }
+            out
+        },
+    )
+}
+
+/// Pair of independent generators; components shrink independently.
+pub fn pairs<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    let (sa, sb) = (a.clone(), b.clone());
+    Gen::new(
+        move |rng| (a.sample(rng), b.sample(rng)),
+        move |(x, y)| {
+            let mut out: Vec<(A, B)> = sa
+                .shrinks(x)
+                .into_iter()
+                .map(|x2| (x2, y.clone()))
+                .collect();
+            out.extend(sb.shrinks(y).into_iter().map(|y2| (x.clone(), y2)));
+            out
+        },
+    )
+}
+
+/// Triple of independent generators.
+pub fn triples<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+) -> Gen<(A, B, C)> {
+    pairs(pairs(a, b), c).map_shrinkable(
+        |((a, b), c)| (a, b, c),
+        |(a, b, c)| ((a.clone(), b.clone()), c.clone()),
+    )
+}
+
+/// Quadruple of independent generators.
+pub fn quads<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static, D: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+    d: Gen<D>,
+) -> Gen<(A, B, C, D)> {
+    pairs(pairs(a, b), pairs(c, d)).map_shrinkable(
+        |((a, b), (c, d))| (a, b, c, d),
+        |(a, b, c, d)| ((a.clone(), b.clone()), (c.clone(), d.clone())),
+    )
+}
+
+impl<T: Clone + 'static> Gen<T> {
+    /// Maps with an explicit inverse so shrinking survives the transform.
+    pub fn map_shrinkable<U: Clone + 'static>(
+        self,
+        forward: impl Fn(T) -> U + 'static,
+        back: impl Fn(&U) -> T + 'static,
+    ) -> Gen<U> {
+        let inner = self.clone();
+        let fwd = Rc::new(forward);
+        let fwd2 = fwd.clone();
+        Gen::new(
+            move |rng| fwd(self.sample(rng)),
+            move |u| {
+                inner
+                    .shrinks(&back(u))
+                    .into_iter()
+                    .map(|t| fwd2(t))
+                    .collect()
+            },
+        )
+    }
+}
+
+/// Strings with a character count drawn from `len`: mostly printable
+/// ASCII with an occasional arbitrary Unicode scalar, which is the mix
+/// fuzzed parsers care about. Shrinks like the underlying character
+/// vector (dropping characters and simplifying them toward `'a'`).
+pub fn strings(len: std::ops::Range<usize>) -> Gen<String> {
+    let ch = Gen::new(
+        |rng: &mut DetRng| {
+            if rng.random_bool(0.85) {
+                char::from_u32(rng.gen_range(0x20u32..0x7F)).expect("printable ASCII")
+            } else {
+                char::from_u32(rng.gen_range(0u32..0x11_0000)).unwrap_or('\u{FFFD}')
+            }
+        },
+        |c: &char| match *c {
+            'a' => Vec::new(),
+            c if c.is_ascii_graphic() => vec!['a'],
+            _ => vec!['a', ' '],
+        },
+    );
+    vecs(ch, len).map_shrinkable(
+        |v| v.into_iter().collect::<String>(),
+        |s: &String| s.chars().collect(),
+    )
+}
+
+/// Uniformly selects one of the given concrete values; shrinks toward
+/// earlier options.
+pub fn select<T: Clone + 'static>(options: Vec<T>) -> Gen<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    let shrink_opts = options.clone();
+    Gen::new(
+        move |rng| rng.choose(&options).expect("nonempty").clone(),
+        move |_| vec![shrink_opts[0].clone()],
+    )
+}
+
+/// Uniformly picks one of the given generators per sample (the
+/// `prop_oneof!` replacement). Values do not shrink across branches.
+pub fn one_of<T: 'static>(gens: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!gens.is_empty(), "one_of needs at least one generator");
+    Gen::new(
+        move |rng| {
+            let i = rng.bounded_u64(gens.len() as u64) as usize;
+            gens[i].sample(rng)
+        },
+        |_| Vec::new(),
+    )
+}
+
+/// Values that can propose simpler candidates toward a floor.
+pub trait ShrinkTowards: Sized {
+    /// One-step shrink candidates between `floor` and `self`.
+    fn shrink_towards(&self, floor: Self) -> Vec<Self>;
+}
+
+macro_rules! impl_shrink_int {
+    ($($t:ty),*) => {$(
+        impl ShrinkTowards for $t {
+            fn shrink_towards(&self, floor: Self) -> Vec<Self> {
+                let v = *self;
+                if v == floor {
+                    return Vec::new();
+                }
+                let mut out = vec![floor];
+                let mid = floor + (v - floor) / 2;
+                if mid != floor && mid != v {
+                    out.push(mid);
+                }
+                if v > floor {
+                    out.push(v - 1);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_shrink_signed {
+    ($($t:ty),*) => {$(
+        impl ShrinkTowards for $t {
+            fn shrink_towards(&self, floor: Self) -> Vec<Self> {
+                let v = *self;
+                if v == floor {
+                    return Vec::new();
+                }
+                let mut out = vec![floor];
+                let mid = floor + (v - floor) / 2;
+                if mid != floor && mid != v {
+                    out.push(mid);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_signed!(i8, i16, i32, i64);
+
+impl ShrinkTowards for f64 {
+    fn shrink_towards(&self, floor: Self) -> Vec<Self> {
+        let v = *self;
+        if v == floor {
+            return Vec::new();
+        }
+        let mid = floor + (v - floor) / 2.0;
+        if mid == floor || mid == v {
+            vec![floor]
+        } else {
+            vec![floor, mid]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn ints_sample_in_range_and_shrink_toward_start() {
+        let g = ints(5u32..50);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = g.sample(&mut r);
+            assert!((5..50).contains(&v));
+        }
+        let cands = g.shrinks(&40);
+        assert!(cands.contains(&5));
+        assert!(cands.iter().all(|c| *c < 40 && *c >= 5));
+        assert!(g.shrinks(&5).is_empty());
+    }
+
+    #[test]
+    fn vecs_respect_length_bounds() {
+        let g = vecs(ints(0u8..10), 2..6);
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = g.sample(&mut r);
+            assert!((2..6).contains(&v.len()));
+        }
+        // Shrinks never go below the min length.
+        let v = g.sample(&mut r);
+        for cand in g.shrinks(&v) {
+            assert!(cand.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn pairs_shrink_componentwise() {
+        let g = pairs(ints(0u32..100), bools());
+        let cands = g.shrinks(&(50, true));
+        assert!(cands.iter().any(|(a, b)| *a < 50 && *b));
+        assert!(cands.iter().any(|(a, b)| *a == 50 && !*b));
+    }
+
+    #[test]
+    fn select_and_one_of_stay_in_domain() {
+        let g = select(vec!["a", "b", "c"]);
+        let h = one_of(vec![ints(0u64..3), ints(10u64..13)]);
+        let mut r = rng();
+        for _ in 0..300 {
+            assert!(["a", "b", "c"].contains(&g.sample(&mut r)));
+            let v = h.sample(&mut r);
+            assert!((0..3).contains(&v) || (10..13).contains(&v));
+        }
+    }
+
+    #[test]
+    fn triples_preserve_shrinking() {
+        let g = triples(ints(0u8..9), ints(0u8..9), ints(0u8..9));
+        let cands = g.shrinks(&(4, 5, 6));
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|(a, b, c)| *a <= 4 && *b <= 5 && *c <= 6));
+    }
+
+    #[test]
+    fn strings_respect_length_and_shrink() {
+        let g = strings(0..40);
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = g.sample(&mut r);
+            assert!(s.chars().count() < 40);
+        }
+        // A non-trivial string must offer at least one simpler candidate.
+        let cands = g.shrinks(&"Zq".to_string());
+        assert!(!cands.is_empty());
+        assert!(cands
+            .iter()
+            .any(|c| c.chars().count() < 2 || c.contains('a')));
+    }
+
+    #[test]
+    fn map_drops_shrinking_but_samples() {
+        let g = ints(1u32..5).map(|v| v * 100);
+        let mut r = rng();
+        let v = g.sample(&mut r);
+        assert!(v % 100 == 0 && (100..500).contains(&v));
+        assert!(g.shrinks(&v).is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! Self-contained deterministic test substrate for the numa-gpu
+//! workspace.
+//!
+//! The simulator's claims (§4 dynamic lane allocation, §5 cache
+//! partitioning, Fig. 12 scaling) are only reproducible if every build and
+//! every test runs bit-identically offline — so this crate replaces the
+//! workspace's former external dependencies with four small, fully
+//! specified substrates:
+//!
+//! - [`rng`]: a seedable deterministic PRNG (SplitMix64 seeding,
+//!   xoshiro256++ stream) with the `gen_range` / `shuffle` / `sample`
+//!   surface the workload generators and tests need (replaces `rand`);
+//! - [`gen`] + [`prop`]: generator combinators and a property-based
+//!   testing harness — [`prop_check!`] with configurable case counts,
+//!   failure shrinking, and pinned regression seeds (replaces `proptest`);
+//! - [`bench`]: a micro-bench harness with warmup, calibrated batches,
+//!   and median/p95/JSON reporting (replaces `criterion`);
+//! - [`json`]: a tiny JSON value type with encoder and parser for stats
+//!   and report paths (replaces `serde` derives).
+//!
+//! Everything here is plain `std`; the crate has zero dependencies by
+//! design and must stay that way.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bench;
+pub mod gen;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use gen::Gen;
+pub use json::{Json, ToJson};
+pub use prop::Config;
+pub use rng::DetRng;

@@ -1,6 +1,5 @@
 //! Physical addresses and their cache-line / page granular views.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Cache line size in bytes (paper Table 1: 128 B lines for both L1 and L2).
@@ -20,9 +19,7 @@ pub const PAGE_SIZE: u64 = 64 * 1024;
 /// assert_eq!(a.page().index(), 3);
 /// assert_eq!(a.line().raw(), (3 * PAGE_SIZE + 5 * LINE_SIZE) / LINE_SIZE);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -78,9 +75,7 @@ impl From<u64> for Addr {
 /// let l: LineAddr = Addr::new(256).line();
 /// assert_eq!(l.base(), Addr::new(256));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(u64);
 
 impl LineAddr {
@@ -123,9 +118,7 @@ impl fmt::Display for LineAddr {
 /// use numa_gpu_types::{Addr, PageId, PAGE_SIZE};
 /// assert_eq!(Addr::new(PAGE_SIZE * 2 + 1).page(), PageId::from_index(2));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PageId(u64);
 
 impl PageId {

@@ -3,10 +3,9 @@
 
 use crate::error::ConfigError;
 use crate::LINE_SIZE;
-use serde::{Deserialize, Serialize};
 
 /// CTA-to-socket scheduling policy used by the NUMA-aware runtime (§3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CtaSchedulingPolicy {
     /// Fine-grained modulo interleaving of CTAs across sockets — the
     /// traditional single-GPU policy adapted to multiple sockets.
@@ -18,7 +17,7 @@ pub enum CtaSchedulingPolicy {
 }
 
 /// Memory page placement policy (§3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PagePlacement {
     /// Cache-line-granular interleaving across sockets — the traditional
     /// single-GPU channel interleaving extended across sockets.
@@ -40,7 +39,7 @@ pub enum PagePlacement {
 }
 
 /// L2 cache organization under study (paper Figure 7).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CacheMode {
     /// (a) Memory-side L2 caching local memory only; remote accesses are
     /// never cached on the requesting socket's L2.
@@ -72,7 +71,7 @@ impl CacheMode {
 }
 
 /// Inter-socket link management policy (paper §4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkMode {
     /// Static symmetric design-time lane assignment (baseline).
     StaticSymmetric,
@@ -85,7 +84,7 @@ pub enum LinkMode {
 }
 
 /// Write policy for a cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WritePolicy {
     /// Writes propagate to the next level immediately; lines never dirty.
     WriteThrough,
@@ -94,7 +93,7 @@ pub enum WritePolicy {
 }
 
 /// Geometry and policy of one cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -126,7 +125,7 @@ impl CacheConfig {
 }
 
 /// Streaming multiprocessor parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SmConfig {
     /// SMs per GPU socket (Table 1: 64).
     pub sms_per_socket: u16,
@@ -145,7 +144,7 @@ pub struct SmConfig {
 }
 
 /// DRAM (on-package HBM) parameters per socket.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DramConfig {
     /// Aggregate bandwidth in bytes per GPU cycle (768 GB/s at 1 GHz = 768).
     pub bytes_per_cycle: u64,
@@ -154,7 +153,7 @@ pub struct DramConfig {
 }
 
 /// Intra-socket network-on-chip parameters (SM↔L2 crossbar).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NocConfig {
     /// Aggregate crossbar bandwidth in bytes per cycle.
     pub bytes_per_cycle: u64,
@@ -163,7 +162,7 @@ pub struct NocConfig {
 }
 
 /// Inter-socket link parameters (Table 1 plus §4 policy knobs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkConfig {
     /// Lanes per direction at kernel launch (Table 1: 8).
     pub lanes_per_direction: u8,
@@ -207,7 +206,7 @@ pub const HEADER_BYTES: u32 = 16;
 /// cfg.validate().expect("Table 1 config is valid");
 /// assert_eq!(cfg.total_sms(), 256);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Number of GPU sockets (1 for the single-GPU baselines).
     pub num_sockets: u8,

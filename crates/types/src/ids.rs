@@ -1,6 +1,5 @@
 //! Identifiers for sockets, SMs, CTAs, warps, and kernels.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies one GPU socket (one GPU module behind the switch).
@@ -12,9 +11,7 @@ use std::fmt;
 /// let s = SocketId::new(2);
 /// assert_eq!(s.index(), 2);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SocketId(u8);
 
 impl SocketId {
@@ -38,9 +35,7 @@ impl fmt::Display for SocketId {
 }
 
 /// Index of an SM within its socket.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SmIndex(u16);
 
 impl SmIndex {
@@ -65,9 +60,7 @@ impl fmt::Display for SmIndex {
 
 /// Identifies a thread block (CTA) within the *original* (pre-decomposition)
 /// kernel grid, exactly as the programmer numbered it.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CtaId(u32);
 
 impl CtaId {
@@ -91,9 +84,7 @@ impl fmt::Display for CtaId {
 }
 
 /// A warp slot within one SM (resident warp context index).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct WarpSlot(u16);
 
 impl WarpSlot {
@@ -117,9 +108,7 @@ impl fmt::Display for WarpSlot {
 }
 
 /// Position of a kernel in a workload's launch sequence.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct KernelId(u32);
 
 impl KernelId {

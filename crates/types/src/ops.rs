@@ -7,10 +7,9 @@
 //! consecutive memory ops.
 
 use crate::Addr;
-use serde::{Deserialize, Serialize};
 
 /// Whether a memory operation reads or writes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemKind {
     /// A load; the issuing warp blocks until the fill returns.
     Read,
@@ -19,7 +18,7 @@ pub enum MemKind {
 }
 
 /// One operation in a warp's instruction trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WarpOp {
     /// Execute for the given number of cycles without touching memory.
     Compute {

@@ -1,6 +1,6 @@
 //! Small statistics helpers shared across subsystems.
 
-use serde::{Deserialize, Serialize};
+use numa_gpu_testkit::json::{Json, ToJson};
 use std::fmt;
 
 /// A saturating event counter.
@@ -14,7 +14,7 @@ use std::fmt;
 /// hits.inc();
 /// assert_eq!(hits.get(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -48,6 +48,12 @@ impl fmt::Display for Counter {
     }
 }
 
+impl ToJson for Counter {
+    fn to_json(&self) -> Json {
+        Json::UInt(self.0)
+    }
+}
+
 /// A numerator/denominator pair reported as a fraction (hit rates,
 /// utilizations, efficiencies).
 ///
@@ -59,7 +65,7 @@ impl fmt::Display for Counter {
 /// assert!((r.value() - 0.75).abs() < 1e-12);
 /// assert_eq!(Ratio::new(1, 0).value(), 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Ratio {
     /// Numerator.
     pub num: u64,
@@ -90,6 +96,12 @@ impl fmt::Display for Ratio {
     }
 }
 
+impl ToJson for Ratio {
+    fn to_json(&self) -> Json {
+        Json::obj([("num", Json::UInt(self.num)), ("den", Json::UInt(self.den))])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +121,15 @@ mod tests {
     #[test]
     fn zero_denominator_is_zero() {
         assert_eq!(Ratio::new(5, 0).value(), 0.0);
+    }
+
+    #[test]
+    fn json_forms_roundtrip() {
+        let mut c = Counter::new();
+        c.add(42);
+        assert_eq!(c.to_json().to_string(), "42");
+        let r = Ratio::new(3, 4).to_json();
+        assert_eq!(r.to_string(), r#"{"num":3,"den":4}"#);
+        assert_eq!(Json::parse(&r.to_string()).unwrap(), r);
     }
 }

@@ -108,7 +108,14 @@ pub(crate) fn irregular_shared(
     shared_bytes: u64,
     read_fraction: f64,
 ) -> Vec<KernelSpec> {
-    irregular_shared_rw(p, iterations, shared_fraction, shared_bytes, read_fraction, 1.0)
+    irregular_shared_rw(
+        p,
+        iterations,
+        shared_fraction,
+        shared_bytes,
+        read_fraction,
+        1.0,
+    )
 }
 
 /// [`irregular_shared`] with in-place updates of the shared structure:

@@ -65,47 +65,293 @@ pub const WORKLOAD_NAMES: [&str; 41] = [
 ];
 
 const TABLE2: [Entry; 41] = [
-    Entry { name: "ML-GoogLeNet-cudnn-Lev2", suite: Suite::Ml, paper_ctas: 6272, paper_mb: 1205, grey: false },
-    Entry { name: "ML-AlexNet-cudnn-Lev2", suite: Suite::Ml, paper_ctas: 1250, paper_mb: 832, grey: false },
-    Entry { name: "ML-OverFeat-cudnn-Lev3", suite: Suite::Ml, paper_ctas: 1800, paper_mb: 388, grey: true },
-    Entry { name: "ML-AlexNet-cudnn-Lev4", suite: Suite::Ml, paper_ctas: 1014, paper_mb: 32, grey: false },
-    Entry { name: "ML-AlexNet-ConvNet2", suite: Suite::Ml, paper_ctas: 6075, paper_mb: 97, grey: true },
-    Entry { name: "Rodinia-Backprop", suite: Suite::Rodinia, paper_ctas: 4096, paper_mb: 160, grey: true },
-    Entry { name: "Rodinia-Euler3D", suite: Suite::Rodinia, paper_ctas: 1008, paper_mb: 25, grey: false },
-    Entry { name: "Rodinia-BFS", suite: Suite::Rodinia, paper_ctas: 1954, paper_mb: 38, grey: false },
-    Entry { name: "Rodinia-Gaussian", suite: Suite::Rodinia, paper_ctas: 2599, paper_mb: 78, grey: false },
-    Entry { name: "Rodinia-Hotspot", suite: Suite::Rodinia, paper_ctas: 7396, paper_mb: 64, grey: false },
-    Entry { name: "Rodinia-Kmeans", suite: Suite::Rodinia, paper_ctas: 3249, paper_mb: 221, grey: true },
-    Entry { name: "Rodinia-Pathfinder", suite: Suite::Rodinia, paper_ctas: 4630, paper_mb: 1570, grey: false },
-    Entry { name: "Rodinia-Srad", suite: Suite::Rodinia, paper_ctas: 16384, paper_mb: 98, grey: true },
-    Entry { name: "HPC-SNAP", suite: Suite::Hpc, paper_ctas: 200, paper_mb: 744, grey: false },
-    Entry { name: "HPC-Nekbone-Large", suite: Suite::Hpc, paper_ctas: 5583, paper_mb: 294, grey: false },
-    Entry { name: "HPC-MiniAMR", suite: Suite::Hpc, paper_ctas: 76033, paper_mb: 2752, grey: false },
-    Entry { name: "HPC-MiniContact-Mesh1", suite: Suite::Hpc, paper_ctas: 250, paper_mb: 21, grey: false },
-    Entry { name: "HPC-MiniContact-Mesh2", suite: Suite::Hpc, paper_ctas: 15423, paper_mb: 257, grey: false },
-    Entry { name: "HPC-Lulesh-Unstruct-Mesh1", suite: Suite::Hpc, paper_ctas: 435, paper_mb: 19, grey: false },
-    Entry { name: "HPC-Lulesh-Unstruct-Mesh2", suite: Suite::Hpc, paper_ctas: 4940, paper_mb: 208, grey: false },
-    Entry { name: "HPC-AMG", suite: Suite::Hpc, paper_ctas: 241_549, paper_mb: 3744, grey: false },
-    Entry { name: "HPC-RSBench", suite: Suite::Hpc, paper_ctas: 7813, paper_mb: 19, grey: false },
-    Entry { name: "HPC-MCB", suite: Suite::Hpc, paper_ctas: 5001, paper_mb: 162, grey: false },
-    Entry { name: "HPC-NAMD2.9", suite: Suite::Hpc, paper_ctas: 3888, paper_mb: 88, grey: false },
-    Entry { name: "HPC-RabbitCT", suite: Suite::Hpc, paper_ctas: 131_072, paper_mb: 524, grey: true },
-    Entry { name: "HPC-Lulesh", suite: Suite::Hpc, paper_ctas: 12_202, paper_mb: 578, grey: false },
-    Entry { name: "HPC-CoMD", suite: Suite::Hpc, paper_ctas: 3588, paper_mb: 319, grey: false },
-    Entry { name: "HPC-CoMD-Wa", suite: Suite::Hpc, paper_ctas: 13_691, paper_mb: 393, grey: false },
-    Entry { name: "HPC-CoMD-Ta", suite: Suite::Hpc, paper_ctas: 5724, paper_mb: 394, grey: false },
-    Entry { name: "HPC-HPGMG-UVM", suite: Suite::Hpc, paper_ctas: 10_436, paper_mb: 1975, grey: false },
-    Entry { name: "HPC-HPGMG", suite: Suite::Hpc, paper_ctas: 10_506, paper_mb: 1571, grey: false },
-    Entry { name: "Lonestar-SP", suite: Suite::Lonestar, paper_ctas: 75, paper_mb: 8, grey: false },
-    Entry { name: "Lonestar-MST-Graph", suite: Suite::Lonestar, paper_ctas: 770, paper_mb: 86, grey: false },
-    Entry { name: "Lonestar-MST-Mesh", suite: Suite::Lonestar, paper_ctas: 895, paper_mb: 75, grey: false },
-    Entry { name: "Lonestar-SSSP-Wln", suite: Suite::Lonestar, paper_ctas: 60, paper_mb: 21, grey: false },
-    Entry { name: "Lonestar-DMR", suite: Suite::Lonestar, paper_ctas: 82, paper_mb: 248, grey: true },
-    Entry { name: "Lonestar-SSSP-Wlc", suite: Suite::Lonestar, paper_ctas: 163, paper_mb: 21, grey: false },
-    Entry { name: "Lonestar-SSSP", suite: Suite::Lonestar, paper_ctas: 1046, paper_mb: 38, grey: false },
-    Entry { name: "Other-Stream-Triad", suite: Suite::Other, paper_ctas: 699_051, paper_mb: 3146, grey: true },
-    Entry { name: "Other-Optix-Raytracing", suite: Suite::Other, paper_ctas: 3072, paper_mb: 87, grey: false },
-    Entry { name: "Other-Bitcoin-Crypto", suite: Suite::Other, paper_ctas: 60, paper_mb: 5898, grey: true },
+    Entry {
+        name: "ML-GoogLeNet-cudnn-Lev2",
+        suite: Suite::Ml,
+        paper_ctas: 6272,
+        paper_mb: 1205,
+        grey: false,
+    },
+    Entry {
+        name: "ML-AlexNet-cudnn-Lev2",
+        suite: Suite::Ml,
+        paper_ctas: 1250,
+        paper_mb: 832,
+        grey: false,
+    },
+    Entry {
+        name: "ML-OverFeat-cudnn-Lev3",
+        suite: Suite::Ml,
+        paper_ctas: 1800,
+        paper_mb: 388,
+        grey: true,
+    },
+    Entry {
+        name: "ML-AlexNet-cudnn-Lev4",
+        suite: Suite::Ml,
+        paper_ctas: 1014,
+        paper_mb: 32,
+        grey: false,
+    },
+    Entry {
+        name: "ML-AlexNet-ConvNet2",
+        suite: Suite::Ml,
+        paper_ctas: 6075,
+        paper_mb: 97,
+        grey: true,
+    },
+    Entry {
+        name: "Rodinia-Backprop",
+        suite: Suite::Rodinia,
+        paper_ctas: 4096,
+        paper_mb: 160,
+        grey: true,
+    },
+    Entry {
+        name: "Rodinia-Euler3D",
+        suite: Suite::Rodinia,
+        paper_ctas: 1008,
+        paper_mb: 25,
+        grey: false,
+    },
+    Entry {
+        name: "Rodinia-BFS",
+        suite: Suite::Rodinia,
+        paper_ctas: 1954,
+        paper_mb: 38,
+        grey: false,
+    },
+    Entry {
+        name: "Rodinia-Gaussian",
+        suite: Suite::Rodinia,
+        paper_ctas: 2599,
+        paper_mb: 78,
+        grey: false,
+    },
+    Entry {
+        name: "Rodinia-Hotspot",
+        suite: Suite::Rodinia,
+        paper_ctas: 7396,
+        paper_mb: 64,
+        grey: false,
+    },
+    Entry {
+        name: "Rodinia-Kmeans",
+        suite: Suite::Rodinia,
+        paper_ctas: 3249,
+        paper_mb: 221,
+        grey: true,
+    },
+    Entry {
+        name: "Rodinia-Pathfinder",
+        suite: Suite::Rodinia,
+        paper_ctas: 4630,
+        paper_mb: 1570,
+        grey: false,
+    },
+    Entry {
+        name: "Rodinia-Srad",
+        suite: Suite::Rodinia,
+        paper_ctas: 16384,
+        paper_mb: 98,
+        grey: true,
+    },
+    Entry {
+        name: "HPC-SNAP",
+        suite: Suite::Hpc,
+        paper_ctas: 200,
+        paper_mb: 744,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-Nekbone-Large",
+        suite: Suite::Hpc,
+        paper_ctas: 5583,
+        paper_mb: 294,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-MiniAMR",
+        suite: Suite::Hpc,
+        paper_ctas: 76033,
+        paper_mb: 2752,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-MiniContact-Mesh1",
+        suite: Suite::Hpc,
+        paper_ctas: 250,
+        paper_mb: 21,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-MiniContact-Mesh2",
+        suite: Suite::Hpc,
+        paper_ctas: 15423,
+        paper_mb: 257,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-Lulesh-Unstruct-Mesh1",
+        suite: Suite::Hpc,
+        paper_ctas: 435,
+        paper_mb: 19,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-Lulesh-Unstruct-Mesh2",
+        suite: Suite::Hpc,
+        paper_ctas: 4940,
+        paper_mb: 208,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-AMG",
+        suite: Suite::Hpc,
+        paper_ctas: 241_549,
+        paper_mb: 3744,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-RSBench",
+        suite: Suite::Hpc,
+        paper_ctas: 7813,
+        paper_mb: 19,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-MCB",
+        suite: Suite::Hpc,
+        paper_ctas: 5001,
+        paper_mb: 162,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-NAMD2.9",
+        suite: Suite::Hpc,
+        paper_ctas: 3888,
+        paper_mb: 88,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-RabbitCT",
+        suite: Suite::Hpc,
+        paper_ctas: 131_072,
+        paper_mb: 524,
+        grey: true,
+    },
+    Entry {
+        name: "HPC-Lulesh",
+        suite: Suite::Hpc,
+        paper_ctas: 12_202,
+        paper_mb: 578,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-CoMD",
+        suite: Suite::Hpc,
+        paper_ctas: 3588,
+        paper_mb: 319,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-CoMD-Wa",
+        suite: Suite::Hpc,
+        paper_ctas: 13_691,
+        paper_mb: 393,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-CoMD-Ta",
+        suite: Suite::Hpc,
+        paper_ctas: 5724,
+        paper_mb: 394,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-HPGMG-UVM",
+        suite: Suite::Hpc,
+        paper_ctas: 10_436,
+        paper_mb: 1975,
+        grey: false,
+    },
+    Entry {
+        name: "HPC-HPGMG",
+        suite: Suite::Hpc,
+        paper_ctas: 10_506,
+        paper_mb: 1571,
+        grey: false,
+    },
+    Entry {
+        name: "Lonestar-SP",
+        suite: Suite::Lonestar,
+        paper_ctas: 75,
+        paper_mb: 8,
+        grey: false,
+    },
+    Entry {
+        name: "Lonestar-MST-Graph",
+        suite: Suite::Lonestar,
+        paper_ctas: 770,
+        paper_mb: 86,
+        grey: false,
+    },
+    Entry {
+        name: "Lonestar-MST-Mesh",
+        suite: Suite::Lonestar,
+        paper_ctas: 895,
+        paper_mb: 75,
+        grey: false,
+    },
+    Entry {
+        name: "Lonestar-SSSP-Wln",
+        suite: Suite::Lonestar,
+        paper_ctas: 60,
+        paper_mb: 21,
+        grey: false,
+    },
+    Entry {
+        name: "Lonestar-DMR",
+        suite: Suite::Lonestar,
+        paper_ctas: 82,
+        paper_mb: 248,
+        grey: true,
+    },
+    Entry {
+        name: "Lonestar-SSSP-Wlc",
+        suite: Suite::Lonestar,
+        paper_ctas: 163,
+        paper_mb: 21,
+        grey: false,
+    },
+    Entry {
+        name: "Lonestar-SSSP",
+        suite: Suite::Lonestar,
+        paper_ctas: 1046,
+        paper_mb: 38,
+        grey: false,
+    },
+    Entry {
+        name: "Other-Stream-Triad",
+        suite: Suite::Other,
+        paper_ctas: 699_051,
+        paper_mb: 3146,
+        grey: true,
+    },
+    Entry {
+        name: "Other-Optix-Raytracing",
+        suite: Suite::Other,
+        paper_ctas: 3072,
+        paper_mb: 87,
+        grey: false,
+    },
+    Entry {
+        name: "Other-Bitcoin-Crypto",
+        suite: Suite::Other,
+        paper_ctas: 60,
+        paper_mb: 5898,
+        grey: true,
+    },
 ];
 
 const MB: u64 = 1024 * 1024;

@@ -37,5 +37,5 @@ mod patterns;
 mod scale;
 
 pub use catalog::{by_name, catalog, study_set, WORKLOAD_NAMES};
-pub use patterns::{Pattern, PatternKernel, PatternProgram, KernelSpec};
+pub use patterns::{KernelSpec, Pattern, PatternKernel, PatternProgram};
 pub use scale::Scale;

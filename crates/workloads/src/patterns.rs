@@ -1,9 +1,8 @@
 //! Parameterized trace-pattern kernels.
 
 use numa_gpu_runtime::Kernel;
+use numa_gpu_testkit::rng::DetRng;
 use numa_gpu_types::{Addr, CtaId, CtaProgram, MemKind, WarpOp, LINE_SIZE};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Memory access pattern family of one kernel.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,7 +154,7 @@ pub struct PatternProgram {
     num_chunks: u64,
     emitted: Vec<u32>,
     compute_next: Vec<bool>,
-    rngs: Vec<StdRng>,
+    rngs: Vec<DetRng>,
 }
 
 impl PatternProgram {
@@ -175,7 +174,7 @@ impl PatternProgram {
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add((cta.index() as u64) << 20)
                     .wrapping_add(w as u64 + 1);
-                StdRng::seed_from_u64(s)
+                DetRng::seed_from_u64(s)
             })
             .collect();
         PatternProgram {
@@ -213,7 +212,7 @@ impl PatternProgram {
     fn gen_op(&mut self, w: u32, k: u32) -> WarpOp {
         let wi = w as usize;
         let read_fraction = self.read_fraction;
-        let is_read = |rng: &mut StdRng| rng.random_bool(read_fraction);
+        let is_read = |rng: &mut DetRng| rng.random_bool(read_fraction);
         match self.pattern {
             Pattern::Streaming => {
                 let line = self.stream_line(self.chunk_index, w, k);
@@ -441,9 +440,7 @@ mod tests {
                 hot_bytes: 4096,
             },
             Pattern::Stencil { halo_fraction: 0.3 },
-            Pattern::Reduction {
-                output_bytes: 4096,
-            },
+            Pattern::Reduction { output_bytes: 4096 },
             Pattern::SharedRead {
                 shared_fraction: 0.5,
                 shared_bytes: 65536,
@@ -472,9 +469,7 @@ mod tests {
 
     #[test]
     fn reduction_writes_go_to_output_region() {
-        let mut s = spec(Pattern::Reduction {
-            output_bytes: 2048,
-        });
+        let mut s = spec(Pattern::Reduction { output_bytes: 2048 });
         s.read_fraction = 0.0; // all writes
         let mut p = PatternProgram::new(&s, CtaId::new(5));
         for op in collect_ops(&mut p, 0) {

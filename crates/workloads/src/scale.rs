@@ -69,7 +69,7 @@ impl Scale {
     /// real benchmark does not have.
     pub fn footprint_bytes(&self, paper_mb: u64) -> u64 {
         let scaled = paper_mb / self.footprint_divisor;
-        let floor = paper_mb.min(48).max(2);
+        let floor = paper_mb.clamp(2, 48);
         scaled.max(floor).min(256) * 1024 * 1024
     }
 

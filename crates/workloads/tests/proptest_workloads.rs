@@ -1,65 +1,62 @@
 //! Property tests for the synthetic trace generators.
 
 use numa_gpu_runtime::Kernel;
+use numa_gpu_testkit::gen::{bools, floats, ints, just, one_of, pairs, triples, Gen};
+use numa_gpu_testkit::{prop_assert, prop_assert_eq, prop_check, Config};
 use numa_gpu_types::{CtaId, CtaProgram, WarpOp, LINE_SIZE};
 use numa_gpu_workloads::{catalog, KernelSpec, Pattern, PatternKernel, PatternProgram, Scale};
-use proptest::prelude::*;
 
-fn arb_pattern() -> impl Strategy<Value = Pattern> {
-    prop_oneof![
-        Just(Pattern::Streaming),
-        (1u32..16).prop_map(|reuse| Pattern::Tiled { reuse }),
-        Just(Pattern::RandomUniform),
-        (0.0f64..1.0, 1u64..1_000_000).prop_map(|(hot_fraction, hot_bytes)| Pattern::HotCold {
-            hot_fraction,
-            hot_bytes,
+fn arb_pattern() -> Gen<Pattern> {
+    one_of(vec![
+        just(Pattern::Streaming),
+        ints(1u32..16).map(|reuse| Pattern::Tiled { reuse }),
+        just(Pattern::RandomUniform),
+        pairs(floats(0.0..1.0), ints(1u64..1_000_000)).map(|(hot_fraction, hot_bytes)| {
+            Pattern::HotCold {
+                hot_fraction,
+                hot_bytes,
+            }
         }),
-        (0.0f64..1.0).prop_map(|halo_fraction| Pattern::Stencil { halo_fraction }),
-        (1u64..1_000_000).prop_map(|output_bytes| Pattern::Reduction { output_bytes }),
-        (0.0f64..1.0, 1u64..1_000_000, 0.0f64..1.0).prop_map(
+        floats(0.0..1.0).map(|halo_fraction| Pattern::Stencil { halo_fraction }),
+        ints(1u64..1_000_000).map(|output_bytes| Pattern::Reduction { output_bytes }),
+        triples(floats(0.0..1.0), ints(1u64..1_000_000), floats(0.0..1.0)).map(
             |(shared_fraction, shared_bytes, shared_read_fraction)| Pattern::SharedRead {
                 shared_fraction,
                 shared_bytes,
                 shared_read_fraction,
-            }
+            },
         ),
-    ]
+    ])
 }
 
-prop_compose! {
-    fn arb_spec()(
-        pattern in arb_pattern(),
-        ctas in 1u32..64,
-        warps in 1u32..8,
-        ops in 1u32..64,
-        compute in 0u32..16,
-        read_fraction in 0.0f64..=1.0,
-        region_kb in 1u64..4096,
-        offset_kb in 0u64..1024,
-        seed in any::<u64>(),
-    ) -> KernelSpec {
-        KernelSpec {
+/// Whole-spec generator: fields are drawn directly from the case RNG
+/// (read fractions of exactly 1.0 are exercised separately by
+/// `read_fraction_extremes`).
+fn arb_spec() -> Gen<KernelSpec> {
+    let pattern = arb_pattern();
+    Gen::new(
+        move |rng| KernelSpec {
             name: "prop".into(),
-            ctas,
-            warps_per_cta: warps,
-            ops_per_warp: ops,
-            compute_per_mem: compute,
-            read_fraction,
-            pattern,
-            region_offset: offset_kb * 1024,
-            region_bytes: region_kb * 1024,
-            seed,
-        }
-    }
+            ctas: rng.gen_range(1u32..64),
+            warps_per_cta: rng.gen_range(1u32..8),
+            ops_per_warp: rng.gen_range(1u32..64),
+            compute_per_mem: rng.gen_range(0u32..16),
+            read_fraction: rng.gen_range(0.0..1.0),
+            pattern: pattern.sample(rng),
+            region_offset: rng.gen_range(0u64..1024) * 1024,
+            region_bytes: rng.gen_range(1u64..4096) * 1024,
+            seed: rng.next_u64(),
+        },
+        |_| Vec::new(),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+prop_check! {
+    #![config = Config::new().cases(64)]
 
     /// Every generated program terminates with exactly `ops_per_warp`
     /// memory ops per warp, alternating with compute ops when configured,
     /// and every address stays inside the kernel's region.
-    #[test]
     fn programs_are_well_formed(spec in arb_spec()) {
         let kernel = PatternKernel::new(spec.clone());
         for cta in [0, spec.ctas - 1] {
@@ -96,7 +93,6 @@ proptest! {
     }
 
     /// Regenerating the same CTA yields the identical op stream.
-    #[test]
     fn programs_are_deterministic(spec in arb_spec()) {
         let mut a = PatternProgram::new(&spec, CtaId::new(0));
         let mut b = PatternProgram::new(&spec, CtaId::new(0));
@@ -112,8 +108,7 @@ proptest! {
     }
 
     /// Extreme read fractions produce only that kind of private access.
-    #[test]
-    fn read_fraction_extremes(seed in any::<u64>(), all_reads: bool) {
+    fn read_fraction_extremes(seed in ints(0u64..u64::MAX), all_reads in bools()) {
         let spec = KernelSpec {
             name: "rw".into(),
             ctas: 4,

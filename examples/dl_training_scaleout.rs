@@ -29,7 +29,13 @@ fn main() {
 
     println!(
         "{:28} {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
-        "workload (speedup vs 1 GPU)", "sw-2s", "sw-4s", "sw-8s", "aware-2s", "aware-4s", "aware-8s"
+        "workload (speedup vs 1 GPU)",
+        "sw-2s",
+        "sw-4s",
+        "sw-8s",
+        "aware-2s",
+        "aware-4s",
+        "aware-8s"
     );
     let mut sums = [0.0f64; 6];
     for wl in &ml {
@@ -40,7 +46,8 @@ fn main() {
             row.push(sw.speedup_over(&single));
         }
         for n in [2u8, 4, 8] {
-            let aware = run_workload(SystemConfig::numa_aware_sockets(n), wl).expect("valid config");
+            let aware =
+                run_workload(SystemConfig::numa_aware_sockets(n), wl).expect("valid config");
             row.push(aware.speedup_over(&single));
         }
         for (s, v) in sums.iter_mut().zip(&row) {

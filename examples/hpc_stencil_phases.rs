@@ -27,7 +27,10 @@ fn main() {
         report.total_cycles,
         report.lane_turns()
     );
-    println!("kernel launches at cycles: {:?}\n", report.kernel_start_cycles);
+    println!(
+        "kernel launches at cycles: {:?}\n",
+        report.kernel_start_cycles
+    );
 
     // Interleave the four per-GPU timelines by sample index.
     let samples = report

@@ -45,7 +45,8 @@ fn main() {
         100.0 * baseline4.remote_read_fraction
     );
 
-    let aware4 = run_workload(SystemConfig::numa_aware_sockets(4), &workload).expect("valid config");
+    let aware4 =
+        run_workload(SystemConfig::numa_aware_sockets(4), &workload).expect("valid config");
     println!(
         "4-socket, NUMA-aware      : {:>10} cycles ({:.2}x, {} lane turns, {:.1} W links)",
         aware4.total_cycles,

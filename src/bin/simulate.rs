@@ -14,9 +14,7 @@
 
 use numa_gpu::core::NumaGpuSystem;
 use numa_gpu::runtime::Kernel as _;
-use numa_gpu::types::{
-    CacheMode, CtaSchedulingPolicy, LinkMode, PagePlacement, SystemConfig,
-};
+use numa_gpu::types::{CacheMode, CtaSchedulingPolicy, LinkMode, PagePlacement, SystemConfig};
 use numa_gpu::workloads::{by_name, Scale, WORKLOAD_NAMES};
 
 fn usage(msg: &str) -> ! {

@@ -1,0 +1,55 @@
+//! The CLI front end is byte-deterministic: two consecutive runs with the
+//! same flags must produce identical stdout, down to the last byte of the
+//! stats block. This is the end-to-end witness that no wall-clock time,
+//! hash-map ordering, or ambient randomness leaks into reported results.
+
+use std::process::Command;
+
+fn simulate(args: &[&str]) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_simulate"))
+        .args(args)
+        .output()
+        .expect("simulate binary runs");
+    assert!(
+        out.status.success(),
+        "simulate {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(!out.stdout.is_empty(), "no output produced");
+    out.stdout
+}
+
+#[test]
+fn consecutive_runs_are_byte_identical() {
+    let args = [
+        "--workload",
+        "Other-Stream-Triad",
+        "--quick",
+        "--sockets",
+        "2",
+    ];
+    assert_eq!(
+        simulate(&args),
+        simulate(&args),
+        "stdout differs between identical runs"
+    );
+}
+
+#[test]
+fn timeline_output_is_byte_identical() {
+    let args = [
+        "--workload",
+        "HPC-HPGMG-UVM",
+        "--quick",
+        "--sockets",
+        "2",
+        "--link",
+        "dynamic",
+        "--timeline",
+    ];
+    assert_eq!(
+        simulate(&args),
+        simulate(&args),
+        "timeline output differs between identical runs"
+    );
+}

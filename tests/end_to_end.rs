@@ -1,10 +1,8 @@
 //! End-to-end integration tests: full workloads through full systems.
 
 use numa_gpu::core::{run_workload, NumaGpuSystem};
-use numa_gpu::types::{
-    CacheMode, CtaSchedulingPolicy, LinkMode, PagePlacement, SystemConfig,
-};
 use numa_gpu::runtime::{Kernel, Suite, Workload, WorkloadMeta};
+use numa_gpu::types::{CacheMode, CtaSchedulingPolicy, LinkMode, PagePlacement, SystemConfig};
 use numa_gpu::workloads::{by_name, catalog, KernelSpec, Pattern, PatternKernel, Scale};
 use std::sync::Arc;
 
@@ -186,7 +184,10 @@ fn cache_modes_all_run_and_remote_hits_only_when_cached() {
     shared.cache_mode = CacheMode::SharedCoherent;
     let sh = run_workload(shared, &wl).unwrap();
     let remote_l2: u64 = sh.sockets.iter().map(|s| s.l2.remote_hits.get()).sum();
-    assert!(remote_l2 > 0, "shared coherent L2 should hit on remote data");
+    assert!(
+        remote_l2 > 0,
+        "shared coherent L2 should hit on remote data"
+    );
 }
 
 #[test]

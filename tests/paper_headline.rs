@@ -1,0 +1,109 @@
+//! Paper-headline smoke test.
+//!
+//! The paper's headline result (§7, Fig. 10/11): a NUMA-aware multi-socket
+//! GPU achieves average speedups of roughly 1.5×, 2.3×, and 3.2× over a
+//! single GPU at 2, 4, and 8 sockets. This test drives the full simulator
+//! over a small basket of representative access patterns (streaming,
+//! stencil exchange, and two shared-structure intensities) and checks the
+//! geometric-mean speedup curve:
+//!
+//! - strictly monotone in socket count,
+//! - every point above 1× (multi-socket must actually help), and
+//! - within a documented ±35% tolerance of the paper's numbers. The
+//!   tolerance is deliberately loose: the simulator reproduces the trend
+//!   on synthetic traces, not the paper's exact silicon/workload mix.
+
+use numa_gpu::core::run_workload;
+use numa_gpu::runtime::{Kernel, Suite, Workload, WorkloadMeta};
+use numa_gpu::types::SystemConfig;
+use numa_gpu::workloads::{KernelSpec, Pattern, PatternKernel};
+use std::sync::Arc;
+
+/// Paper headline speedups over a single GPU, by socket count.
+const PAPER_HEADLINE: [(u8, f64); 3] = [(2, 1.5), (4, 2.3), (8, 3.2)];
+/// Relative tolerance around each paper value.
+const TOLERANCE: f64 = 0.35;
+
+fn workload(name: &str, pattern: Pattern) -> Workload {
+    // Large enough to feed eight sockets: 1024 CTAs over 128 MiB.
+    let spec = KernelSpec {
+        name: name.into(),
+        ctas: 1024,
+        warps_per_cta: 4,
+        ops_per_warp: 16,
+        compute_per_mem: 4,
+        read_fraction: 0.67,
+        pattern,
+        region_offset: 0,
+        region_bytes: 128 << 20,
+        seed: 3,
+    };
+    Workload {
+        meta: WorkloadMeta {
+            name: name.into(),
+            suite: Suite::Other,
+            paper_avg_ctas: 1024,
+            paper_footprint_mb: 128,
+            study_set: false,
+        },
+        kernels: vec![Arc::new(PatternKernel::new(spec)) as Arc<dyn Kernel>],
+        footprint_bytes: 128 << 20,
+    }
+}
+
+/// The basket mixes linear-scaling patterns (streaming, stencil) with
+/// interconnect-bound ones (shared structures), like the paper's suite.
+fn basket() -> Vec<Workload> {
+    let shared = |fraction| Pattern::SharedRead {
+        shared_fraction: fraction,
+        shared_bytes: 8 << 20,
+        shared_read_fraction: 1.0,
+    };
+    vec![
+        workload("headline-stream", Pattern::Streaming),
+        workload("headline-stencil", Pattern::Stencil { halo_fraction: 0.4 }),
+        workload("headline-shared10", shared(0.10)),
+        workload("headline-shared15", shared(0.15)),
+    ]
+}
+
+#[test]
+fn numa_aware_speedup_tracks_paper_headline() {
+    let basket = basket();
+    let singles: Vec<_> = basket
+        .iter()
+        .map(|w| run_workload(SystemConfig::pascal_single(), w).unwrap())
+        .collect();
+
+    let mut previous = 0.0f64;
+    for (sockets, paper) in PAPER_HEADLINE {
+        let mut logsum = 0.0f64;
+        for (w, single) in basket.iter().zip(&singles) {
+            let multi = run_workload(SystemConfig::numa_aware_sockets(sockets), w).unwrap();
+            let speedup = multi.speedup_over(single);
+            assert!(
+                speedup > 0.0,
+                "{} at {sockets} sockets produced no speedup value",
+                w.meta.name
+            );
+            logsum += speedup.ln();
+        }
+        let geomean = (logsum / basket.len() as f64).exp();
+
+        assert!(
+            geomean > 1.0,
+            "{sockets} sockets: geomean {geomean:.3} not faster than one socket"
+        );
+        assert!(
+            geomean > previous,
+            "{sockets} sockets: geomean {geomean:.3} not monotone (previous {previous:.3})"
+        );
+        let (lo, hi) = (paper * (1.0 - TOLERANCE), paper * (1.0 + TOLERANCE));
+        assert!(
+            (lo..=hi).contains(&geomean),
+            "{sockets} sockets: geomean {geomean:.3} outside [{lo:.2}, {hi:.2}] \
+             (paper: {paper}x +/- {TOLERANCE})",
+        );
+        previous = geomean;
+    }
+}

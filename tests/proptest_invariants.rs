@@ -10,13 +10,16 @@ use numa_gpu::types::{
     Addr, CacheConfig, CtaSchedulingPolicy, LineAddr, PagePlacement, SocketId, WritePolicy,
     LINE_SIZE, TICKS_PER_CYCLE,
 };
-use proptest::prelude::*;
+use numa_gpu_testkit::gen::{bools, ints, pairs, select, vecs};
+use numa_gpu_testkit::{prop_assert, prop_assert_eq, prop_check};
 
-proptest! {
+prop_check! {
     /// ServiceQueue completions are monotone in submission order and never
     /// finish before request time plus occupancy.
-    #[test]
-    fn service_queue_monotone(rates in 1u64..4096, reqs in prop::collection::vec((0u64..100_000u64, 1u32..100_000u32), 1..50)) {
+    fn service_queue_monotone(
+        rates in ints(1u64..4096),
+        reqs in vecs(pairs(ints(0u64..100_000), ints(1u32..100_000)), 1..50)
+    ) {
         let mut q = ServiceQueue::new(rates);
         let mut last = 0;
         let mut now = 0;
@@ -34,8 +37,7 @@ proptest! {
 
     /// Way partitions always keep at least one way per class regardless of
     /// the action sequence applied.
-    #[test]
-    fn partition_floors_hold(total in 2u16..64, actions in prop::collection::vec(0u8..4, 0..200)) {
+    fn partition_floors_hold(total in ints(2u16..64), actions in vecs(ints(0u8..4), 0..200)) {
         let mut ctl = PartitionController::new(total);
         for a in actions {
             let (link, dram) = match a {
@@ -54,8 +56,7 @@ proptest! {
 
     /// Sustained one-sided saturation converges to the extreme partition
     /// and equalization converges back to balance.
-    #[test]
-    fn partition_converges(total in 2u16..64) {
+    fn partition_converges(total in ints(2u16..64)) {
         let mut ctl = PartitionController::new(total);
         for _ in 0..2 * total {
             ctl.step(true, false);
@@ -69,8 +70,7 @@ proptest! {
 
     /// A cache never reports more resident lines than its capacity, and a
     /// fill for a resident line never evicts.
-    #[test]
-    fn cache_capacity_invariant(lines in prop::collection::vec(0u64..4096, 1..300)) {
+    fn cache_capacity_invariant(lines in vecs(ints(0u64..4096), 1..300)) {
         let cfg = CacheConfig {
             size_bytes: 64 * LINE_SIZE,
             ways: 4,
@@ -92,8 +92,7 @@ proptest! {
 
     /// Partitioned victim selection never evicts from the other class's
     /// protected ways when the partition is full of own-class lines.
-    #[test]
-    fn partition_isolation(seed in 0u64..1000) {
+    fn partition_isolation(seed in ints(0u64..1000)) {
         let cfg = CacheConfig {
             size_bytes: 8 * LINE_SIZE, // 1 set x 8 ways
             ways: 8,
@@ -115,8 +114,7 @@ proptest! {
 
     /// MSHR: waiters are returned exactly once, in order, and capacity is
     /// respected.
-    #[test]
-    fn mshr_waiters_exact(lines in prop::collection::vec(0u64..16, 1..100)) {
+    fn mshr_waiters_exact(lines in vecs(ints(0u64..16), 1..100)) {
         let mut m: MshrFile<usize> = MshrFile::new(4);
         let mut expected: std::collections::HashMap<u64, Vec<usize>> = Default::default();
         for (i, l) in lines.iter().enumerate() {
@@ -137,15 +135,14 @@ proptest! {
 
     /// Page table: homes are stable (same line always resolves to the same
     /// socket once placed) and within range.
-    #[test]
     fn page_table_stable(
-        policy in prop::sample::select(vec![
+        policy in select(vec![
             PagePlacement::FineInterleave,
             PagePlacement::PageInterleave,
             PagePlacement::FirstTouch,
         ]),
-        sockets in 1u8..9,
-        addrs in prop::collection::vec((0u64..1u64<<30, 0u8..8), 1..200),
+        sockets in ints(1u8..9),
+        addrs in vecs(pairs(ints(0u64..1u64 << 30), ints(0u8..8)), 1..200),
     ) {
         let mut pt = PageTable::new(policy, sockets);
         let mut seen: std::collections::HashMap<u64, SocketId> = Default::default();
@@ -163,8 +160,7 @@ proptest! {
     /// CTA assignment: contiguous blocks are monotone in CTA id; interleave
     /// is round-robin; both cover only valid sockets; the launch plan
     /// partitions the grid exactly.
-    #[test]
-    fn launch_plan_partitions(total in 1u32..2000, sockets in 1u8..9) {
+    fn launch_plan_partitions(total in ints(1u32..2000), sockets in ints(1u8..9)) {
         for policy in [CtaSchedulingPolicy::Interleave, CtaSchedulingPolicy::ContiguousBlock] {
             let mut prev = 0usize;
             let mut count = 0u32;
@@ -188,8 +184,12 @@ proptest! {
 
     /// The link balancer never steals a donor's last lane and only acts
     /// under saturation.
-    #[test]
-    fn balancer_safety(sat_e: bool, sat_i: bool, eg in 1u8..16, ing in 1u8..16) {
+    fn balancer_safety(
+        sat_e in bools(),
+        sat_i in bools(),
+        eg in ints(1u8..16),
+        ing in ints(1u8..16)
+    ) {
         match LinkBalancer::decide(sat_e, sat_i, eg, ing) {
             BalanceAction::TurnTowardEgress => {
                 prop_assert!(sat_e && !sat_i && ing > 1);
@@ -205,8 +205,7 @@ proptest! {
     }
 
     /// Partition controller actions match their inputs (the Fig 7(d) table).
-    #[test]
-    fn controller_action_table(link: bool, dram: bool) {
+    fn controller_action_table(link in bools(), dram in bools()) {
         let mut ctl = PartitionController::new(16);
         let action = ctl.step(link, dram);
         let want = match (link, dram) {
