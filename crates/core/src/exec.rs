@@ -2,11 +2,13 @@
 
 use crate::system::{Ev, NumaGpuSystem};
 use numa_gpu_cache::LineClass;
+use numa_gpu_interconnect::BalanceAction;
+use numa_gpu_obs::TraceEvent;
 use numa_gpu_runtime::{Kernel, LaunchPlan};
 use numa_gpu_sm::L1ReadOutcome;
 use numa_gpu_types::{
-    cycles_to_ticks, CacheMode, MemKind, SocketId, Tick, WarpOp, WarpSlot, SATURATION_THRESHOLD,
-    TICKS_PER_CYCLE,
+    cycles_to_ticks, ticks_to_cycles, CacheMode, MemKind, SocketId, Tick, WarpOp, WarpSlot,
+    SATURATION_THRESHOLD, TICKS_PER_CYCLE,
 };
 use std::sync::Arc;
 
@@ -257,8 +259,52 @@ impl NumaGpuSystem {
 
     /// Periodic link load balancer tick (§4).
     fn on_link_sample(&mut self, t: Tick) {
-        self.switch
+        // Capture window state before the balancer consumes it: rebalancing
+        // resets the sampling window, so this is the only point where the
+        // utilizations the decision saw are observable.
+        let observing = self.obs.record_timeline || self.obs.tracing();
+        let samples = if observing {
+            self.switch.sample_points(t)
+        } else {
+            Vec::new()
+        };
+        let actions = self
+            .switch
             .sample_and_rebalance_all(t, SATURATION_THRESHOLD);
+        if self.obs.record_timeline {
+            for (s, sample) in samples.iter().enumerate() {
+                self.obs.timelines[s].push(*sample);
+            }
+        }
+        if self.obs.tracing() {
+            let cycle = ticks_to_cycles(t);
+            for (s, sample) in samples.iter().enumerate() {
+                self.obs.emit(
+                    TraceEvent::counter(format!("link.s{s}.util"), "link", cycle, s as u32)
+                        .arg("egress", sample.egress_util)
+                        .arg("ingress", sample.ingress_util),
+                );
+                self.obs.emit(
+                    TraceEvent::counter(format!("link.s{s}.lanes"), "link", cycle, s as u32)
+                        .arg("egress", sample.egress_lanes as u64)
+                        .arg("ingress", sample.ingress_lanes as u64),
+                );
+            }
+            for (s, action) in actions.iter().enumerate() {
+                if *action != BalanceAction::Hold {
+                    self.obs.emit(
+                        TraceEvent::instant(
+                            format!("link.s{s}.{action:?}"),
+                            "rebalance",
+                            cycle,
+                            s as u32,
+                        )
+                        .arg("egress_util", samples[s].egress_util)
+                        .arg("ingress_util", samples[s].ingress_util),
+                    );
+                }
+            }
+        }
         self.events.push(
             t + cycles_to_ticks(self.cfg.link.sample_time_cycles as u64),
             Ev::LinkSample,
@@ -293,9 +339,21 @@ impl NumaGpuSystem {
                         SATURATION_THRESHOLD,
                     );
                 let dram_sat = self.drams[s].is_saturated(t, SATURATION_THRESHOLD);
-                self.ctls[s].step(link_sat, dram_sat);
+                let action = self.ctls[s].step(link_sat, dram_sat);
                 let p = self.ctls[s].partition();
                 self.l2s[s].set_partition(p);
+                if action != numa_gpu_cache::PartitionAction::Hold && self.obs.tracing() {
+                    self.obs.emit(
+                        TraceEvent::instant(
+                            format!("l2.s{s}.{action:?}"),
+                            "repartition",
+                            ticks_to_cycles(t),
+                            s as u32,
+                        )
+                        .arg("local_ways", p.local_ways() as u64)
+                        .arg("remote_ways", p.remote_ways() as u64),
+                    );
+                }
                 if self.cfg.partition_l1 {
                     let l1p = scale_partition(p, self.cfg.l1.ways);
                     let base = s as u32 * self.sms_per_socket;

@@ -38,6 +38,7 @@
 mod exec;
 mod flush;
 mod mempath;
+mod observe;
 pub mod power;
 mod report;
 mod system;

@@ -43,7 +43,7 @@ impl NumaGpuSystem {
                 return;
             }
             self.l2s[s].record_miss(LineClass::Local);
-            let ready = self.drams[s].read(t + self.l2_hit_latency, LINE_BYTES);
+            let ready = self.drams[s].read_line(t + self.l2_hit_latency, line, LINE_BYTES);
             self.push_mem(
                 ready,
                 Ev::DataToSm {
@@ -84,7 +84,7 @@ impl NumaGpuSystem {
             t + self.l2_hit_latency
         } else {
             self.l2s[h].record_miss(LineClass::Local);
-            let r = self.drams[h].read(t + self.l2_hit_latency, LINE_BYTES);
+            let r = self.drams[h].read_line(t + self.l2_hit_latency, line, LINE_BYTES);
             self.fill_l2(t, home, line, LineClass::Local, false);
             r
         };
@@ -173,7 +173,7 @@ impl NumaGpuSystem {
                 t
             } else {
                 let _ = self.l2s[s].probe_write(line, false);
-                self.drams[s].write(t, LINE_BYTES)
+                self.drams[s].write_line(t, line, LINE_BYTES)
             };
             self.write_drain = self.write_drain.max(done);
             t
@@ -228,7 +228,7 @@ impl NumaGpuSystem {
             t
         } else {
             let _ = self.l2s[h].probe_write(line, false);
-            self.drams[h].write(t, LINE_BYTES)
+            self.drams[h].write_line(t, line, LINE_BYTES)
         }
     }
 
@@ -253,7 +253,7 @@ impl NumaGpuSystem {
     pub(crate) fn writeback(&mut self, t: Tick, socket: SocketId, line: LineAddr) -> Tick {
         let home = self.pages.home_of_line(line, socket);
         if home == socket {
-            self.drams[socket.index()].write(t, LINE_BYTES)
+            self.drams[socket.index()].write_line(t, line, LINE_BYTES)
         } else {
             let arrive = self.switch.transfer(t, socket, home, DATA_PACKET_BYTES);
             self.push_mem(

@@ -2,6 +2,7 @@
 
 use numa_gpu_cache::CacheStats;
 use numa_gpu_interconnect::LinkSample;
+use numa_gpu_obs::{chrome_trace, MetricsSnapshot, TraceEvent};
 use numa_gpu_testkit::json::Json;
 
 /// Per-socket results of one simulation run.
@@ -51,6 +52,13 @@ pub struct SimReport {
     pub interconnect_bytes: u64,
     /// Average interconnect power in watts under the §6 energy model.
     pub link_power_w: f64,
+    /// End-of-run metrics snapshot (`None` unless `SystemConfig::obs.metrics`
+    /// was set).
+    pub metrics: Option<MetricsSnapshot>,
+    /// Structured trace events recorded during the run (empty unless
+    /// `SystemConfig::obs.trace` was set). Export with
+    /// [`SimReport::chrome_trace`].
+    pub trace_events: Vec<TraceEvent>,
 }
 
 impl std::fmt::Display for SimReport {
@@ -92,8 +100,18 @@ impl SimReport {
         self.sockets.iter().map(|s| s.dram_bytes).sum()
     }
 
+    /// Renders the recorded trace as a Chrome `trace_event` JSON document
+    /// loadable in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+    ///
+    /// Timestamps are GPU cycles (1 ts = 1 cycle); the document is empty but
+    /// well-formed when tracing was off.
+    pub fn chrome_trace(&self) -> Json {
+        chrome_trace(&self.trace_events)
+    }
+
     /// Machine-readable form of the report. Fields keep insertion order,
     /// so the encoding of a given report is byte-stable across runs.
+    /// The `metrics` field is `null` when metrics collection was off.
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("workload", Json::Str(self.workload.clone())),
@@ -113,6 +131,13 @@ impl SimReport {
             ),
             ("interconnect_bytes", Json::UInt(self.interconnect_bytes)),
             ("link_power_w", Json::Float(self.link_power_w)),
+            (
+                "metrics",
+                match &self.metrics {
+                    Some(snap) => snap.to_json(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 }

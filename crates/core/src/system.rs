@@ -1,5 +1,6 @@
 //! The multi-socket NUMA GPU system: construction and public API.
 
+use crate::observe::ObsState;
 use crate::power::average_link_power_w;
 use crate::report::{SimReport, SocketReport};
 use numa_gpu_cache::LineClass;
@@ -7,6 +8,7 @@ use numa_gpu_cache::{CacheStats, PartitionController, SetAssocCache, WayPartitio
 use numa_gpu_engine::{EventQueue, ServiceQueue};
 use numa_gpu_interconnect::Switch;
 use numa_gpu_mem::{Dram, PageTable};
+use numa_gpu_obs::TraceEvent;
 use numa_gpu_runtime::{Kernel, LaunchPlan, Workload};
 use numa_gpu_sm::Sm;
 use numa_gpu_types::{
@@ -148,6 +150,8 @@ pub struct NumaGpuSystem {
     pub(crate) samplers_scheduled: bool,
     pub(crate) has_run: bool,
     pub(crate) kernel_starts: Vec<u64>,
+    /// Metrics registry, trace sink, and Fig-5 timelines (see `observe`).
+    pub(crate) obs: ObsState,
     // Derived constants.
     pub(crate) noc_latency: Tick,
     pub(crate) l2_hit_latency: Tick,
@@ -188,7 +192,7 @@ impl NumaGpuSystem {
             _ => None,
         };
 
-        let sms = (0..total_sms)
+        let mut sms = (0..total_sms)
             .map(|_| Sm::new(&cfg.sm, &cfg.l1, l1_partition))
             .collect::<Vec<_>>();
         let pending_ops = (0..total_sms)
@@ -197,17 +201,33 @@ impl NumaGpuSystem {
         let warp_mem = (0..total_sms)
             .map(|_| vec![WarpMemState::default(); cfg.sm.max_warps as usize])
             .collect();
-        let l2s = (0..sockets)
+        let mut l2s: Vec<SetAssocCache> = (0..sockets)
             .map(|_| SetAssocCache::new(&cfg.l2, l2_partition))
             .collect();
-        let drams = (0..sockets).map(|_| Dram::new(cfg.dram)).collect();
+        let mut drams: Vec<Dram> = (0..sockets).map(|_| Dram::new(cfg.dram)).collect();
         let noc_req = (0..sockets)
             .map(|_| ServiceQueue::new(cfg.noc.bytes_per_cycle))
             .collect();
         let noc_resp = (0..sockets)
             .map(|_| ServiceQueue::new(cfg.noc.bytes_per_cycle))
             .collect();
-        let switch = Switch::new(&cfg.link, cfg.num_sockets);
+        let mut switch = Switch::new(&cfg.link, cfg.num_sockets);
+
+        // Observability: registration happens once here, in socket order, so
+        // snapshots are byte-stable across runs. All SMs of a socket share
+        // clones of the same handles (socket-level cardinality).
+        let mut obs = ObsState::new(&cfg.obs, sockets);
+        if obs.registry.is_some() {
+            for s in 0..sockets {
+                let h = obs.socket_handles(s);
+                for sm in &mut sms[s * sms_per_socket as usize..(s + 1) * sms_per_socket as usize] {
+                    sm.set_obs(h.sm.clone());
+                }
+                l2s[s].set_obs(h.l2);
+                drams[s].set_obs(h.dram);
+                switch.link_mut(SocketId::new(s as u8)).set_obs(h.link);
+            }
+        }
         let pages = PageTable::new(cfg.placement, cfg.num_sockets);
         let ctls = (0..sockets)
             .map(|_| PartitionController::new(cfg.l2.ways))
@@ -241,6 +261,7 @@ impl NumaGpuSystem {
             samplers_scheduled: false,
             has_run: false,
             kernel_starts: Vec::new(),
+            obs,
         })
     }
 
@@ -252,9 +273,7 @@ impl NumaGpuSystem {
     /// Enables per-sample link utilization recording (Fig 5 timelines).
     /// Call before [`Self::run`].
     pub fn enable_link_timeline(&mut self) {
-        for s in 0..self.cfg.num_sockets {
-            self.switch.link_mut(SocketId::new(s)).enable_timeline();
-        }
+        self.obs.record_timeline = true;
     }
 
     /// Socket that owns SM `sm`.
@@ -297,13 +316,28 @@ impl NumaGpuSystem {
             self.now = start;
             self.kernel_starts.push(ticks_to_cycles(start));
             self.run_kernel(kernel.clone());
+            if self.obs.tracing() {
+                let start_cycle = *self.kernel_starts.last().expect("just pushed");
+                let end_cycle = ticks_to_cycles(self.now.max(self.write_drain));
+                let idx = self.kernel_starts.len() - 1;
+                self.obs.emit(
+                    TraceEvent::complete(
+                        format!("kernel[{idx}] {}", kernel.name()),
+                        "kernel",
+                        start_cycle,
+                        end_cycle.saturating_sub(start_cycle),
+                        0,
+                    )
+                    .arg("ctas", kernel.num_ctas() as u64),
+                );
+            }
         }
         // Charge the final write drain.
         self.now = self.now.max(self.write_drain);
         self.build_report(workload)
     }
 
-    fn build_report(&self, workload: &Workload) -> SimReport {
+    fn build_report(&mut self, workload: &Workload) -> SimReport {
         let total_cycles = ticks_to_cycles(self.now);
         let sockets: Vec<SocketReport> = (0..self.cfg.num_sockets as usize)
             .map(|s| {
@@ -333,9 +367,16 @@ impl NumaGpuSystem {
             l1.evictions.add(s.evictions.get());
         }
         let reads = self.reads_local_class + self.reads_remote_class;
-        let link_timelines = (0..self.cfg.num_sockets)
-            .map(|s| self.switch.link(SocketId::new(s)).timeline().to_vec())
-            .collect();
+        let link_timelines = std::mem::take(&mut self.obs.timelines);
+        if let Some(reg) = &mut self.obs.registry {
+            // Engine-level high-water marks, published once at end of run.
+            let st = self.events.stats();
+            reg.gauge("engine.events_scheduled").set(st.pushes);
+            reg.gauge("engine.events_dispatched").set(st.pops);
+            reg.gauge("engine.queue_max_len").set(st.max_len as u64);
+        }
+        let metrics = self.obs.registry.as_ref().map(|r| r.snapshot());
+        let trace_events = self.obs.take_trace();
         SimReport {
             workload: workload.meta.name.clone(),
             total_cycles,
@@ -351,6 +392,8 @@ impl NumaGpuSystem {
             },
             interconnect_bytes,
             link_power_w: average_link_power_w(interconnect_bytes, total_cycles),
+            metrics,
+            trace_events,
         }
     }
 

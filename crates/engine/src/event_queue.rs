@@ -28,6 +28,19 @@ use std::collections::BinaryHeap;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
+    pops: u64,
+    max_len: usize,
+}
+
+/// Lifetime statistics of an [`EventQueue`], for observability snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventQueueStats {
+    /// Events ever scheduled.
+    pub pushes: u64,
+    /// Events ever dispatched.
+    pub pops: u64,
+    /// High-water mark of pending events.
+    pub max_len: usize,
 }
 
 #[derive(Debug)]
@@ -60,6 +73,8 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
+            pops: 0,
+            max_len: 0,
         }
     }
 
@@ -69,12 +84,17 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Reverse(Entry { at, seq, payload }));
+        self.max_len = self.max_len.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, if any.
     #[inline]
     pub fn pop(&mut self) -> Option<(Tick, E)> {
-        self.heap.pop().map(|Reverse(e)| (e.at, e.payload))
+        let e = self.heap.pop().map(|Reverse(e)| (e.at, e.payload));
+        if e.is_some() {
+            self.pops += 1;
+        }
+        e
     }
 
     /// Tick of the earliest pending event.
@@ -93,6 +113,15 @@ impl<E> EventQueue<E> {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Lifetime scheduling statistics (pushes, pops, high-water mark).
+    pub fn stats(&self) -> EventQueueStats {
+        EventQueueStats {
+            pushes: self.seq,
+            pops: self.pops,
+            max_len: self.max_len,
+        }
     }
 }
 
@@ -137,6 +166,23 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_tick(), None);
+    }
+
+    #[test]
+    fn stats_track_pushes_pops_and_high_water() {
+        let mut q = EventQueue::new();
+        q.push(1, 'a');
+        q.push(2, 'b');
+        q.pop();
+        q.push(3, 'c');
+        q.pop();
+        let s = q.stats();
+        assert_eq!(s.pushes, 3);
+        assert_eq!(s.pops, 2);
+        assert_eq!(s.max_len, 2);
+        q.pop();
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.stats().pops, 3); // a failed pop does not count
     }
 
     #[test]

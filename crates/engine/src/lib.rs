@@ -28,5 +28,5 @@
 mod event_queue;
 mod service_queue;
 
-pub use event_queue::EventQueue;
+pub use event_queue::{EventQueue, EventQueueStats};
 pub use service_queue::ServiceQueue;

@@ -26,5 +26,5 @@ mod link;
 mod switch;
 
 pub use balancer::{BalanceAction, LinkBalancer};
-pub use link::{GpuLink, LinkDirection, LinkSample, LinkStats};
+pub use link::{GpuLink, LinkDirection, LinkObs, LinkSample, LinkStats};
 pub use switch::Switch;

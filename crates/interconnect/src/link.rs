@@ -2,6 +2,7 @@
 
 use crate::balancer::{BalanceAction, LinkBalancer};
 use numa_gpu_engine::ServiceQueue;
+use numa_gpu_obs::{CounterHandle, HistogramHandle};
 use numa_gpu_types::{cycles_to_ticks, ticks_to_cycles, Counter, LinkConfig, LinkMode, Tick};
 
 /// Direction of travel relative to the owning GPU socket.
@@ -22,6 +23,21 @@ impl LinkDirection {
             LinkDirection::Ingress => LinkDirection::Egress,
         }
     }
+}
+
+/// Observability handles for one link, installed via [`GpuLink::set_obs`].
+///
+/// Default handles are disabled no-ops, so an uninstrumented link pays one
+/// branch per send.
+#[derive(Debug, Clone, Default)]
+pub struct LinkObs {
+    /// Queueing delay (in cycles) each egress packet saw on arrival.
+    pub egress_backlog_cycles: HistogramHandle,
+    /// Queueing delay (in cycles) each ingress packet saw on arrival.
+    pub ingress_backlog_cycles: HistogramHandle,
+    /// Sends that found the direction busy and had to queue — the switch
+    /// arbitration conflict count.
+    pub conflicts: CounterHandle,
 }
 
 /// One point of the Fig-5-style utilization timeline.
@@ -90,8 +106,7 @@ pub struct GpuLink {
     mode: LinkMode,
     pending_gain: Option<(Tick, LinkDirection)>,
     stats: LinkStats,
-    timeline: Vec<LinkSample>,
-    record_timeline: bool,
+    obs: LinkObs,
 }
 
 impl GpuLink {
@@ -122,14 +137,13 @@ impl GpuLink {
             mode: config.mode,
             pending_gain: None,
             stats: LinkStats::default(),
-            timeline: Vec::new(),
-            record_timeline: false,
+            obs: LinkObs::default(),
         }
     }
 
-    /// Enables recording of per-sample utilization (Fig 5 timelines).
-    pub fn enable_timeline(&mut self) {
-        self.record_timeline = true;
+    /// Installs observability handles (disabled no-op handles by default).
+    pub fn set_obs(&mut self, obs: LinkObs) {
+        self.obs = obs;
     }
 
     /// Lanes currently assigned to `dir` (including a lane still in its
@@ -170,9 +184,23 @@ impl GpuLink {
     /// this link stage (propagation latency is added by the switch).
     pub fn send(&mut self, now: Tick, dir: LinkDirection, bytes: u32) -> Tick {
         self.apply_pending(now);
+        let backlog = self.queue(dir).next_free().saturating_sub(now);
+        if backlog > 0 {
+            self.obs.conflicts.inc();
+        }
         match dir {
-            LinkDirection::Egress => self.stats.egress_bytes.add(bytes as u64),
-            LinkDirection::Ingress => self.stats.ingress_bytes.add(bytes as u64),
+            LinkDirection::Egress => {
+                self.stats.egress_bytes.add(bytes as u64);
+                self.obs
+                    .egress_backlog_cycles
+                    .observe(ticks_to_cycles(backlog));
+            }
+            LinkDirection::Ingress => {
+                self.stats.ingress_bytes.add(bytes as u64);
+                self.obs
+                    .ingress_backlog_cycles
+                    .observe(ticks_to_cycles(backlog));
+            }
         }
         self.queue_mut(dir).service(now, bytes)
     }
@@ -193,23 +221,26 @@ impl GpuLink {
         self.queue(dir).is_saturated(now, threshold)
     }
 
-    /// Runs one balancer sampling period: records the timeline point,
-    /// applies the paper's reconfiguration rule (only under
-    /// [`LinkMode::DynamicAsymmetric`]), and opens a fresh window.
-    /// Returns the action taken.
+    /// Captures the Fig-5-style utilization point for the window ending at
+    /// `now`. Callers that want a timeline sample this immediately before
+    /// [`Self::sample_and_rebalance`] (which opens a fresh window).
+    pub fn sample_point(&self, now: Tick) -> LinkSample {
+        LinkSample {
+            cycle: ticks_to_cycles(now),
+            egress_util: self.egress.window_utilization(now),
+            ingress_util: self.ingress.window_utilization(now),
+            egress_lanes: self.egress_lanes,
+            ingress_lanes: self.ingress_lanes,
+        }
+    }
+
+    /// Runs one balancer sampling period: applies the paper's
+    /// reconfiguration rule (only under [`LinkMode::DynamicAsymmetric`])
+    /// and opens a fresh window. Returns the action taken.
     pub fn sample_and_rebalance(&mut self, now: Tick, threshold: f64) -> BalanceAction {
         self.apply_pending(now);
         let sat_e = self.egress.is_saturated(now, threshold);
         let sat_i = self.ingress.is_saturated(now, threshold);
-        if self.record_timeline {
-            self.timeline.push(LinkSample {
-                cycle: ticks_to_cycles(now),
-                egress_util: self.egress.window_utilization(now),
-                ingress_util: self.ingress.window_utilization(now),
-                egress_lanes: self.egress_lanes,
-                ingress_lanes: self.ingress_lanes,
-            });
-        }
         let action = if self.mode == LinkMode::DynamicAsymmetric && self.pending_gain.is_none() {
             LinkBalancer::decide(sat_e, sat_i, self.egress_lanes, self.ingress_lanes)
         } else {
@@ -275,12 +306,6 @@ impl GpuLink {
     /// Traffic statistics.
     pub fn stats(&self) -> LinkStats {
         self.stats
-    }
-
-    /// The recorded utilization timeline (empty unless
-    /// [`Self::enable_timeline`] was called).
-    pub fn timeline(&self) -> &[LinkSample] {
-        &self.timeline
     }
 
     /// Total busy ticks in `dir` since construction.
@@ -419,23 +444,54 @@ mod tests {
     }
 
     #[test]
-    fn timeline_records_when_enabled() {
+    fn sample_point_reports_window_state() {
         let mut l = GpuLink::new(&cfg(LinkMode::StaticSymmetric));
-        l.enable_timeline();
         l.send(0, LinkDirection::Egress, 6400);
-        l.sample_and_rebalance(cycles_to_ticks(100), 0.99);
-        assert_eq!(l.timeline().len(), 1);
-        let s = l.timeline()[0];
+        let s = l.sample_point(cycles_to_ticks(100));
         assert_eq!(s.cycle, 100);
         assert!(s.egress_util > 0.9);
         assert_eq!(s.ingress_util, 0.0);
+        assert_eq!(s.egress_lanes, 8);
+        assert_eq!(s.ingress_lanes, 8);
+        // Rebalancing opens a fresh window: the next point reads idle.
+        l.sample_and_rebalance(cycles_to_ticks(100), 0.99);
+        let s2 = l.sample_point(cycles_to_ticks(200));
+        assert_eq!(s2.egress_util, 0.0);
     }
 
     #[test]
-    fn no_timeline_by_default() {
+    fn obs_handles_record_backlog_and_conflicts() {
+        use numa_gpu_obs::MetricsRegistry;
+
+        let mut reg = MetricsRegistry::new();
+        let obs = LinkObs {
+            egress_backlog_cycles: reg.histogram("link.egress_backlog_cycles"),
+            ingress_backlog_cycles: reg.histogram("link.ingress_backlog_cycles"),
+            conflicts: reg.counter("link.conflicts"),
+        };
         let mut l = GpuLink::new(&cfg(LinkMode::StaticSymmetric));
-        l.sample_and_rebalance(cycles_to_ticks(100), 0.99);
-        assert!(l.timeline().is_empty());
+        l.set_obs(obs);
+        // First send finds an idle link; the second queues behind it.
+        l.send(0, LinkDirection::Egress, 6400);
+        l.send(0, LinkDirection::Egress, 128);
+        l.send(0, LinkDirection::Ingress, 128);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("link.conflicts"), Some(1));
+        let numa_gpu_obs::MetricValue::Histogram(h) =
+            snap.get("link.egress_backlog_cycles").unwrap()
+        else {
+            panic!("not a histogram");
+        };
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 100); // 6400 B / 64 B-per-cycle backlog
+    }
+
+    #[test]
+    fn default_link_obs_is_noop() {
+        let mut l = GpuLink::new(&cfg(LinkMode::StaticSymmetric));
+        l.send(0, LinkDirection::Egress, 6400);
+        l.send(0, LinkDirection::Egress, 128); // conflicts handle disabled: no panic, no state
+        assert_eq!(l.stats().egress_bytes.get(), 6528);
     }
 
     #[test]

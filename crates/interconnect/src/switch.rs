@@ -92,9 +92,17 @@ impl Switch {
         &self.links[socket.index()]
     }
 
-    /// Mutable access to one socket's link (timeline enablement, etc.).
+    /// Mutable access to one socket's link (observability installation,
+    /// etc.).
     pub fn link_mut(&mut self, socket: SocketId) -> &mut GpuLink {
         &mut self.links[socket.index()]
+    }
+
+    /// Captures every link's Fig-5 utilization point for the window ending
+    /// at `now`, in socket order. Call immediately before
+    /// [`Self::sample_and_rebalance_all`], which opens fresh windows.
+    pub fn sample_points(&self, now: Tick) -> Vec<crate::link::LinkSample> {
+        self.links.iter().map(|l| l.sample_point(now)).collect()
     }
 
     /// Runs one balancer sampling period on every link; returns the per-link

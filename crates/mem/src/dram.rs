@@ -1,7 +1,27 @@
 //! Per-socket DRAM (on-package HBM) model.
 
 use numa_gpu_engine::ServiceQueue;
-use numa_gpu_types::{cycles_to_ticks, Counter, DramConfig, Tick};
+use numa_gpu_obs::CounterHandle;
+use numa_gpu_types::{cycles_to_ticks, Counter, DramConfig, LineAddr, Tick};
+
+/// Row buffer size assumed by the open-row locality model, in bytes.
+pub const ROW_BYTES: u64 = 8192;
+
+/// Number of banks assumed by the open-row locality model.
+pub const NUM_BANKS: usize = 16;
+
+/// Observability handles for one DRAM, installed via [`Dram::set_obs`].
+///
+/// Row-locality accounting is stats-only: it classifies each addressed
+/// access as a row-buffer hit or miss without changing the timing model.
+/// Default handles are disabled no-ops.
+#[derive(Debug, Clone, Default)]
+pub struct DramObs {
+    /// Addressed accesses that found their row open in the bank.
+    pub row_hits: CounterHandle,
+    /// Addressed accesses that had to open a new row.
+    pub row_misses: CounterHandle,
+}
 
 /// DRAM access statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,6 +54,9 @@ pub struct Dram {
     queue: ServiceQueue,
     latency: Tick,
     stats: DramStats,
+    obs: DramObs,
+    /// Open row per bank (stats-only open-row locality model).
+    open_rows: [Option<u64>; NUM_BANKS],
 }
 
 impl Dram {
@@ -47,7 +70,42 @@ impl Dram {
             queue: ServiceQueue::new(config.bytes_per_cycle),
             latency: cycles_to_ticks(config.latency_cycles as u64),
             stats: DramStats::default(),
+            obs: DramObs::default(),
+            open_rows: [None; NUM_BANKS],
         }
+    }
+
+    /// Installs observability handles (disabled no-op handles by default).
+    pub fn set_obs(&mut self, obs: DramObs) {
+        self.obs = obs;
+    }
+
+    /// Classifies an addressed access against the per-bank open rows.
+    /// Purely observational: never affects timing.
+    fn touch_row(&mut self, line: LineAddr) {
+        let raw = line.base().raw();
+        let bank = ((raw / ROW_BYTES) as usize) % NUM_BANKS;
+        let row = raw / (ROW_BYTES * NUM_BANKS as u64);
+        if self.open_rows[bank] == Some(row) {
+            self.obs.row_hits.inc();
+        } else {
+            self.obs.row_misses.inc();
+            self.open_rows[bank] = Some(row);
+        }
+    }
+
+    /// Like [`Self::read`] but addressed, feeding the open-row locality
+    /// model. Timing is identical to `read`.
+    pub fn read_line(&mut self, now: Tick, line: LineAddr, bytes: u32) -> Tick {
+        self.touch_row(line);
+        self.read(now, bytes)
+    }
+
+    /// Like [`Self::write`] but addressed, feeding the open-row locality
+    /// model. Timing is identical to `write`.
+    pub fn write_line(&mut self, now: Tick, line: LineAddr, bytes: u32) -> Tick {
+        self.touch_row(line);
+        self.write(now, bytes)
     }
 
     /// Services a read of `bytes` at tick `now`; returns the tick the data
@@ -143,6 +201,46 @@ mod tests {
         assert_eq!(s.reads.get(), 1);
         assert_eq!(s.writes.get(), 2);
         assert_eq!(s.bytes.get(), 272);
+    }
+
+    #[test]
+    fn row_model_classifies_hits_and_misses() {
+        use numa_gpu_obs::MetricsRegistry;
+
+        let mut reg = MetricsRegistry::new();
+        let mut d = dram();
+        d.set_obs(DramObs {
+            row_hits: reg.counter("dram.row_hits"),
+            row_misses: reg.counter("dram.row_misses"),
+        });
+        let line = |raw: u64| numa_gpu_types::Addr::new(raw).line();
+        // Two lines in the same 8 KiB row: miss (opens row) then hit.
+        d.read_line(0, line(0), 128);
+        d.read_line(0, line(128), 128);
+        // A line one row further in the same bank: closes the first row.
+        d.read_line(0, line(ROW_BYTES * NUM_BANKS as u64), 128);
+        // Back to the original row: miss again.
+        d.write_line(0, line(256), 128);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("dram.row_hits"), Some(1));
+        assert_eq!(snap.counter("dram.row_misses"), Some(3));
+        // Distinct banks never conflict.
+        d.read_line(0, line(ROW_BYTES), 128); // bank 1
+        d.read_line(0, line(ROW_BYTES + 128), 128);
+        assert_eq!(reg.snapshot().counter("dram.row_hits"), Some(2));
+    }
+
+    #[test]
+    fn addressed_accesses_match_plain_timing() {
+        let mut a = dram();
+        let mut b = dram();
+        let t1 = a.read(0, 128);
+        let t2 = b.read_line(0, numa_gpu_types::Addr::new(0).line(), 128);
+        assert_eq!(t1, t2);
+        let t3 = a.write(t1, 128);
+        let t4 = b.write_line(t1, numa_gpu_types::Addr::new(4096).line(), 128);
+        assert_eq!(t3, t4);
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Structured observability for the numa-gpu simulator.
+//!
+//! The paper's mechanisms (§4 dynamic lane allocation, §5 cache
+//! partitioning) are argued from *time-resolved* resource behaviour —
+//! Fig. 5's link-utilization phases, Fig. 8's cache-pressure shifts — so
+//! the simulator needs more than end-of-run aggregates. This crate is the
+//! one uniform mechanism every model crate reports through:
+//!
+//! - [`MetricsRegistry`]: named counters, gauges, and power-of-two
+//!   histograms that components register at build time and update through
+//!   cheap shared handles ([`CounterHandle`], [`GaugeHandle`],
+//!   [`HistogramHandle`]). Disabled handles are no-ops, so instrumentation
+//!   can stay in the hot path unconditionally.
+//! - [`TraceEvent`] + [`TraceSink`] + [`Tracer`]: a cycle-stamped
+//!   structured event trace emitted from the engine's event loop and from
+//!   lane-turn / repartition decision points. Ships a bounded
+//!   [`RingBufferSink`] and a newline-delimited-JSON [`JsonLinesSink`].
+//! - [`chrome_trace`]: export to Chrome `trace_event` JSON, loadable in
+//!   `chrome://tracing` or Perfetto (1 viewer µs = 1 simulated cycle).
+//!
+//! # Determinism
+//!
+//! Every output is byte-stable: snapshots list metrics in registration
+//! order, trace export stable-sorts by start cycle, and all encoding goes
+//! through `testkit::json`. Two runs with the same configuration and seed
+//! produce identical bytes.
+//!
+//! # Example
+//!
+//! ```
+//! use numa_gpu_obs::{chrome_trace, MetricsRegistry, RingBufferSink, TraceEvent, Tracer};
+//!
+//! // Components register metrics once and keep handles.
+//! let mut reg = MetricsRegistry::new();
+//! let stalls = reg.counter("sm.s0.issue_stalls");
+//! stalls.add(3);
+//!
+//! // The engine emits cycle-stamped events through a tracer.
+//! let mut tracer = Tracer::new(Box::new(RingBufferSink::new(1024)));
+//! tracer.emit(TraceEvent::instant("link.turn", "interconnect", 500, 0));
+//!
+//! let sink = tracer.finish().unwrap();
+//! assert_eq!(reg.snapshot().counter("sm.s0.issue_stalls"), Some(3));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+pub mod metrics;
+pub mod trace;
+
+pub use chrome::{chrome_event_json, chrome_trace, TRACE_PID};
+pub use metrics::{
+    CounterHandle, GaugeHandle, HistogramHandle, HistogramSummary, MetricKind, MetricValue,
+    MetricsRegistry, MetricsSnapshot,
+};
+pub use trace::{
+    event_to_json, JsonLinesSink, RingBufferSink, TraceEvent, TracePhase, TraceSink, TraceValue,
+    Tracer,
+};

@@ -1,0 +1,505 @@
+//! Named metrics: counters, gauges, and power-of-two histograms.
+//!
+//! Components register their metrics once at build time and keep cheap
+//! shared handles; the registry snapshots every metric in registration
+//! order, so the snapshot (and its JSON encoding) is byte-stable across
+//! identical runs.
+
+use numa_gpu_testkit::json::Json;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// Kind of a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetricKind {
+    /// Monotonically increasing event count.
+    Counter,
+    /// Last-set value (occupancy, way split, high-water mark).
+    Gauge,
+    /// Distribution over power-of-two buckets.
+    Histogram,
+}
+
+/// A shared counter handle.
+///
+/// The default handle is *disabled*: every operation is a no-op, so model
+/// code can increment unconditionally and pays one branch when
+/// observability is off.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle(Option<Rc<Cell<u64>>>);
+
+impl CounterHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        CounterHandle(None)
+    }
+
+    /// Whether this handle is backed by a registry.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds `n` (saturating).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.set(c.get().saturating_add(n));
+        }
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (`0` when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.get())
+    }
+}
+
+/// A shared gauge handle (see [`CounterHandle`] for the disabled-default
+/// contract).
+#[derive(Debug, Clone, Default)]
+pub struct GaugeHandle(Option<Rc<Cell<u64>>>);
+
+impl GaugeHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        GaugeHandle(None)
+    }
+
+    /// Whether this handle is backed by a registry.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(c) = &self.0 {
+            c.set(v);
+        }
+    }
+
+    /// Raises the gauge to `v` if it is below (high-water mark tracking).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        if let Some(c) = &self.0 {
+            c.set(c.get().max(v));
+        }
+    }
+
+    /// Current value (`0` when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.get())
+    }
+}
+
+/// Backing state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct HistogramData {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// `buckets[b]` counts samples with `floor(log2(v)) + 1 == b`
+    /// (bucket 0 holds the zeros); grown on demand.
+    buckets: Vec<u64>,
+}
+
+impl HistogramData {
+    fn observe(&mut self, v: u64) {
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        let b = bucket_of(v);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+    }
+}
+
+/// Bucket index of `v`: 0 for 0, else `floor(log2(v)) + 1` — bucket `b`
+/// covers `[2^(b-1), 2^b)`.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// A shared histogram handle (see [`CounterHandle`] for the
+/// disabled-default contract).
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(Option<Rc<RefCell<HistogramData>>>);
+
+impl HistogramHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        HistogramHandle(None)
+    }
+
+    /// Whether this handle is backed by a registry.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.borrow_mut().observe(v);
+        }
+    }
+
+    /// Number of samples recorded (`0` when disabled).
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.borrow().count)
+    }
+}
+
+enum MetricCell {
+    Counter(Rc<Cell<u64>>),
+    Gauge(Rc<Cell<u64>>),
+    Histogram(Rc<RefCell<HistogramData>>),
+}
+
+impl MetricCell {
+    fn kind(&self) -> MetricKind {
+        match self {
+            MetricCell::Counter(_) => MetricKind::Counter,
+            MetricCell::Gauge(_) => MetricKind::Gauge,
+            MetricCell::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// A registry of named metrics.
+///
+/// Registration is idempotent: asking for the same name (and kind) again
+/// returns a handle sharing the same cell, which is how e.g. all 64 SMs of
+/// a socket aggregate into one per-socket counter. Snapshots list metrics
+/// in first-registration order, making the encoding deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use numa_gpu_obs::MetricsRegistry;
+///
+/// let mut reg = MetricsRegistry::new();
+/// let stalls = reg.counter("sm.s0.issue_stalls");
+/// let occ = reg.histogram("sm.s0.mshr_occupancy");
+/// stalls.inc();
+/// stalls.add(2);
+/// occ.observe(5);
+///
+/// // A second registration under the same name shares the same cell.
+/// reg.counter("sm.s0.issue_stalls").add(1);
+/// assert_eq!(stalls.get(), 4);
+///
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counter("sm.s0.issue_stalls"), Some(4));
+/// let json = snap.to_json().to_string();
+/// assert!(json.starts_with("{\"sm.s0.issue_stalls\":4"));
+/// ```
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Vec<(String, MetricCell)>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("metrics", &self.entries.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn find(&self, name: &str, kind: MetricKind) -> Option<&MetricCell> {
+        let cell = self
+            .entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c)?;
+        assert!(
+            cell.kind() == kind,
+            "metric `{name}` already registered as {:?}, requested {kind:?}",
+            cell.kind()
+        );
+        Some(cell)
+    }
+
+    /// Registers (or re-attaches to) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different kind.
+    pub fn counter(&mut self, name: &str) -> CounterHandle {
+        if let Some(MetricCell::Counter(c)) = self.find(name, MetricKind::Counter) {
+            return CounterHandle(Some(c.clone()));
+        }
+        let cell = Rc::new(Cell::new(0));
+        self.entries
+            .push((name.to_string(), MetricCell::Counter(cell.clone())));
+        CounterHandle(Some(cell))
+    }
+
+    /// Registers (or re-attaches to) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different kind.
+    pub fn gauge(&mut self, name: &str) -> GaugeHandle {
+        if let Some(MetricCell::Gauge(c)) = self.find(name, MetricKind::Gauge) {
+            return GaugeHandle(Some(c.clone()));
+        }
+        let cell = Rc::new(Cell::new(0));
+        self.entries
+            .push((name.to_string(), MetricCell::Gauge(cell.clone())));
+        GaugeHandle(Some(cell))
+    }
+
+    /// Registers (or re-attaches to) a histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a different kind.
+    pub fn histogram(&mut self, name: &str) -> HistogramHandle {
+        if let Some(MetricCell::Histogram(h)) = self.find(name, MetricKind::Histogram) {
+            return HistogramHandle(Some(h.clone()));
+        }
+        let cell = Rc::new(RefCell::new(HistogramData::default()));
+        self.entries
+            .push((name.to_string(), MetricCell::Histogram(cell.clone())));
+        HistogramHandle(Some(cell))
+    }
+
+    /// Captures every metric's current value, in registration order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|(name, cell)| {
+                    let value = match cell {
+                        MetricCell::Counter(c) => MetricValue::Counter(c.get()),
+                        MetricCell::Gauge(c) => MetricValue::Gauge(c.get()),
+                        MetricCell::Histogram(h) => {
+                            let h = h.borrow();
+                            MetricValue::Histogram(HistogramSummary {
+                                count: h.count,
+                                sum: h.sum,
+                                min: h.min,
+                                max: h.max,
+                                buckets: h.buckets.clone(),
+                            })
+                        }
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time value of one metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram summary.
+    Histogram(HistogramSummary),
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (`0` when empty).
+    pub min: u64,
+    /// Largest sample (`0` when empty).
+    pub max: u64,
+    /// Power-of-two bucket counts: `buckets[0]` holds zeros, `buckets[b]`
+    /// holds samples in `[2^(b-1), 2^b)`.
+    pub buckets: Vec<u64>,
+}
+
+/// An ordered, immutable capture of every registered metric.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in first-registration order.
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Counter value by name (`None` if absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name (`None` if absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// JSON object keyed by metric name, in registration order — the
+    /// encoding is byte-stable for identical runs.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.entries
+                .iter()
+                .map(|(name, value)| {
+                    let v = match value {
+                        MetricValue::Counter(v) | MetricValue::Gauge(v) => Json::UInt(*v),
+                        MetricValue::Histogram(h) => Json::obj([
+                            ("count", Json::UInt(h.count)),
+                            ("sum", Json::UInt(h.sum)),
+                            ("min", Json::UInt(h.min)),
+                            ("max", Json::UInt(h.max)),
+                            (
+                                "buckets",
+                                Json::Arr(h.buckets.iter().map(|&b| Json::UInt(b)).collect()),
+                            ),
+                        ]),
+                    };
+                    (name.clone(), v)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_noops() {
+        let c = CounterHandle::disabled();
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        assert!(!c.is_enabled());
+        let g = GaugeHandle::disabled();
+        g.set(9);
+        assert_eq!(g.get(), 0);
+        let h = HistogramHandle::disabled();
+        h.observe(3);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn handles_share_cells_by_name() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_clash_panics() {
+        let mut reg = MetricsRegistry::new();
+        let _ = reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn gauge_set_max_tracks_high_water() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("hw");
+        g.set_max(5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        let MetricValue::Histogram(s) = snap.get("lat").unwrap() else {
+            panic!("not a histogram");
+        };
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1010);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2, 3
+        assert_eq!(s.buckets[3], 1); // 4
+        assert_eq!(s.buckets[10], 1); // 1000 in [512, 1024)
+    }
+
+    #[test]
+    fn snapshot_preserves_registration_order_and_is_stable() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("z").add(1);
+        reg.gauge("a").set(2);
+        let s1 = reg.snapshot().to_json().to_string();
+        let s2 = reg.snapshot().to_json().to_string();
+        assert_eq!(s1, s2);
+        assert_eq!(s1, r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn snapshot_lookup_helpers() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(8);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("c"), Some(7));
+        assert_eq!(snap.gauge("g"), Some(8));
+        assert_eq!(snap.counter("g"), None);
+        assert!(snap.get("missing").is_none());
+    }
+}

@@ -3,6 +3,7 @@
 use numa_gpu_cache::{
     FlushOutcome, LineClass, MshrAllocation, MshrFile, SetAssocCache, WayPartition,
 };
+use numa_gpu_obs::{CounterHandle, HistogramHandle};
 use numa_gpu_types::{
     CacheConfig, Counter, CtaId, CtaProgram, LineAddr, SmConfig, Tick, WarpOp, WarpSlot,
     TICKS_PER_CYCLE,
@@ -20,6 +21,19 @@ pub enum L1ReadOutcome {
     MissMerged,
     /// No MSHR available: the warp must be parked and retried.
     MshrFull,
+}
+
+/// Observability handles for an SM, installed via [`Sm::set_obs`].
+///
+/// Socket-level aggregation is the intended cardinality: every SM of a
+/// socket shares clones of the same handles. Default handles are disabled
+/// no-ops.
+#[derive(Debug, Clone, Default)]
+pub struct SmObs {
+    /// Warp issue attempts lost to MSHR-full stalls.
+    pub issue_stalls: CounterHandle,
+    /// MSHR file occupancy sampled at each L1 miss allocation.
+    pub mshr_occupancy: HistogramHandle,
 }
 
 /// Per-SM statistics.
@@ -97,6 +111,7 @@ pub struct Sm {
     issue_next_free: Tick,
     retry_queue: VecDeque<WarpSlot>,
     stats: SmStats,
+    obs: SmObs,
 }
 
 impl Sm {
@@ -124,7 +139,14 @@ impl Sm {
             issue_next_free: 0,
             retry_queue: VecDeque::new(),
             stats: SmStats::default(),
+            obs: SmObs::default(),
         }
+    }
+
+    /// Installs observability handles (disabled no-op handles by default).
+    /// All SMs of a socket typically share clones of the same handles.
+    pub fn set_obs(&mut self, obs: SmObs) {
+        self.obs = obs;
     }
 
     /// Whether a CTA of `warps` warps can be dispatched right now.
@@ -241,10 +263,14 @@ impl Sm {
         }
         self.l1.record_miss(class);
         match self.mshrs.allocate(line, slot) {
-            MshrAllocation::Primary => L1ReadOutcome::MissPrimary,
+            MshrAllocation::Primary => {
+                self.obs.mshr_occupancy.observe(self.mshrs.in_use() as u64);
+                L1ReadOutcome::MissPrimary
+            }
             MshrAllocation::Merged => L1ReadOutcome::MissMerged,
             MshrAllocation::Full => {
                 self.stats.mshr_stalls.inc();
+                self.obs.issue_stalls.inc();
                 L1ReadOutcome::MshrFull
             }
         }
@@ -469,6 +495,33 @@ mod tests {
         assert_eq!(sm.pop_retry(), Some(WarpSlot::new(5)));
         assert_eq!(sm.pop_retry(), None);
         assert_eq!(sm.stats().mshr_stalls.get(), 1);
+    }
+
+    #[test]
+    fn obs_records_stalls_and_mshr_occupancy() {
+        use numa_gpu_obs::{MetricValue, MetricsRegistry};
+
+        let mut reg = MetricsRegistry::new();
+        let obs = SmObs {
+            issue_stalls: reg.counter("sm.issue_stalls"),
+            mshr_occupancy: reg.histogram("sm.mshr_occupancy"),
+        };
+        let mut sm = make_sm(); // 4 MSHRs
+        sm.set_obs(obs);
+        for i in 0..4 {
+            sm.l1_read(line(i), LineClass::Local, WarpSlot::new(i as u16));
+        }
+        assert_eq!(
+            sm.l1_read(line(99), LineClass::Local, WarpSlot::new(5)),
+            L1ReadOutcome::MshrFull
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sm.issue_stalls"), Some(1));
+        let MetricValue::Histogram(h) = snap.get("sm.mshr_occupancy").unwrap() else {
+            panic!("not a histogram");
+        };
+        assert_eq!(h.count, 4); // one sample per primary miss
+        assert_eq!(h.max, 4); // file full at the last allocation
     }
 
     #[test]

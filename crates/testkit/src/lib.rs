@@ -13,7 +13,7 @@
 //! - [`gen`] + [`prop`]: generator combinators and a property-based
 //!   testing harness — [`prop_check!`] with configurable case counts,
 //!   failure shrinking, and pinned regression seeds (replaces `proptest`);
-//! - [`bench`]: a micro-bench harness with warmup, calibrated batches,
+//! - [`mod@bench`]: a micro-bench harness with warmup, calibrated batches,
 //!   and median/p95/JSON reporting (replaces `criterion`);
 //! - [`json`]: a tiny JSON value type with encoder and parser for stats
 //!   and report paths (replaces `serde` derives).

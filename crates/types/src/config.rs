@@ -187,6 +187,52 @@ impl LinkConfig {
     }
 }
 
+/// Observability (metrics + event tracing) configuration.
+///
+/// Both switches default to off: the disabled configuration must add no
+/// observable overhead to the simulation, and neither switch may affect
+/// simulated timing — only what gets recorded about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ObsConfig {
+    /// Register and update the sim-wide metrics registry (SM issue stalls,
+    /// MSHR occupancy, link backlog, DRAM row locality, repartitions) and
+    /// fold a snapshot into the report.
+    pub metrics: bool,
+    /// Emit cycle-stamped structured trace events (kernel spans, lane
+    /// turns, repartition decisions, link-utilization counters) into the
+    /// report for Chrome-trace export.
+    pub trace: bool,
+    /// Cap on retained trace events; `0` means unbounded. When the cap is
+    /// hit the oldest events are dropped (ring-buffer semantics).
+    pub trace_capacity: u32,
+}
+
+impl ObsConfig {
+    /// Everything off (the default).
+    pub const fn off() -> Self {
+        ObsConfig {
+            metrics: false,
+            trace: false,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Metrics and tracing both on, unbounded trace retention.
+    pub const fn full() -> Self {
+        ObsConfig {
+            metrics: true,
+            trace: true,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Whether any observability feature is on.
+    #[inline]
+    pub const fn any(&self) -> bool {
+        self.metrics || self.trace
+    }
+}
+
 /// Saturation threshold used by both the link load balancer and the cache
 /// partitioning algorithm (the paper uses "99% saturated").
 pub const SATURATION_THRESHOLD: f64 = 0.99;
@@ -236,6 +282,9 @@ pub struct SystemConfig {
     /// Apply dynamic way partitioning to the L1 caches as well as the L2
     /// (the paper partitions both; disabling is an ablation).
     pub partition_l1: bool,
+    /// Observability switches (metrics registry + event tracing). Defaults
+    /// to fully off; never affects simulated timing.
+    pub obs: ObsConfig,
 }
 
 impl SystemConfig {
@@ -286,6 +335,7 @@ impl SystemConfig {
             cache_sample_time_cycles: 5_000,
             ideal_no_l2_invalidate: false,
             partition_l1: true,
+            obs: ObsConfig::off(),
         }
     }
 
@@ -472,6 +522,15 @@ mod tests {
         assert!(CacheMode::SharedCoherent.l2_needs_flush());
         assert!(CacheMode::NumaAwareDynamic.l2_needs_flush());
         assert!(!CacheMode::MemSideLocalOnly.l2_needs_flush());
+    }
+
+    #[test]
+    fn obs_defaults_off() {
+        let c = SystemConfig::pascal_single();
+        assert_eq!(c.obs, ObsConfig::off());
+        assert!(!c.obs.any());
+        assert!(ObsConfig::full().any());
+        assert_eq!(ObsConfig::default(), ObsConfig::off());
     }
 
     #[test]

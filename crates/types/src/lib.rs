@@ -31,7 +31,8 @@ mod time;
 pub use addr::{Addr, LineAddr, PageId, LINE_SIZE, PAGE_SIZE};
 pub use config::{
     CacheConfig, CacheMode, CtaSchedulingPolicy, DramConfig, LinkConfig, LinkMode, NocConfig,
-    PagePlacement, SmConfig, SystemConfig, WritePolicy, HEADER_BYTES, SATURATION_THRESHOLD,
+    ObsConfig, PagePlacement, SmConfig, SystemConfig, WritePolicy, HEADER_BYTES,
+    SATURATION_THRESHOLD,
 };
 pub use error::ConfigError;
 pub use ids::{CtaId, KernelId, SmIndex, SocketId, WarpSlot};

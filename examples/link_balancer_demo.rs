@@ -19,7 +19,6 @@ fn main() {
         mode: LinkMode::DynamicAsymmetric,
     };
     let mut link = GpuLink::new(&cfg);
-    link.enable_timeline();
 
     println!("phase 1: egress-only traffic (a remote-write burst, e.g. a reduction)");
     run_phase(&mut link, 0, 20, 1.5, 0.0);

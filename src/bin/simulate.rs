@@ -8,6 +8,8 @@
 //!          [--cta interleave|contiguous]
 //!          [--baseline]            # also run the single-GPU baseline
 //!          [--timeline]            # print the link utilization timeline
+//!          [--metrics]             # collect counters and print the metrics snapshot JSON
+//!          [--trace-out FILE]      # write a Chrome trace_event JSON (chrome://tracing)
 //!          [--dump-trace FILE]     # record the workload's kernels as text traces
 //!          [--from-trace FILE]     # run a recorded trace instead of a catalog workload
 //! ```
@@ -23,7 +25,7 @@ fn usage(msg: &str) -> ! {
         "usage: simulate --workload NAME [--sockets N] [--quick|--full] \
          [--cache memside|static|shared|numa-aware] [--link static|dynamic|2x] \
          [--placement fine|page|first-touch] [--cta interleave|contiguous] \
-         [--baseline] [--timeline]"
+         [--baseline] [--timeline] [--metrics] [--trace-out FILE]"
     );
     eprintln!("\nworkloads:");
     for n in WORKLOAD_NAMES {
@@ -43,6 +45,8 @@ fn main() {
     let mut cta = CtaSchedulingPolicy::ContiguousBlock;
     let mut baseline = false;
     let mut timeline = false;
+    let mut metrics = false;
+    let mut trace_out: Option<String> = None;
     let mut dump_trace: Option<String> = None;
     let mut from_trace: Option<String> = None;
 
@@ -96,6 +100,8 @@ fn main() {
             }
             "--baseline" => baseline = true,
             "--timeline" => timeline = true,
+            "--metrics" => metrics = true,
+            "--trace-out" => trace_out = Some(value("--trace-out")),
             "--dump-trace" => dump_trace = Some(value("--dump-trace")),
             "--from-trace" => from_trace = Some(value("--from-trace")),
             other => usage(&format!("unknown argument `{other}`")),
@@ -150,6 +156,8 @@ fn main() {
     cfg.link.mode = link;
     cfg.placement = placement;
     cfg.cta_policy = cta;
+    cfg.obs.metrics = metrics;
+    cfg.obs.trace = trace_out.is_some();
     cfg.validate().unwrap_or_else(|e| usage(&e.to_string()));
 
     let mut sys = NumaGpuSystem::new(cfg).expect("validated above");
@@ -182,6 +190,19 @@ fn main() {
                 );
             }
         }
+    }
+
+    if let Some(path) = &trace_out {
+        let doc = report.chrome_trace().to_string();
+        std::fs::write(path, &doc).unwrap_or_else(|e| usage(&format!("cannot write trace: {e}")));
+        eprintln!(
+            "wrote {} trace event(s) to {path}",
+            report.trace_events.len()
+        );
+    }
+    if metrics {
+        let snap = report.metrics.as_ref().expect("metrics enabled before run");
+        println!("\nmetrics {}", snap.to_json());
     }
 
     if baseline {

@@ -28,6 +28,7 @@
 //! | [`runtime`] | kernel decomposition, CTA scheduling (§3) |
 //! | [`core`] | the assembled [`NumaGpuSystem`](core::NumaGpuSystem) |
 //! | [`workloads`] | the 41 Table 2 benchmarks as synthetic generators |
+//! | [`obs`] | metrics registry, event tracing, Chrome-trace export |
 //!
 //! # Quickstart
 //!
@@ -51,6 +52,7 @@ pub use numa_gpu_core as core;
 pub use numa_gpu_engine as engine;
 pub use numa_gpu_interconnect as interconnect;
 pub use numa_gpu_mem as mem;
+pub use numa_gpu_obs as obs;
 pub use numa_gpu_runtime as runtime;
 pub use numa_gpu_sm as sm;
 pub use numa_gpu_types as types;

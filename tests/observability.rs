@@ -1,0 +1,178 @@
+//! Observability layer guarantees, end to end:
+//!
+//! 1. **Zero interference** — enabling metrics/tracing never changes
+//!    simulated timing or results.
+//! 2. **Determinism** — metrics snapshots and trace exports are
+//!    byte-identical across runs of the same config + workload.
+//! 3. **Schema sanity** — the Chrome `trace_event` export parses with the
+//!    in-tree JSON parser, and `traceEvents` timestamps are monotone.
+
+use numa_gpu::core::run_workload;
+use numa_gpu::obs::TracePhase;
+use numa_gpu::types::{ObsConfig, SystemConfig};
+use numa_gpu::workloads::{by_name, Scale};
+use numa_gpu_testkit::json::Json;
+use std::process::Command;
+
+fn workload() -> numa_gpu::runtime::Workload {
+    by_name("Rodinia-Euler3D", &Scale::quick()).expect("catalog workload")
+}
+
+fn cfg(obs: ObsConfig) -> SystemConfig {
+    let mut cfg = SystemConfig::numa_aware_sockets(2);
+    cfg.obs = obs;
+    cfg
+}
+
+#[test]
+fn observability_never_changes_timing() {
+    let wl = workload();
+    let off = run_workload(cfg(ObsConfig::off()), &wl).unwrap();
+    let on = run_workload(cfg(ObsConfig::full()), &wl).unwrap();
+    assert_eq!(off.total_cycles, on.total_cycles);
+    assert_eq!(off.kernel_cycles, on.kernel_cycles);
+    assert_eq!(off.interconnect_bytes, on.interconnect_bytes);
+    assert_eq!(off.sockets, on.sockets);
+    // And the observability payload exists only when asked for.
+    assert!(off.metrics.is_none());
+    assert!(off.trace_events.is_empty());
+    assert!(on.metrics.is_some());
+    assert!(!on.trace_events.is_empty());
+}
+
+#[test]
+fn metrics_snapshot_is_byte_identical_across_runs() {
+    let wl = workload();
+    let a = run_workload(cfg(ObsConfig::full()), &wl).unwrap();
+    let b = run_workload(cfg(ObsConfig::full()), &wl).unwrap();
+    let ja = a.metrics.as_ref().unwrap().to_json().to_string();
+    let jb = b.metrics.as_ref().unwrap().to_json().to_string();
+    assert!(!ja.is_empty());
+    assert_eq!(ja, jb, "metrics snapshots differ between identical runs");
+    // The snapshot also rides inside the report JSON, equally stable.
+    assert_eq!(a.to_json().to_string(), b.to_json().to_string());
+}
+
+#[test]
+fn chrome_trace_is_byte_identical_across_runs() {
+    let wl = workload();
+    let a = run_workload(cfg(ObsConfig::full()), &wl).unwrap();
+    let b = run_workload(cfg(ObsConfig::full()), &wl).unwrap();
+    assert_eq!(a.trace_events, b.trace_events);
+    assert_eq!(
+        a.chrome_trace().to_string(),
+        b.chrome_trace().to_string(),
+        "trace exports differ between identical runs"
+    );
+}
+
+#[test]
+fn chrome_trace_parses_and_timestamps_are_monotone() {
+    let wl = workload();
+    let report = run_workload(cfg(ObsConfig::full()), &wl).unwrap();
+    let doc = Json::parse(&report.chrome_trace().to_string()).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .expect("traceEvents key")
+        .as_array()
+        .expect("traceEvents is an array");
+    assert!(!events.is_empty());
+    let mut last_ts = 0u64;
+    for e in events {
+        let ts = e.get("ts").unwrap().as_u64().expect("ts is unsigned");
+        assert!(ts >= last_ts, "ts went backwards: {ts} after {last_ts}");
+        last_ts = ts;
+        assert!(e.get("name").unwrap().as_str().is_some());
+        assert!(e.get("ph").unwrap().as_str().is_some());
+        assert_eq!(e.get("pid").unwrap().as_u64(), Some(1));
+    }
+    // The run must include at least one kernel span.
+    assert!(report
+        .trace_events
+        .iter()
+        .any(|e| e.phase == TracePhase::Complete && e.category == "kernel"));
+}
+
+#[test]
+fn trace_capacity_bounds_the_ring_buffer() {
+    let wl = workload();
+    let mut obs = ObsConfig::full();
+    obs.trace_capacity = 1;
+    let report = run_workload(cfg(obs), &wl).unwrap();
+    assert_eq!(
+        report.trace_events.len(),
+        1,
+        "ring buffer keeps newest only"
+    );
+}
+
+#[test]
+fn metrics_report_expected_instruments() {
+    let wl = workload();
+    let report = run_workload(cfg(ObsConfig::full()), &wl).unwrap();
+    let snap = report.metrics.as_ref().unwrap();
+    for s in 0..2 {
+        for name in [
+            format!("sm.s{s}.issue_stalls"),
+            format!("sm.s{s}.mshr_occupancy"),
+            format!("l2.s{s}.repartitions"),
+            format!("l2.s{s}.local_ways"),
+            format!("dram.s{s}.row_hits"),
+            format!("dram.s{s}.row_misses"),
+            format!("link.s{s}.egress_backlog_cycles"),
+            format!("link.s{s}.ingress_backlog_cycles"),
+            format!("link.s{s}.conflicts"),
+        ] {
+            assert!(snap.get(&name).is_some(), "missing metric {name}");
+        }
+    }
+    assert!(snap.get("engine.events_scheduled").is_some());
+    assert!(snap.get("engine.events_dispatched").is_some());
+    assert!(snap.get("engine.queue_max_len").is_some());
+    // The quick Euler3D run misses in DRAM, so the row model saw traffic.
+    let touches =
+        snap.counter("dram.s0.row_hits").unwrap() + snap.counter("dram.s0.row_misses").unwrap();
+    assert!(touches > 0, "row model saw no DRAM traffic");
+}
+
+#[test]
+fn cli_trace_out_is_deterministic_and_parseable() {
+    let dir = std::env::temp_dir();
+    let run = |path: &std::path::Path| {
+        let out = Command::new(env!("CARGO_BIN_EXE_simulate"))
+            .args([
+                "--workload",
+                "HPC-HPGMG-UVM",
+                "--quick",
+                "--sockets",
+                "2",
+                "--metrics",
+                "--trace-out",
+            ])
+            .arg(path)
+            .output()
+            .expect("simulate binary runs");
+        assert!(
+            out.status.success(),
+            "simulate failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let trace = std::fs::read_to_string(path).expect("trace file written");
+        (out.stdout, trace)
+    };
+    let p1 = dir.join("numa-gpu-obs-test-1.json");
+    let p2 = dir.join("numa-gpu-obs-test-2.json");
+    let (stdout1, trace1) = run(&p1);
+    let (stdout2, trace2) = run(&p2);
+    let _ = std::fs::remove_file(&p1);
+    let _ = std::fs::remove_file(&p2);
+    assert_eq!(stdout1, stdout2, "stdout (incl. metrics) differs");
+    assert_eq!(trace1, trace2, "trace files differ between identical runs");
+    let doc = Json::parse(&trace1).expect("trace file is valid JSON");
+    assert!(!doc
+        .get("traceEvents")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .is_empty());
+}
