@@ -1,0 +1,53 @@
+//! Wall-clock benchmark of the job-plane fan-out: a Figure-3-style
+//! quick-scale sweep executed on 1 vs N worker threads.
+//!
+//! Run `TESTKIT_BENCH_JSON=results/BENCH_sweep_parallel.json cargo bench
+//! -p numa-gpu-bench --bench sweep_parallel` to record numbers. On a
+//! single-core machine the thread counts tie (the pool adds no measurable
+//! overhead); the speedup shows up on multi-core runners.
+
+use numa_gpu_bench::{Runner, SimPlan};
+use numa_gpu_testkit::bench::Bench;
+use numa_gpu_testkit::{bench_group, bench_main};
+use numa_gpu_workloads::{by_name, Scale};
+use std::time::Duration;
+
+/// A representative slice of the Figure-3 sweep: 4 study-set workloads ×
+/// the 4 runtime-policy configs = 16 independent simulations.
+const SWEEP_SET: [&str; 4] = [
+    "Other-Bitcoin-Crypto",
+    "Rodinia-BFS",
+    "HPC-CoMD-Ta",
+    "Rodinia-Hotspot",
+];
+
+fn sweep(jobs: usize) -> u64 {
+    let mut runner = Runner::new(Scale::quick()).jobs(jobs);
+    let wls: Vec<_> = SWEEP_SET
+        .iter()
+        .map(|n| by_name(n, runner.scale()).expect("catalog workload"))
+        .collect();
+    runner.execute(SimPlan::cross(&experiments_variants(), &wls));
+    runner.runs()
+}
+
+fn experiments_variants() -> Vec<(String, numa_gpu_types::SystemConfig)> {
+    numa_gpu_bench::experiments::fig3_variants()
+}
+
+fn bench_sweep(c: &mut Bench) {
+    let mut g = c.benchmark_group("sweep_parallel");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("fig3_subset_jobs_1", |b| b.iter(|| sweep(1)));
+    g.bench_function("fig3_subset_jobs_4", |b| b.iter(|| sweep(4)));
+    let n = numa_gpu_exec::ThreadPool::available().workers();
+    g.bench_function(format!("fig3_subset_jobs_avail_{n}"), |b| {
+        b.iter(|| sweep(n))
+    });
+    g.finish();
+}
+
+bench_group!(sweep_parallel, bench_sweep);
+bench_main!(sweep_parallel);

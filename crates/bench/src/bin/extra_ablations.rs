@@ -1,9 +1,17 @@
 //! Supplementary ablations (page migration, scoreboard depth) on a
 //! representative 8-workload subset of the study set.
+//!
+//! ```text
+//! extra_ablations [--quick] [--jobs N]
+//! ```
+//!
+//! Like `figures`, the sweep is declared as a [`SimPlan`] and executed on
+//! the worker pool; `--jobs 1` (the default is available parallelism)
+//! reproduces the old serial behavior with byte-identical output.
 
-use numa_gpu_bench::{configs, geomean};
-use numa_gpu_core::run_workload;
-use numa_gpu_types::PagePlacement;
+use numa_gpu_bench::{configs, geomean, Runner, SimPlan};
+use numa_gpu_exec::ThreadPool;
+use numa_gpu_types::{PagePlacement, SystemConfig};
 use numa_gpu_workloads::{by_name, Scale};
 
 const SUBSET: [&str; 8] = [
@@ -17,36 +25,61 @@ const SUBSET: [&str; 8] = [
     "Lonestar-MST-Mesh",
 ];
 
+fn variants() -> Vec<(String, SystemConfig)> {
+    let mut mig = configs::numa_aware(4);
+    mig.placement = PagePlacement::FirstTouchMigrate {
+        migrate_threshold: 64,
+    };
+    let mut m1 = configs::numa_aware(4);
+    m1.sm.max_pending_loads = 1;
+    let mut m8 = configs::numa_aware(4);
+    m8.sm.max_pending_loads = 8;
+    vec![
+        ("aware4".to_string(), configs::numa_aware(4)),
+        ("aware-page-migration".to_string(), mig),
+        ("aware-mlp-1".to_string(), m1),
+        ("aware-mlp-8".to_string(), m8),
+    ]
+}
+
 fn main() {
-    let scale = Scale::full();
-    let mut variants: Vec<(&str, Vec<f64>)> = vec![
-        ("aware4 (subset)", Vec::new()),
-        ("aware-page-migration (subset)", Vec::new()),
-        ("aware-mlp-1 (subset)", Vec::new()),
-        ("aware-mlp-8 (subset)", Vec::new()),
-    ];
-    for name in SUBSET {
-        eprintln!("  {name}");
-        let wl = by_name(name, &scale).expect("catalog workload");
-        let base = run_workload(configs::locality(4), &wl).unwrap();
-        let aware = run_workload(configs::numa_aware(4), &wl).unwrap();
-        let mut mig = configs::numa_aware(4);
-        mig.placement = PagePlacement::FirstTouchMigrate {
-            migrate_threshold: 64,
-        };
-        let mig_r = run_workload(mig, &wl).unwrap();
-        let mut m1 = configs::numa_aware(4);
-        m1.sm.max_pending_loads = 1;
-        let m1_r = run_workload(m1, &wl).unwrap();
-        let mut m8 = configs::numa_aware(4);
-        m8.sm.max_pending_loads = 8;
-        let m8_r = run_workload(m8, &wl).unwrap();
-        variants[0].1.push(aware.speedup_over(&base));
-        variants[1].1.push(mig_r.speedup_over(&base));
-        variants[2].1.push(m1_r.speedup_over(&base));
-        variants[3].1.push(m8_r.speedup_over(&base));
-    }
-    for (label, xs) in &variants {
-        println!("{label:32} {:.3}", geomean(xs));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--jobs expects a positive integer, got `{v}`");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(|| ThreadPool::available().workers());
+
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let mut runner = Runner::new(scale).verbose().jobs(jobs);
+
+    let wls: Vec<_> = SUBSET
+        .iter()
+        .map(|name| by_name(name, runner.scale()).expect("catalog workload"))
+        .collect();
+    let variants = variants();
+    let mut all = vec![("loc4".to_string(), configs::locality(4))];
+    all.extend(variants.iter().cloned());
+    runner.execute(SimPlan::cross(&all, &wls));
+
+    for (label, cfg) in &variants {
+        let mut speedups = Vec::new();
+        for wl in &wls {
+            let base = runner.report("loc4", configs::locality(4), wl);
+            let r = runner.report(label, cfg.clone(), wl);
+            speedups.push(r.speedup_over(&base));
+        }
+        println!(
+            "{:32} {:.3}",
+            format!("{label} (subset)"),
+            geomean(&speedups)
+        );
     }
 }

@@ -1,17 +1,20 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! figures [--quick] [--out DIR] [artifact...]
+//! figures [--quick] [--jobs N] [--out DIR] [artifact...]
 //!
 //! artifacts: table1 table2 fig2 fig3 fig5 fig6 fig6-sens fig8 fig9
 //!            fig9-wb fig10 fig11 power ablations   (default: all)
 //! ```
 //!
 //! `--quick` uses the reduced workload scale (CI-sized); default is the
-//! full committed scale. With `--out DIR` each artifact is also written to
-//! `DIR/<name>.txt`.
+//! full committed scale. `--jobs N` runs up to `N` simulations in parallel
+//! (default: available parallelism; `1` reproduces the serial behavior
+//! exactly — output is byte-identical either way). With `--out DIR` each
+//! artifact is also written to `DIR/<name>.txt`.
 
 use numa_gpu_bench::{experiments, Runner};
+use numa_gpu_exec::ThreadPool;
 use numa_gpu_workloads::Scale;
 use std::io::Write;
 use std::time::Instant;
@@ -36,15 +39,26 @@ const ALL: [&str; 14] = [
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_dir = flag_value("--out");
+    let jobs_arg = flag_value("--jobs");
+    let jobs: usize = match &jobs_arg {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("--jobs expects a positive integer, got `{v}`");
+            std::process::exit(2);
+        }),
+        None => ThreadPool::available().workers(),
+    };
     let selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .filter(|a| Some(a.as_str()) != out_dir.as_deref())
+        .filter(|a| Some(a.as_str()) != jobs_arg.as_deref())
         .cloned()
         .collect();
     let selected: Vec<&str> = if selected.is_empty() {
@@ -60,7 +74,8 @@ fn main() {
     }
 
     let scale = if quick { Scale::quick() } else { Scale::full() };
-    let mut runner = Runner::new(scale).verbose();
+    let mut runner = Runner::new(scale).verbose().jobs(jobs);
+    eprintln!("using {} worker thread(s)", runner.job_count());
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output dir");
     }

@@ -1,8 +1,15 @@
 //! One entry point per paper artifact (tables, figures, sensitivity
 //! studies). Each returns a [`Table`] (or a CSV string for the Figure 5
 //! timeline) ready to print or diff against `EXPERIMENTS.md`.
+//!
+//! Every experiment is two-phase: it first *declares* the simulations it
+//! needs as a [`SimPlan`] and hands them to [`Runner::execute`] (which
+//! fans not-yet-cached jobs out over the worker pool), then *assembles*
+//! its table serially from the memoized reports. The assembly phase is
+//! pure cache reads, so tables are byte-identical at every `--jobs`
+//! count.
 
-use crate::{configs, geomean, Row, Runner, Table};
+use crate::{configs, geomean, Row, Runner, SimPlan, Table};
 use numa_gpu_runtime::Workload;
 use numa_gpu_types::{CacheMode, SystemConfig, WritePolicy};
 use numa_gpu_workloads::{catalog, study_set};
@@ -19,6 +26,11 @@ fn workloads(runner: &Runner) -> Vec<Workload> {
 
 fn study(runner: &Runner) -> Vec<Workload> {
     study_set(runner.scale())
+}
+
+/// Labels a config for a [`SimPlan::cross`] variant list.
+fn v(label: impl Into<String>, cfg: SystemConfig) -> (String, SystemConfig) {
+    (label.into(), cfg)
 }
 
 /// Table 1: the simulation parameters actually in force (from
@@ -123,12 +135,14 @@ pub fn fig2(runner: &Runner) -> Table {
 /// runtime policies, against the hypothetical 4× GPU. Sorted by the gap
 /// between theoretical and locality speedup, as in the paper.
 pub fn fig3(runner: &mut Runner) -> Table {
+    let wls = workloads(runner);
+    runner.execute(SimPlan::cross(&fig3_variants(), &wls));
     let mut rows = Vec::new();
-    for wl in workloads(runner) {
-        let single = runner.report("single", configs::single(), &wl);
-        let trad = runner.report("trad4", configs::traditional(4), &wl);
-        let loc = runner.report("loc4", configs::locality(4), &wl);
-        let hypo = runner.report("hypo4", configs::hypothetical(4), &wl);
+    for wl in &wls {
+        let single = runner.report("single", configs::single(), wl);
+        let trad = runner.report("trad4", configs::traditional(4), wl);
+        let loc = runner.report("loc4", configs::locality(4), wl);
+        let hypo = runner.report("hypo4", configs::hypothetical(4), wl);
         rows.push(Row::new(
             wl.meta.name.clone(),
             vec![
@@ -153,6 +167,17 @@ pub fn fig3(runner: &mut Runner) -> Table {
     t
 }
 
+/// The Figure-3 configuration sweep (also timed by the `sweep_parallel`
+/// bench).
+pub fn fig3_variants() -> Vec<(String, SystemConfig)> {
+    vec![
+        v("single", configs::single()),
+        v("trad4", configs::traditional(4)),
+        v("loc4", configs::locality(4)),
+        v("hypo4", configs::hypothetical(4)),
+    ]
+}
+
 /// Figure 5: per-GPU link utilization timeline for HPC-HPGMG-UVM on the
 /// locality-optimized 4-socket baseline. Returns CSV
 /// (`cycle,gpu,egress_util,ingress_util,egress_lanes`) plus kernel-launch
@@ -160,6 +185,9 @@ pub fn fig3(runner: &mut Runner) -> Table {
 pub fn fig5(runner: &mut Runner) -> String {
     let wl =
         numa_gpu_workloads::by_name("HPC-HPGMG-UVM", runner.scale()).expect("HPGMG-UVM exists");
+    let mut plan = SimPlan::new();
+    plan.timeline_job("loc4", configs::locality(4), &wl);
+    runner.execute(plan);
     let r = runner.report_with_timeline("loc4", configs::locality(4), &wl);
     let mut csv = String::from("cycle,gpu,egress_util,ingress_util,egress_lanes,ingress_lanes\n");
     for (g, timeline) in r.link_timelines.iter().enumerate() {
@@ -180,15 +208,23 @@ pub fn fig5(runner: &mut Runner) -> String {
 /// each sample time, with the doubled-bandwidth upper bound. Sorted by the
 /// upper bound (the paper's left-to-right order).
 pub fn fig6(runner: &mut Runner) -> Table {
+    let wls = study(runner);
+    let mut variants = vec![v("loc4", configs::locality(4))];
+    for st in FIG6_SAMPLE_TIMES {
+        variants.push(v(format!("dyn4-{st}"), configs::dynamic_link(4, st)));
+    }
+    variants.push(v("2xbw4", configs::double_bandwidth(4)));
+    runner.execute(SimPlan::cross(&variants, &wls));
+
     let mut rows = Vec::new();
-    for wl in study(runner) {
-        let base = runner.report("loc4", configs::locality(4), &wl);
+    for wl in &wls {
+        let base = runner.report("loc4", configs::locality(4), wl);
         let mut values = Vec::new();
         for st in FIG6_SAMPLE_TIMES {
-            let dyn_r = runner.report(&format!("dyn4-{st}"), configs::dynamic_link(4, st), &wl);
+            let dyn_r = runner.report(&format!("dyn4-{st}"), configs::dynamic_link(4, st), wl);
             values.push(dyn_r.speedup_over(&base));
         }
-        let dbl = runner.report("2xbw4", configs::double_bandwidth(4), &wl);
+        let dbl = runner.report("2xbw4", configs::double_bandwidth(4), wl);
         values.push(dbl.speedup_over(&base));
         rows.push(Row::new(wl.meta.name.clone(), values));
     }
@@ -207,17 +243,26 @@ pub fn fig6(runner: &mut Runner) -> Table {
 /// §4.1 sensitivity: lane switch time 10/100/500 cycles at the 5K-cycle
 /// sample time (geomean speedup over the static baseline).
 pub fn fig6_switch_sensitivity(runner: &mut Runner) -> Table {
+    let wls = study(runner);
+    let mut variants = vec![v("loc4", configs::locality(4))];
+    for sw in SWITCH_TIMES {
+        let mut cfg = configs::dynamic_link(4, 5_000);
+        cfg.link.switch_time_cycles = sw;
+        variants.push(v(format!("dyn4-sw{sw}"), cfg));
+    }
+    runner.execute(SimPlan::cross(&variants, &wls));
+
     let mut t = Table::new(
         "S4.1 sensitivity: lane switch time (geomean speedup vs static links)",
         &["geomean-speedup"],
     );
     for sw in SWITCH_TIMES {
         let mut speedups = Vec::new();
-        for wl in study(runner) {
-            let base = runner.report("loc4", configs::locality(4), &wl);
+        for wl in &wls {
+            let base = runner.report("loc4", configs::locality(4), wl);
             let mut cfg = configs::dynamic_link(4, 5_000);
             cfg.link.switch_time_cycles = sw;
-            let r = runner.report(&format!("dyn4-sw{sw}"), cfg, &wl);
+            let r = runner.report(&format!("dyn4-sw{sw}"), cfg, wl);
             speedups.push(r.speedup_over(&base));
         }
         t.push(Row::new(
@@ -231,23 +276,35 @@ pub fn fig6_switch_sensitivity(runner: &mut Runner) -> Table {
 /// Figure 8: the four L2 organizations of Figure 7, as speedup over the
 /// mem-side local-only baseline. Sorted by the NUMA-aware column.
 pub fn fig8(runner: &mut Runner) -> Table {
+    let wls = study(runner);
+    let variants = vec![
+        v("loc4", configs::locality(4)),
+        v(
+            "cache-static",
+            configs::cache(4, CacheMode::StaticRemoteCache),
+        ),
+        v("cache-shared", configs::cache(4, CacheMode::SharedCoherent)),
+        v("cache-numa", configs::cache(4, CacheMode::NumaAwareDynamic)),
+    ];
+    runner.execute(SimPlan::cross(&variants, &wls));
+
     let mut rows = Vec::new();
-    for wl in study(runner) {
-        let memside = runner.report("loc4", configs::locality(4), &wl);
+    for wl in &wls {
+        let memside = runner.report("loc4", configs::locality(4), wl);
         let stat = runner.report(
             "cache-static",
             configs::cache(4, CacheMode::StaticRemoteCache),
-            &wl,
+            wl,
         );
         let shared = runner.report(
             "cache-shared",
             configs::cache(4, CacheMode::SharedCoherent),
-            &wl,
+            wl,
         );
         let na = runner.report(
             "cache-numa",
             configs::cache(4, CacheMode::NumaAwareDynamic),
-            &wl,
+            wl,
         );
         rows.push(Row::new(
             wl.meta.name.clone(),
@@ -275,16 +332,23 @@ pub fn fig8(runner: &mut Runner) -> Table {
 /// of the hypothetical invalidation-free L2 relative to the real one
 /// (`>1` = the flush costs performance).
 pub fn fig9(runner: &mut Runner) -> Table {
+    let wls = study(runner);
+    let mut icfg = configs::cache(4, CacheMode::NumaAwareDynamic);
+    icfg.ideal_no_l2_invalidate = true;
+    let variants = vec![
+        v("cache-numa", configs::cache(4, CacheMode::NumaAwareDynamic)),
+        v("cache-numa-ideal", icfg.clone()),
+    ];
+    runner.execute(SimPlan::cross(&variants, &wls));
+
     let mut rows = Vec::new();
-    for wl in study(runner) {
+    for wl in &wls {
         let real = runner.report(
             "cache-numa",
             configs::cache(4, CacheMode::NumaAwareDynamic),
-            &wl,
+            wl,
         );
-        let mut icfg = configs::cache(4, CacheMode::NumaAwareDynamic);
-        icfg.ideal_no_l2_invalidate = true;
-        let ideal = runner.report("cache-numa-ideal", icfg, &wl);
+        let ideal = runner.report("cache-numa-ideal", icfg.clone(), wl);
         rows.push(Row::new(
             wl.meta.name.clone(),
             vec![
@@ -308,16 +372,23 @@ pub fn fig9(runner: &mut Runner) -> Table {
 /// §5.2 sensitivity: write-back vs write-through L2 under the NUMA-aware
 /// design (geomean of WB speedup over WT).
 pub fn fig9_writeback(runner: &mut Runner) -> Table {
+    let wls = study(runner);
+    let mut wtc = configs::cache(4, CacheMode::NumaAwareDynamic);
+    wtc.l2.write_policy = WritePolicy::WriteThrough;
+    let variants = vec![
+        v("cache-numa", configs::cache(4, CacheMode::NumaAwareDynamic)),
+        v("cache-numa-wt", wtc.clone()),
+    ];
+    runner.execute(SimPlan::cross(&variants, &wls));
+
     let mut speedups = Vec::new();
-    for wl in study(runner) {
+    for wl in &wls {
         let wb = runner.report(
             "cache-numa",
             configs::cache(4, CacheMode::NumaAwareDynamic),
-            &wl,
+            wl,
         );
-        let mut wtc = configs::cache(4, CacheMode::NumaAwareDynamic);
-        wtc.l2.write_policy = WritePolicy::WriteThrough;
-        let wt = runner.report("cache-numa-wt", wtc, &wl);
+        let wt = runner.report("cache-numa-wt", wtc.clone(), wl);
         speedups.push(wb.speedup_over(&wt));
     }
     let mut t = Table::new(
@@ -331,18 +402,29 @@ pub fn fig9_writeback(runner: &mut Runner) -> Table {
 /// Figure 10: combined improvement — SW baseline, dynamic links only,
 /// NUMA-aware caches only, both, and the 4× hypothetical, all vs one GPU.
 pub fn fig10(runner: &mut Runner) -> Table {
+    let wls = workloads(runner);
+    let variants = vec![
+        v("single", configs::single()),
+        v("loc4", configs::locality(4)),
+        v("dyn4-5000", configs::dynamic_link(4, 5_000)),
+        v("cache-numa", configs::cache(4, CacheMode::NumaAwareDynamic)),
+        v("aware4", configs::numa_aware(4)),
+        v("hypo4", configs::hypothetical(4)),
+    ];
+    runner.execute(SimPlan::cross(&variants, &wls));
+
     let mut rows = Vec::new();
-    for wl in workloads(runner) {
-        let single = runner.report("single", configs::single(), &wl);
-        let loc = runner.report("loc4", configs::locality(4), &wl);
-        let dyn_r = runner.report("dyn4-5000", configs::dynamic_link(4, 5_000), &wl);
+    for wl in &wls {
+        let single = runner.report("single", configs::single(), wl);
+        let loc = runner.report("loc4", configs::locality(4), wl);
+        let dyn_r = runner.report("dyn4-5000", configs::dynamic_link(4, 5_000), wl);
         let cache = runner.report(
             "cache-numa",
             configs::cache(4, CacheMode::NumaAwareDynamic),
-            &wl,
+            wl,
         );
-        let both = runner.report("aware4", configs::numa_aware(4), &wl);
-        let hypo = runner.report("hypo4", configs::hypothetical(4), &wl);
+        let both = runner.report("aware4", configs::numa_aware(4), wl);
+        let hypo = runner.report("hypo4", configs::hypothetical(4), wl);
         rows.push(Row::new(
             wl.meta.name.clone(),
             vec![
@@ -378,16 +460,26 @@ pub fn fig10(runner: &mut Runner) -> Table {
 /// Figure 11: 2/4/8-socket NUMA-aware scalability against the equally
 /// scaled hypothetical single GPUs, over all 41 workloads.
 pub fn fig11(runner: &mut Runner) -> Table {
+    let wls = workloads(runner);
+    let mut variants = vec![v("single", configs::single())];
+    for n in [2u8, 4, 8] {
+        variants.push(v(format!("aware{n}"), configs::numa_aware(n)));
+    }
+    for n in [2u8, 4, 8] {
+        variants.push(v(format!("hypo{n}"), configs::hypothetical(n)));
+    }
+    runner.execute(SimPlan::cross(&variants, &wls));
+
     let mut rows = Vec::new();
-    for wl in workloads(runner) {
-        let single = runner.report("single", configs::single(), &wl);
+    for wl in &wls {
+        let single = runner.report("single", configs::single(), wl);
         let mut values = Vec::new();
         for n in [2u8, 4, 8] {
-            let aware = runner.report(&format!("aware{n}"), configs::numa_aware(n), &wl);
+            let aware = runner.report(&format!("aware{n}"), configs::numa_aware(n), wl);
             values.push(aware.speedup_over(&single));
         }
         for n in [2u8, 4, 8] {
-            let hypo = runner.report(&format!("hypo{n}"), configs::hypothetical(n), &wl);
+            let hypo = runner.report(&format!("hypo{n}"), configs::hypothetical(n), wl);
             values.push(hypo.speedup_over(&single));
         }
         rows.push(Row::new(wl.meta.name.clone(), values));
@@ -422,13 +514,20 @@ pub fn fig11(runner: &mut Runner) -> Table {
 /// §6 power: average interconnect power (10 pJ/b) for the SW baseline vs
 /// the NUMA-aware design, per workload plus means.
 pub fn power(runner: &mut Runner) -> Table {
+    let wls = workloads(runner);
+    let variants = vec![
+        v("loc4", configs::locality(4)),
+        v("aware4", configs::numa_aware(4)),
+    ];
+    runner.execute(SimPlan::cross(&variants, &wls));
+
     let mut t = Table::new(
         "S6 power: average interconnect power (W, 10 pJ/b)",
         &["baseline-W", "numa-aware-W"],
     );
-    for wl in workloads(runner) {
-        let base = runner.report("loc4", configs::locality(4), &wl);
-        let aware = runner.report("aware4", configs::numa_aware(4), &wl);
+    for wl in &wls {
+        let base = runner.report("loc4", configs::locality(4), wl);
+        let aware = runner.report("aware4", configs::numa_aware(4), wl);
         t.push(Row::new(
             wl.meta.name.clone(),
             vec![base.link_power_w, aware.link_power_w],
@@ -490,11 +589,16 @@ pub fn ablations(runner: &mut Runner) -> Table {
             c
         }),
     ];
+    let wls = study(runner);
+    let mut all = vec![v("loc4", configs::locality(4))];
+    all.extend(variants.iter().map(|(label, cfg)| v(*label, cfg.clone())));
+    runner.execute(SimPlan::cross(&all, &wls));
+
     for (label, cfg) in variants {
         let mut speedups = Vec::new();
-        for wl in study(runner) {
-            let base = runner.report("loc4", configs::locality(4), &wl);
-            let r = runner.report(label, cfg.clone(), &wl);
+        for wl in &wls {
+            let base = runner.report("loc4", configs::locality(4), wl);
+            let r = runner.report(label, cfg.clone(), wl);
             speedups.push(r.speedup_over(&base));
         }
         t.push(Row::new(label, vec![geomean(&speedups)]));
@@ -579,5 +683,11 @@ mod tests {
         let csv = fig5(&mut r);
         assert!(csv.starts_with("cycle,gpu,"));
         assert!(csv.contains("kernel_start,"));
+    }
+
+    #[test]
+    fn fig3_variants_cover_the_four_policies() {
+        let labels: Vec<String> = fig3_variants().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(labels, ["single", "trad4", "loc4", "hypo4"]);
     }
 }

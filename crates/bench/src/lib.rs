@@ -3,19 +3,25 @@
 //!
 //! The [`experiments`] module has one entry point per paper artifact
 //! (Table 1, Table 2, Figures 2–11, the §4/§5 sensitivity studies, and the
-//! §6 power estimate), all driven through a caching [`Runner`] so shared
-//! baselines (single-GPU, locality-optimized 4-socket, …) are simulated
-//! once. The `figures` binary prints them; the Criterion benches in
-//! `benches/` time reduced-scale versions of the same code paths.
+//! §6 power estimate). Each experiment first *declares* its simulations as
+//! a [`SimPlan`] (deduplicated by structured [`JobKey`]), then a caching
+//! [`Runner`] *executes* the plan — fanning independent jobs out over a
+//! deterministic worker pool (`--jobs N`) — so shared baselines
+//! (single-GPU, locality-optimized 4-socket, …) are simulated once and
+//! output stays byte-identical at every thread count. The `figures` binary
+//! prints them; the benches in `benches/` time reduced-scale versions of
+//! the same code paths.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod configs;
 pub mod experiments;
+pub mod plan;
 pub mod runner;
 pub mod table;
 
+pub use plan::{JobKey, SimJob, SimPlan};
 pub use runner::Runner;
 pub use table::{Row, Table};
 

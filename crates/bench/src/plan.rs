@@ -1,0 +1,261 @@
+//! The declarative sim-job plane: experiments *declare* the simulations
+//! they need as a [`SimPlan`], and the plan *executes* them — possibly in
+//! parallel — before any table is assembled.
+//!
+//! Splitting declaration from execution buys three things:
+//!
+//! 1. **Dedup by structured key.** Jobs are identified by [`JobKey`]
+//!    (configuration label, workload name, timeline flag), so figures
+//!    sharing baselines enqueue them once and string-concatenation key
+//!    collisions (`"x+timeline"` vs a config literally labelled
+//!    `x+timeline`) are impossible.
+//! 2. **Determinism under parallelism.** Each job is an independent pure
+//!    simulation; results are memoized in submission order regardless of
+//!    completion order, and the serial table-assembly phase reads only the
+//!    memo. Output is byte-identical at every `--jobs` count.
+//! 3. **Throughput.** Plans fan out over [`ThreadPool`]; a sweep of
+//!    hundreds of
+//!    independent `(config, workload)` runs scales with cores.
+
+use numa_gpu_core::{run_workload, run_workload_with_timeline, SimReport};
+use numa_gpu_exec::{Job, Reporter, ThreadPool};
+use numa_gpu_runtime::Workload;
+use numa_gpu_types::SystemConfig;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Structured identity of one simulation: which configuration, which
+/// workload, and whether link-timeline recording is on.
+///
+/// Replaces the old `(String, String)` cache key whose `"{label}+timeline"`
+/// convention collided with configurations literally labelled that way.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobKey {
+    /// Configuration label (e.g. `"loc4"`); must uniquely identify the
+    /// [`SystemConfig`] within a sweep.
+    pub label: String,
+    /// Workload name (from [`Workload`] metadata).
+    pub workload: String,
+    /// Whether the run records per-sample link timelines (Figure 5).
+    pub timeline: bool,
+}
+
+impl JobKey {
+    /// Creates a key.
+    pub fn new(label: impl Into<String>, workload: impl Into<String>, timeline: bool) -> Self {
+        JobKey {
+            label: label.into(),
+            workload: workload.into(),
+            timeline,
+        }
+    }
+
+    /// Human-readable form used in progress lines and panic labels.
+    pub fn display(&self) -> String {
+        let tl = if self.timeline { " (timeline)" } else { "" };
+        format!("[{}]{} {}", self.label, tl, self.workload)
+    }
+}
+
+/// One planned simulation: its identity plus everything needed to run it.
+#[derive(Debug, Clone)]
+pub struct SimJob {
+    /// Structured identity (also the memoization key).
+    pub key: JobKey,
+    /// System configuration to simulate under.
+    pub cfg: SystemConfig,
+    /// Workload to run (cheap to clone: kernels are shared `Arc`s).
+    pub workload: Workload,
+}
+
+impl SimJob {
+    /// Runs the simulation this job describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation (experiment configs
+    /// are all statically valid).
+    pub fn run(&self) -> SimReport {
+        if self.key.timeline {
+            run_workload_with_timeline(self.cfg.clone(), &self.workload)
+                .expect("experiment config is valid")
+        } else {
+            run_workload(self.cfg.clone(), &self.workload).expect("experiment config is valid")
+        }
+    }
+}
+
+/// An ordered, deduplicated batch of simulations to execute.
+///
+/// Build one per experiment (or share across experiments), then hand it to
+/// [`Runner::execute`](crate::Runner::execute) — or run it standalone with
+/// [`SimPlan::execute`].
+#[derive(Debug, Clone, Default)]
+pub struct SimPlan {
+    jobs: Vec<SimJob>,
+    seen: HashSet<JobKey>,
+}
+
+impl SimPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        SimPlan::default()
+    }
+
+    /// A plan running every `(label, config)` variant against every
+    /// workload — the shape of most paper figures.
+    pub fn cross(variants: &[(String, SystemConfig)], workloads: &[Workload]) -> Self {
+        let mut plan = SimPlan::new();
+        for wl in workloads {
+            for (label, cfg) in variants {
+                plan.job(label, cfg.clone(), wl);
+            }
+        }
+        plan
+    }
+
+    /// Adds a simulation of `workload` under `cfg`. Duplicate keys (same
+    /// label, workload, and timeline flag) are dropped silently — that is
+    /// the cross-figure dedup.
+    pub fn job(&mut self, label: &str, cfg: SystemConfig, workload: &Workload) -> &mut Self {
+        self.push(
+            JobKey::new(label, workload.meta.name.clone(), false),
+            cfg,
+            workload,
+        )
+    }
+
+    /// Adds a timeline-recording simulation (Figure 5). Cached under a
+    /// distinct key from the plain run of the same label and workload.
+    pub fn timeline_job(
+        &mut self,
+        label: &str,
+        cfg: SystemConfig,
+        workload: &Workload,
+    ) -> &mut Self {
+        self.push(
+            JobKey::new(label, workload.meta.name.clone(), true),
+            cfg,
+            workload,
+        )
+    }
+
+    fn push(&mut self, key: JobKey, cfg: SystemConfig, workload: &Workload) -> &mut Self {
+        if self.seen.insert(key.clone()) {
+            self.jobs.push(SimJob {
+                key,
+                cfg,
+                workload: workload.clone(),
+            });
+        }
+        self
+    }
+
+    /// Drops every job whose key fails `keep` (used to skip already-cached
+    /// work).
+    pub fn retain(&mut self, mut keep: impl FnMut(&JobKey) -> bool) {
+        self.jobs.retain(|j| keep(&j.key));
+        self.seen.retain(|k| self.jobs.iter().any(|j| &j.key == k));
+    }
+
+    /// Number of planned jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The planned jobs, in submission order.
+    pub fn jobs(&self) -> &[SimJob] {
+        &self.jobs
+    }
+
+    /// Executes every job on a pool of `threads` workers and returns
+    /// `(key, report)` pairs in submission order.
+    ///
+    /// Worker progress (one line per simulation) goes through `reporter`,
+    /// so lines from concurrent jobs cannot shear.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the job's key in the message) if any simulation
+    /// panics; see [`ThreadPool::run`].
+    pub fn execute(
+        self,
+        threads: usize,
+        reporter: &Arc<Reporter>,
+    ) -> Vec<(JobKey, Arc<SimReport>)> {
+        let pool = ThreadPool::new(threads);
+        let keys: Vec<JobKey> = self.jobs.iter().map(|j| j.key.clone()).collect();
+        let pool_jobs: Vec<Job<Arc<SimReport>>> = self
+            .jobs
+            .into_iter()
+            .map(|job| {
+                let reporter = reporter.clone();
+                let label = job.key.display();
+                Job::new(label.clone(), move || {
+                    reporter.line(&format!("  sim {label}"));
+                    Arc::new(job.run())
+                })
+            })
+            .collect();
+        keys.into_iter().zip(pool.run(pool_jobs)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+    use numa_gpu_workloads::{by_name, Scale};
+
+    fn wl() -> Workload {
+        by_name("Other-Bitcoin-Crypto", &Scale::quick()).unwrap()
+    }
+
+    #[test]
+    fn duplicate_jobs_collapse() {
+        let w = wl();
+        let mut plan = SimPlan::new();
+        plan.job("single", configs::single(), &w);
+        plan.job("single", configs::single(), &w);
+        plan.timeline_job("single", configs::single(), &w);
+        assert_eq!(plan.len(), 2, "plain run deduped; timeline is distinct");
+    }
+
+    #[test]
+    fn timeline_flag_separates_keys() {
+        let a = JobKey::new("x", "w", false);
+        let b = JobKey::new("x", "w", true);
+        assert_ne!(a, b);
+        assert!(b.display().contains("timeline"));
+    }
+
+    #[test]
+    fn cross_covers_the_product() {
+        let w = wl();
+        let variants = vec![
+            ("single".to_string(), configs::single()),
+            ("loc4".to_string(), configs::locality(4)),
+        ];
+        let plan = SimPlan::cross(&variants, std::slice::from_ref(&w));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.jobs()[0].key.label, "single");
+        assert_eq!(plan.jobs()[1].key.label, "loc4");
+    }
+
+    #[test]
+    fn retain_filters_jobs() {
+        let w = wl();
+        let mut plan = SimPlan::new();
+        plan.job("a", configs::single(), &w);
+        plan.job("b", configs::locality(4), &w);
+        plan.retain(|k| k.label == "b");
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.jobs()[0].key.label, "b");
+        assert!(!plan.is_empty());
+    }
+}

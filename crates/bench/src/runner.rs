@@ -1,20 +1,34 @@
 //! A caching simulation runner shared by all experiments.
+//!
+//! Since the job-plane refactor the runner is the *memo* side of a
+//! two-phase model: experiments declare their simulations as a
+//! [`SimPlan`], [`Runner::execute`] fans the plan out over a worker pool
+//! ([`numa_gpu_exec::ThreadPool`]) and memoizes each report, and the
+//! table-assembly code then reads reports back through the same API as
+//! before. [`Runner::report`] / [`Runner::report_with_timeline`] remain as
+//! compatibility shims that simulate inline on a cache miss, so call sites
+//! migrate incrementally and `--jobs 1` reproduces the old serial behavior
+//! exactly.
 
-use numa_gpu_core::{run_workload, run_workload_with_timeline, SimReport};
+use crate::plan::{JobKey, SimJob, SimPlan};
+use numa_gpu_core::SimReport;
+use numa_gpu_exec::Reporter;
 use numa_gpu_runtime::Workload;
 use numa_gpu_types::SystemConfig;
 use numa_gpu_workloads::Scale;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Runs simulations and memoizes their reports by
-/// `(configuration label, workload name)`, so experiments sharing baselines
-/// (every figure reuses the single-GPU and locality runs) pay for them once.
+/// Runs simulations and memoizes their reports by [`JobKey`]
+/// (configuration label, workload name, timeline flag), so experiments
+/// sharing baselines (every figure reuses the single-GPU and locality
+/// runs) pay for them once.
 pub struct Runner {
     scale: Scale,
-    cache: HashMap<(String, String), Arc<SimReport>>,
+    cache: HashMap<JobKey, Arc<SimReport>>,
     runs: u64,
-    verbose: bool,
+    jobs: usize,
+    reporter: Arc<Reporter>,
 }
 
 impl std::fmt::Debug for Runner {
@@ -22,25 +36,37 @@ impl std::fmt::Debug for Runner {
         f.debug_struct("Runner")
             .field("cached", &self.cache.len())
             .field("runs", &self.runs)
+            .field("jobs", &self.jobs)
             .finish_non_exhaustive()
     }
 }
 
 impl Runner {
-    /// Creates a runner at the given workload scale.
+    /// Creates a runner at the given workload scale. Plans execute on a
+    /// single worker (the exact pre-pool behavior) until
+    /// [`Runner::jobs`] raises the count.
     pub fn new(scale: Scale) -> Self {
         Runner {
             scale,
             cache: HashMap::new(),
             runs: 0,
-            verbose: false,
+            jobs: 1,
+            reporter: Arc::new(Reporter::stderr(false)),
         }
     }
 
     /// Logs each fresh simulation to stderr (progress feedback for the long
-    /// full-scale sweeps).
+    /// full-scale sweeps). Lines are routed through a mutexed line-buffered
+    /// reporter so concurrent workers cannot shear them.
     pub fn verbose(mut self) -> Self {
-        self.verbose = true;
+        self.reporter = Arc::new(Reporter::stderr(true));
+        self
+    }
+
+    /// Sets the worker-thread count used by [`Runner::execute`] (clamped
+    /// to at least 1). `1` executes plans serially on the calling thread.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
         self
     }
 
@@ -54,8 +80,46 @@ impl Runner {
         self.runs
     }
 
+    /// Worker threads used per plan execution.
+    pub fn job_count(&self) -> usize {
+        self.jobs
+    }
+
+    /// Executes every not-yet-cached job of `plan` on the worker pool and
+    /// memoizes the reports. Jobs already in the cache (e.g. baselines
+    /// shared with an earlier figure) are skipped, so cross-figure dedup
+    /// falls out of the structured keys.
+    ///
+    /// Results are memoized in submission order regardless of completion
+    /// order, keeping every downstream observation byte-identical at any
+    /// worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics (labelled with the failing job's key) if a simulation
+    /// panics, e.g. on an invalid experiment configuration.
+    pub fn execute(&mut self, mut plan: SimPlan) {
+        plan.retain(|key| !self.cache.contains_key(key));
+        if plan.is_empty() {
+            return;
+        }
+        for (key, report) in plan.execute(self.jobs, &self.reporter) {
+            self.runs += 1;
+            self.cache.insert(key, report);
+        }
+    }
+
+    /// The memoized report for `key`, if that job has run.
+    pub fn cached(&self, key: &JobKey) -> Option<Arc<SimReport>> {
+        self.cache.get(key).cloned()
+    }
+
     /// Returns the report for `workload` under `cfg`, simulating on first
     /// use. `label` must uniquely identify the configuration.
+    ///
+    /// Compatibility shim over the plan/execute model: prefer declaring a
+    /// [`SimPlan`] and calling [`Runner::execute`] so sweeps can fan out;
+    /// after that this is a pure cache hit.
     ///
     /// # Panics
     ///
@@ -67,37 +131,46 @@ impl Runner {
         cfg: SystemConfig,
         workload: &Workload,
     ) -> Arc<SimReport> {
-        let key = (label.to_string(), workload.meta.name.clone());
-        if let Some(r) = self.cache.get(&key) {
-            return r.clone();
-        }
-        if self.verbose {
-            eprintln!("  sim [{label}] {}", workload.meta.name);
-        }
-        let report = Arc::new(run_workload(cfg, workload).expect("experiment config is valid"));
-        self.runs += 1;
-        self.cache.insert(key, report.clone());
-        report
+        self.report_keyed(
+            JobKey::new(label, workload.meta.name.clone(), false),
+            cfg,
+            workload,
+        )
     }
 
     /// Like [`Self::report`] but records the per-sample link timelines
-    /// (Figure 5). Timeline runs are cached under a distinct key.
+    /// (Figure 5). Timeline runs are cached under a distinct structured
+    /// key — a config labelled `"x+timeline"` can no longer collide with
+    /// `report_with_timeline("x", ...)`.
     pub fn report_with_timeline(
         &mut self,
         label: &str,
         cfg: SystemConfig,
         workload: &Workload,
     ) -> Arc<SimReport> {
-        let key = (format!("{label}+timeline"), workload.meta.name.clone());
+        self.report_keyed(
+            JobKey::new(label, workload.meta.name.clone(), true),
+            cfg,
+            workload,
+        )
+    }
+
+    fn report_keyed(
+        &mut self,
+        key: JobKey,
+        cfg: SystemConfig,
+        workload: &Workload,
+    ) -> Arc<SimReport> {
         if let Some(r) = self.cache.get(&key) {
             return r.clone();
         }
-        if self.verbose {
-            eprintln!("  sim [{label}+timeline] {}", workload.meta.name);
-        }
-        let report = Arc::new(
-            run_workload_with_timeline(cfg, workload).expect("experiment config is valid"),
-        );
+        self.reporter.line(&format!("  sim {}", key.display()));
+        let job = SimJob {
+            key: key.clone(),
+            cfg,
+            workload: workload.clone(),
+        };
+        let report = Arc::new(job.run());
         self.runs += 1;
         self.cache.insert(key, report.clone());
         report
@@ -110,16 +183,86 @@ mod tests {
     use crate::configs;
     use numa_gpu_workloads::by_name;
 
+    fn quick_workload() -> Workload {
+        by_name("Other-Bitcoin-Crypto", &Scale::quick()).unwrap()
+    }
+
     #[test]
     fn caches_by_label_and_workload() {
-        let scale = Scale::quick();
-        let wl = by_name("Other-Bitcoin-Crypto", &scale).unwrap();
-        let mut r = Runner::new(scale);
+        let wl = quick_workload();
+        let mut r = Runner::new(Scale::quick());
         let a = r.report("single", configs::single(), &wl);
         let b = r.report("single", configs::single(), &wl);
         assert_eq!(r.runs(), 1);
         assert!(Arc::ptr_eq(&a, &b));
         let _c = r.report("loc4", configs::locality(4), &wl);
         assert_eq!(r.runs(), 2);
+    }
+
+    #[test]
+    fn execute_memoizes_and_dedups_against_cache() {
+        let wl = quick_workload();
+        let mut r = Runner::new(Scale::quick()).jobs(2);
+        let mut plan = SimPlan::new();
+        plan.job("single", configs::single(), &wl);
+        plan.job("loc4", configs::locality(4), &wl);
+        r.execute(plan);
+        assert_eq!(r.runs(), 2);
+
+        // Shim reads are now pure cache hits...
+        let a = r.report("single", configs::single(), &wl);
+        assert_eq!(r.runs(), 2);
+        assert!(Arc::ptr_eq(
+            &a,
+            &r.cached(&JobKey::new("single", wl.meta.name.clone(), false))
+                .unwrap()
+        ));
+
+        // ...and re-executing an overlapping plan only runs the new job.
+        let mut plan = SimPlan::new();
+        plan.job("single", configs::single(), &wl);
+        plan.job("trad4", configs::traditional(4), &wl);
+        r.execute(plan);
+        assert_eq!(r.runs(), 3);
+    }
+
+    /// Regression: with the old string keys, a configuration labelled
+    /// `"x+timeline"` aliased `report_with_timeline("x", ...)` and the two
+    /// distinct simulations shared one cache slot. Structured [`JobKey`]s
+    /// keep them separate.
+    #[test]
+    fn timeline_key_cannot_collide_with_label_concatenation() {
+        let wl = quick_workload();
+        let mut r = Runner::new(Scale::quick());
+        let timeline = r.report_with_timeline("x", configs::locality(4), &wl);
+        let plain = r.report("x+timeline", configs::locality(4), &wl);
+        assert_eq!(r.runs(), 2, "the two keys must be distinct simulations");
+        assert!(!Arc::ptr_eq(&timeline, &plain));
+        // The keys stay distinct in the cache too.
+        assert!(r
+            .cached(&JobKey::new("x", wl.meta.name.clone(), true))
+            .is_some());
+        assert!(r
+            .cached(&JobKey::new("x+timeline", wl.meta.name.clone(), false))
+            .is_some());
+        // Only the timeline run may record link samples (a quick-scale run
+        // can end before the first sample tick, so `plain` being empty is
+        // the invariant we can always assert).
+        assert!(plain.link_timelines.iter().all(|t| t.is_empty()));
+    }
+
+    #[test]
+    fn parallel_execute_matches_serial_reports() {
+        let wl = quick_workload();
+        let mut serial = Runner::new(Scale::quick());
+        let s = serial.report("loc4", configs::locality(4), &wl);
+
+        let mut parallel = Runner::new(Scale::quick()).jobs(4);
+        let mut plan = SimPlan::new();
+        plan.job("single", configs::single(), &wl);
+        plan.job("loc4", configs::locality(4), &wl);
+        parallel.execute(plan);
+        let p = parallel.report("loc4", configs::locality(4), &wl);
+        assert_eq!(*s, *p, "reports must be identical at any worker count");
     }
 }

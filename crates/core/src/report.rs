@@ -78,6 +78,14 @@ impl std::fmt::Display for SimReport {
     }
 }
 
+// Reports cross thread boundaries as `Arc<SimReport>` when sweeps fan out
+// over the worker pool; this fails to compile if a field ever stops being
+// thread-safe.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SimReport>();
+};
+
 impl SimReport {
     /// Speedup of `self` relative to `baseline` (`>1` means faster).
     ///

@@ -338,6 +338,13 @@ impl NumaGpuSystem {
     }
 
     fn build_report(&mut self, workload: &Workload) -> SimReport {
+        // `run` folds the trailing write drain into `now` before reporting;
+        // `kernel_cycles` relies on this so the last kernel's span covers
+        // its fire-and-forget writes.
+        debug_assert!(
+            self.now >= self.write_drain,
+            "build_report before the final write drain was charged"
+        );
         let total_cycles = ticks_to_cycles(self.now);
         let sockets: Vec<SocketReport> = (0..self.cfg.num_sockets as usize)
             .map(|s| {
@@ -399,14 +406,15 @@ impl NumaGpuSystem {
 
     fn kernel_cycles(&self) -> Vec<u64> {
         // Derive per-kernel durations from consecutive start marks plus the
-        // final end time.
+        // final end time. Inter-kernel boundaries already fold the write
+        // drain into the next start (`kernel_boundary`), so only the last
+        // kernel needs the explicit `max` here: a trailing fire-and-forget
+        // write burst belongs to the kernel that issued it, matching the
+        // `now.max(write_drain)` fold in `run`.
         let mut cycles = Vec::with_capacity(self.kernel_starts.len());
+        let last_end = ticks_to_cycles(self.now.max(self.write_drain));
         for (i, &start) in self.kernel_starts.iter().enumerate() {
-            let end = self
-                .kernel_starts
-                .get(i + 1)
-                .copied()
-                .unwrap_or_else(|| ticks_to_cycles(self.now));
+            let end = self.kernel_starts.get(i + 1).copied().unwrap_or(last_end);
             cycles.push(end.saturating_sub(start));
         }
         cycles

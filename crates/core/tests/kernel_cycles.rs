@@ -1,0 +1,124 @@
+//! Per-kernel cycle attribution: `kernel_cycles` must tile `total_cycles`
+//! exactly, including the trailing write drain of a kernel that ends in a
+//! fire-and-forget write burst.
+
+use numa_gpu_core::run_workload;
+use numa_gpu_runtime::{Kernel, Suite, Workload, WorkloadMeta};
+use numa_gpu_types::{Addr, CtaId, CtaProgram, SystemConfig, WarpOp};
+use std::sync::Arc;
+
+/// A kernel whose single CTA executes a fixed op list on one warp.
+struct Scripted {
+    ops: Vec<WarpOp>,
+}
+
+impl Kernel for Scripted {
+    fn num_ctas(&self) -> u32 {
+        1
+    }
+    fn warps_per_cta(&self) -> u32 {
+        1
+    }
+    fn cta(&self, _cta: CtaId) -> Box<dyn CtaProgram> {
+        struct P {
+            ops: Vec<WarpOp>,
+            i: usize,
+        }
+        impl CtaProgram for P {
+            fn num_warps(&self) -> u32 {
+                1
+            }
+            fn next_op(&mut self, _w: u32) -> Option<WarpOp> {
+                let op = self.ops.get(self.i).copied();
+                self.i += 1;
+                op
+            }
+        }
+        Box::new(P {
+            ops: self.ops.clone(),
+            i: 0,
+        })
+    }
+}
+
+fn workload(kernel_ops: Vec<Vec<WarpOp>>) -> Workload {
+    Workload {
+        meta: WorkloadMeta {
+            name: "scripted".into(),
+            suite: Suite::Other,
+            paper_avg_ctas: 1,
+            paper_footprint_mb: 1,
+            study_set: false,
+        },
+        kernels: kernel_ops
+            .into_iter()
+            .map(|ops| Arc::new(Scripted { ops }) as Arc<dyn Kernel>)
+            .collect(),
+        footprint_bytes: 1 << 20,
+    }
+}
+
+/// A burst of fire-and-forget writes to distinct lines: the warp retires
+/// immediately but the memory system keeps draining afterwards.
+fn write_burst(lines: u64) -> Vec<WarpOp> {
+    (0..lines)
+        .map(|i| WarpOp::write(Addr::new(i * 128)))
+        .collect()
+}
+
+/// `kernel_starts[0] + sum(kernel_cycles)` must equal `total_cycles` for
+/// the given workload; returns the report for further checks.
+fn assert_tiles(kernel_ops: Vec<Vec<WarpOp>>) -> numa_gpu_core::SimReport {
+    let r = run_workload(SystemConfig::pascal_single(), &workload(kernel_ops)).unwrap();
+    let sum: u64 = r.kernel_cycles.iter().sum();
+    assert_eq!(
+        r.kernel_start_cycles[0] + sum,
+        r.total_cycles,
+        "kernel spans must tile the run exactly (starts {:?}, cycles {:?})",
+        r.kernel_start_cycles,
+        r.kernel_cycles
+    );
+    r
+}
+
+#[test]
+fn trailing_write_burst_is_charged_to_the_final_kernel() {
+    // Regression: `kernel_cycles` used `now` alone as the last kernel's end
+    // bound. `run` folds the write drain into `now` before reporting, and
+    // the end bound must stay aligned with that fold — a kernel ending in a
+    // write burst owns its drain.
+    let with_burst = assert_tiles(vec![write_burst(256)]);
+    let compute_only = assert_tiles(vec![vec![WarpOp::compute(1)]]);
+    assert_eq!(with_burst.kernel_cycles.len(), 1);
+    assert!(
+        with_burst.kernel_cycles[0] > compute_only.kernel_cycles[0],
+        "the drain of 256 written lines must appear in the kernel's span \
+         ({} vs {})",
+        with_burst.kernel_cycles[0],
+        compute_only.kernel_cycles[0]
+    );
+}
+
+#[test]
+fn mid_run_write_burst_is_charged_to_the_issuing_kernel() {
+    // Two kernels; the first ends in a write burst. `kernel_boundary` folds
+    // the drain into the second kernel's start, so the first kernel's span
+    // covers it and the spans still tile the total.
+    let r = assert_tiles(vec![write_burst(256), vec![WarpOp::compute(1)]]);
+    assert_eq!(r.kernel_cycles.len(), 2);
+    assert_eq!(
+        r.kernel_start_cycles[1],
+        r.kernel_start_cycles[0] + r.kernel_cycles[0],
+        "kernel 1 must start exactly where kernel 0's span (incl. drain) ends"
+    );
+}
+
+#[test]
+fn spans_tile_for_read_and_multi_kernel_mixes() {
+    assert_tiles(vec![vec![WarpOp::read(Addr::new(0))]]);
+    assert_tiles(vec![
+        vec![WarpOp::read(Addr::new(0)), WarpOp::compute(5)],
+        write_burst(64),
+        vec![WarpOp::read(Addr::new(4096))],
+    ]);
+}

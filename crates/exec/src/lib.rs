@@ -1,0 +1,42 @@
+//! Deterministic batch execution for simulation sweeps.
+//!
+//! The benchmark harness runs hundreds of independent `(config, workload)`
+//! simulations. This crate provides the minimal, std-only execution
+//! substrate for fanning those out over OS threads *without* giving up the
+//! workspace's byte-for-byte determinism guarantee:
+//!
+//! * [`ThreadPool`] — a fixed-worker batch executor. Jobs are indexed at
+//!   submission and results are returned **in submission order** no matter
+//!   which worker finishes first, so any output derived from the result
+//!   vector is independent of thread scheduling. A panic inside a worker is
+//!   caught and re-raised on the submitting thread, labelled with the job
+//!   that caused it.
+//! * [`Reporter`] — a mutexed, line-buffered progress logger. Each line is
+//!   formatted completely before a single locked write, so progress output
+//!   from concurrent workers never shears mid-line.
+//!
+//! Determinism argument: the pool imposes no ordering on *execution* (any
+//! worker may run any job at any time), only on *observation*. As long as
+//! each job is a pure function of its inputs — true for the simulator,
+//! whose runs share no mutable state — the result vector, and everything
+//! computed from it, is identical at every worker count.
+//!
+//! # Examples
+//!
+//! ```
+//! use numa_gpu_exec::{Job, ThreadPool};
+//!
+//! let pool = ThreadPool::new(4);
+//! let jobs = (0..8).map(|i| Job::new(format!("square-{i}"), move || i * i));
+//! let squares = pool.run(jobs.collect());
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod pool;
+mod reporter;
+
+pub use pool::{Job, ThreadPool};
+pub use reporter::Reporter;

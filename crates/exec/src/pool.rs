@@ -1,0 +1,228 @@
+//! Fixed-worker thread pool with deterministic result ordering.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One unit of work: a label (used in panic reports and progress lines)
+/// plus the closure to run.
+pub struct Job<T> {
+    label: String,
+    work: Box<dyn FnOnce() -> T + Send>,
+}
+
+impl<T> Job<T> {
+    /// Creates a job.
+    pub fn new(label: impl Into<String>, work: impl FnOnce() -> T + Send + 'static) -> Self {
+        Job {
+            label: label.into(),
+            work: Box::new(work),
+        }
+    }
+
+    /// The job's label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl<T> std::fmt::Debug for Job<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("label", &self.label).finish()
+    }
+}
+
+/// A fixed-size pool of worker threads executing job batches.
+///
+/// The pool is a *value*, not a set of parked OS threads: workers are
+/// spawned scoped per [`ThreadPool::run`] call and joined before it
+/// returns, which keeps job closures free of `'static` borrows on the
+/// batch state and guarantees no work outlives the batch.
+///
+/// With one worker the batch runs sequentially on the calling thread — the
+/// exact pre-pool behavior — so `--jobs 1` reproduces serial runs bit for
+/// bit, scheduling included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `workers` worker threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        ThreadPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A pool sized to the machine's available parallelism.
+    pub fn available() -> Self {
+        ThreadPool::new(available_workers())
+    }
+
+    /// Number of worker threads used per batch.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every job and returns the results **in submission order**.
+    ///
+    /// Jobs are claimed by workers through a shared atomic cursor, so
+    /// execution order is scheduler dependent, but each result is written
+    /// to the slot of its submission index: the returned vector is
+    /// identical for every worker count (given deterministic jobs).
+    ///
+    /// # Panics
+    ///
+    /// If a job panics, the panic is re-raised here once all workers have
+    /// drained, with the message prefixed by the failing job's label. When
+    /// several jobs panic, the one with the lowest submission index is
+    /// reported (again for determinism).
+    pub fn run<T: Send>(&self, jobs: Vec<Job<T>>) -> Vec<T> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let n = jobs.len();
+        let workers = self.workers.min(n);
+
+        // Shared batch state: each job slot is taken exactly once (the
+        // cursor hands out distinct indices), each result slot written
+        // exactly once.
+        let slots: Vec<Mutex<Option<Job<T>>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let panicked: Mutex<Option<(usize, String, String)>> = Mutex::new(None);
+
+        let body = |_worker: usize| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let job = slots[i]
+                .lock()
+                .expect("job slot poisoned")
+                .take()
+                .expect("job claimed twice");
+            let label = job.label;
+            match catch_unwind(AssertUnwindSafe(job.work)) {
+                Ok(value) => *results[i].lock().expect("result slot poisoned") = Some(value),
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    let mut first = panicked.lock().expect("panic slot poisoned");
+                    if first.as_ref().is_none_or(|(j, _, _)| i < *j) {
+                        *first = Some((i, label, msg));
+                    }
+                }
+            }
+        };
+
+        if workers == 1 {
+            body(0);
+        } else {
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    scope.spawn(move || body(w));
+                }
+            });
+        }
+
+        if let Some((index, label, msg)) = panicked.into_inner().expect("panic slot poisoned") {
+            panic!("job `{label}` (index {index}) panicked: {msg}");
+        }
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("job finished without a result")
+            })
+            .collect()
+    }
+}
+
+/// The machine's available parallelism (1 when it cannot be queried).
+pub(crate) fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let pool = ThreadPool::new(4);
+        let out: Vec<u32> = pool.run(Vec::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn workers_clamped_to_one() {
+        assert_eq!(ThreadPool::new(0).workers(), 1);
+        assert!(ThreadPool::available().workers() >= 1);
+    }
+
+    #[test]
+    fn results_follow_submission_order() {
+        let pool = ThreadPool::new(3);
+        let jobs = (0..17u64)
+            .map(|i| Job::new(format!("j{i}"), move || i * 10))
+            .collect();
+        assert_eq!(
+            pool.run(jobs),
+            (0..17u64).map(|i| i * 10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn panic_carries_label_and_index() {
+        let pool = ThreadPool::new(2);
+        let jobs = vec![
+            Job::new("fine", || 1u32),
+            Job::new("broken", || panic!("boom")),
+        ];
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(jobs)))
+            .expect_err("panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("formatted panic message");
+        assert!(msg.contains("`broken`"), "{msg}");
+        assert!(msg.contains("index 1"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn lowest_index_panic_wins() {
+        // Sequential single-worker run makes both panics fire; the report
+        // must still name the lowest index.
+        let pool = ThreadPool::new(1);
+        let jobs = vec![
+            Job::new("first", || -> u32 { panic!("early") }),
+            Job::new("second", || panic!("late")),
+        ];
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run(jobs)))
+            .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<String>().cloned().unwrap();
+        assert!(msg.contains("`first`") && msg.contains("early"), "{msg}");
+    }
+
+    #[test]
+    fn job_debug_and_label() {
+        let j = Job::new("named", || 0u8);
+        assert_eq!(j.label(), "named");
+        assert!(format!("{j:?}").contains("named"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property suite for the deterministic thread pool: result ordering,
+//! panic propagation, and edge cases, at randomized batch shapes and
+//! worker counts.
+
+use numa_gpu_exec::{Job, ThreadPool};
+use numa_gpu_testkit::gen::{ints, pairs, vecs};
+use numa_gpu_testkit::{prop_assert, prop_assert_eq, prop_check};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+prop_check! {
+    #![config = numa_gpu_testkit::prop::Config::new().cases(48)]
+
+    fn results_in_submission_order_at_any_worker_count(
+        payloads in vecs(ints(0u64..1 << 32), 0..40),
+        workers in ints(1usize..9),
+    ) {
+        let jobs: Vec<Job<u64>> = payloads
+            .iter()
+            .map(|&p| Job::new(format!("p{p}"), move || p.wrapping_mul(2654435761)))
+            .collect();
+        let got = ThreadPool::new(workers).run(jobs);
+        let want: Vec<u64> = payloads.iter().map(|p| p.wrapping_mul(2654435761)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    fn parallel_equals_single_thread(
+        payloads in vecs(ints(0u64..1000), 0..30),
+    ) {
+        let make = |workers: usize| {
+            let jobs: Vec<Job<u64>> = payloads
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| Job::new(format!("j{i}"), move || p + i as u64))
+                .collect();
+            ThreadPool::new(workers).run(jobs)
+        };
+        prop_assert_eq!(make(1), make(4));
+    }
+
+    fn zero_jobs_yield_empty_results(workers in ints(1usize..17)) {
+        let out: Vec<u32> = ThreadPool::new(workers).run(Vec::new());
+        prop_assert!(out.is_empty());
+    }
+
+    fn panic_is_propagated_with_label(
+        (len, workers) in pairs(ints(1usize..20), ints(1usize..5)),
+        bad in ints(0usize..20),
+    ) {
+        let bad = bad % len;
+        let jobs: Vec<Job<usize>> = (0..len)
+            .map(|i| {
+                Job::new(format!("job-{i}"), move || {
+                    assert!(i != bad, "deliberate failure in {i}");
+                    i
+                })
+            })
+            .collect();
+        let pool = ThreadPool::new(workers);
+        let err = catch_unwind(AssertUnwindSafe(|| pool.run(jobs)));
+        let payload = match err {
+            Ok(_) => return Err(numa_gpu_testkit::prop::Failure::fail("panic not propagated")),
+            Err(p) => p,
+        };
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        prop_assert!(
+            msg.contains(&format!("`job-{bad}`")),
+            "label missing from panic: {msg}"
+        );
+        prop_assert!(msg.contains("deliberate failure"), "message lost: {msg}");
+    }
+}

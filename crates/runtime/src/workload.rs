@@ -54,6 +54,10 @@ pub struct WorkloadMeta {
 ///
 /// Implementations must be deterministic: `cta(i)` must generate the same
 /// program every time it is called (the simulator may re-create CTAs).
+///
+/// `Send + Sync` are supertraits so whole [`Workload`]s can move across
+/// the sweep worker pool; kernels are shared immutable generators, and all
+/// mutable per-run state lives in the [`CtaProgram`]s they create.
 pub trait Kernel: Send + Sync {
     /// Number of CTAs in the original grid.
     fn num_ctas(&self) -> u32;
@@ -89,6 +93,13 @@ pub struct Workload {
     /// Bytes of memory the trace generators touch in this (scaled) run.
     pub footprint_bytes: u64,
 }
+
+// Sweep workers move workloads between threads; this fails to compile if a
+// field ever stops being thread-safe (e.g. an `Arc` becoming an `Rc`).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Workload>();
+};
 
 impl Workload {
     /// Total CTAs across all kernel launches.

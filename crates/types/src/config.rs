@@ -287,6 +287,13 @@ pub struct SystemConfig {
     pub obs: ObsConfig,
 }
 
+// Configs are cloned into sweep worker threads; this fails to compile if a
+// field ever stops being thread-safe.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SystemConfig>();
+};
+
 impl SystemConfig {
     /// The paper's Table 1 single-GPU baseline (one 64-SM Pascal-class
     /// socket with uniform memory).

@@ -7,6 +7,8 @@
 //!          [--placement fine|page|first-touch]
 //!          [--cta interleave|contiguous]
 //!          [--baseline]            # also run the single-GPU baseline
+//!          [--jobs N]              # worker threads (with --baseline, runs both sims
+//!                                  # concurrently; output is byte-identical to --jobs 1)
 //!          [--timeline]            # print the link utilization timeline
 //!          [--metrics]             # collect counters and print the metrics snapshot JSON
 //!          [--trace-out FILE]      # write a Chrome trace_event JSON (chrome://tracing)
@@ -25,7 +27,7 @@ fn usage(msg: &str) -> ! {
         "usage: simulate --workload NAME [--sockets N] [--quick|--full] \
          [--cache memside|static|shared|numa-aware] [--link static|dynamic|2x] \
          [--placement fine|page|first-touch] [--cta interleave|contiguous] \
-         [--baseline] [--timeline] [--metrics] [--trace-out FILE]"
+         [--baseline] [--jobs N] [--timeline] [--metrics] [--trace-out FILE]"
     );
     eprintln!("\nworkloads:");
     for n in WORKLOAD_NAMES {
@@ -44,6 +46,7 @@ fn main() {
     let mut placement = PagePlacement::FirstTouch;
     let mut cta = CtaSchedulingPolicy::ContiguousBlock;
     let mut baseline = false;
+    let mut jobs: usize = 1;
     let mut timeline = false;
     let mut metrics = false;
     let mut trace_out: Option<String> = None;
@@ -99,6 +102,12 @@ fn main() {
                 }
             }
             "--baseline" => baseline = true,
+            "--jobs" => {
+                jobs = value("--jobs")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--jobs must be a positive integer"));
+                jobs = jobs.max(1);
+            }
             "--timeline" => timeline = true,
             "--metrics" => metrics = true,
             "--trace-out" => trace_out = Some(value("--trace-out")),
@@ -160,11 +169,37 @@ fn main() {
     cfg.obs.trace = trace_out.is_some();
     cfg.validate().unwrap_or_else(|e| usage(&e.to_string()));
 
-    let mut sys = NumaGpuSystem::new(cfg).expect("validated above");
-    if timeline {
-        sys.enable_link_timeline();
-    }
-    let report = sys.run(&workload);
+    // The per-sim observability handles are `Rc`-based, so each
+    // `NumaGpuSystem` is constructed inside the worker thread that runs it;
+    // only the plain-data `SystemConfig`/`Workload`/`SimReport` cross
+    // threads. Printing stays serial and in the original order, so stdout
+    // is byte-identical at any `--jobs` count.
+    let run_main = {
+        let cfg = cfg.clone();
+        let workload = workload.clone();
+        move || {
+            let mut sys = NumaGpuSystem::new(cfg).expect("validated above");
+            if timeline {
+                sys.enable_link_timeline();
+            }
+            sys.run(&workload)
+        }
+    };
+    let (report, prerun_baseline) = if baseline && jobs > 1 {
+        let pool = numa_gpu::exec::ThreadPool::new(jobs);
+        let baseline_wl = workload.clone();
+        let mut results = pool.run(vec![
+            numa_gpu::exec::Job::new("main", run_main),
+            numa_gpu::exec::Job::new("baseline", move || {
+                numa_gpu::core::run_workload(SystemConfig::pascal_single(), &baseline_wl)
+                    .expect("baseline config is valid")
+            }),
+        ]);
+        let single = results.pop().expect("two jobs submitted");
+        (results.pop().expect("two jobs submitted"), Some(single))
+    } else {
+        (run_main(), None)
+    };
     println!("{report}");
     for (i, s) in report.sockets.iter().enumerate() {
         println!(
@@ -206,8 +241,10 @@ fn main() {
     }
 
     if baseline {
-        let single = numa_gpu::core::run_workload(SystemConfig::pascal_single(), &workload)
-            .expect("baseline config is valid");
+        let single = prerun_baseline.unwrap_or_else(|| {
+            numa_gpu::core::run_workload(SystemConfig::pascal_single(), &workload)
+                .expect("baseline config is valid")
+        });
         println!("\nbaseline {single}");
         println!(
             "speedup vs single GPU: {:.2}x",

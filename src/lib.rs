@@ -29,6 +29,7 @@
 //! | [`core`] | the assembled [`NumaGpuSystem`](core::NumaGpuSystem) |
 //! | [`workloads`] | the 41 Table 2 benchmarks as synthetic generators |
 //! | [`obs`] | metrics registry, event tracing, Chrome-trace export |
+//! | [`exec`] | deterministic fixed-worker thread pool for sweep fan-out |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@
 pub use numa_gpu_cache as cache;
 pub use numa_gpu_core as core;
 pub use numa_gpu_engine as engine;
+pub use numa_gpu_exec as exec;
 pub use numa_gpu_interconnect as interconnect;
 pub use numa_gpu_mem as mem;
 pub use numa_gpu_obs as obs;
