@@ -36,7 +36,10 @@ pub fn geomean(values: &[f64]) -> f64 {
     if logs.is_empty() {
         0.0
     } else {
-        (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+        // Explicit left fold: summation order is slice order, by
+        // construction, not an optimizer choice (simlint rule D003).
+        let total = logs.iter().fold(0.0_f64, |acc, v| acc + v);
+        (total / logs.len() as f64).exp()
     }
 }
 
@@ -45,7 +48,10 @@ pub fn amean(values: &[f64]) -> f64 {
     if values.is_empty() {
         0.0
     } else {
-        values.iter().sum::<f64>() / values.len() as f64
+        // Explicit left fold: summation order is slice order, by
+        // construction, not an optimizer choice (simlint rule D003).
+        let total = values.iter().fold(0.0_f64, |acc, v| acc + v);
+        total / values.len() as f64
     }
 }
 

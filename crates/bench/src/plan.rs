@@ -21,7 +21,7 @@ use numa_gpu_core::{run_workload, run_workload_with_timeline, SimReport};
 use numa_gpu_exec::{Job, Reporter, ThreadPool};
 use numa_gpu_runtime::Workload;
 use numa_gpu_types::SystemConfig;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Structured identity of one simulation: which configuration, which
@@ -29,7 +29,7 @@ use std::sync::Arc;
 ///
 /// Replaces the old `(String, String)` cache key whose `"{label}+timeline"`
 /// convention collided with configurations literally labelled that way.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobKey {
     /// Configuration label (e.g. `"loc4"`); must uniquely identify the
     /// [`SystemConfig`] within a sweep.
@@ -93,7 +93,7 @@ impl SimJob {
 #[derive(Debug, Clone, Default)]
 pub struct SimPlan {
     jobs: Vec<SimJob>,
-    seen: HashSet<JobKey>,
+    seen: BTreeSet<JobKey>,
 }
 
 impl SimPlan {

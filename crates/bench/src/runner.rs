@@ -16,7 +16,7 @@ use numa_gpu_exec::Reporter;
 use numa_gpu_runtime::Workload;
 use numa_gpu_types::SystemConfig;
 use numa_gpu_workloads::Scale;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Runs simulations and memoizes their reports by [`JobKey`]
@@ -25,7 +25,7 @@ use std::sync::Arc;
 /// runs) pay for them once.
 pub struct Runner {
     scale: Scale,
-    cache: HashMap<JobKey, Arc<SimReport>>,
+    cache: BTreeMap<JobKey, Arc<SimReport>>,
     runs: u64,
     jobs: usize,
     reporter: Arc<Reporter>,
@@ -48,7 +48,7 @@ impl Runner {
     pub fn new(scale: Scale) -> Self {
         Runner {
             scale,
-            cache: HashMap::new(),
+            cache: BTreeMap::new(),
             runs: 0,
             jobs: 1,
             reporter: Arc::new(Reporter::stderr(false)),
@@ -112,6 +112,14 @@ impl Runner {
     /// The memoized report for `key`, if that job has run.
     pub fn cached(&self, key: &JobKey) -> Option<Arc<SimReport>> {
         self.cache.get(key).cloned()
+    }
+
+    /// Every memoized job key in ascending key order. The order depends
+    /// only on which jobs have run — never on execution or completion
+    /// order — so diagnostics and summaries built from it are stable
+    /// across runs and worker counts.
+    pub fn cached_keys(&self) -> impl Iterator<Item = &JobKey> {
+        self.cache.keys()
     }
 
     /// Returns the report for `workload` under `cfg`, simulating on first
@@ -249,6 +257,29 @@ mod tests {
         // can end before the first sample tick, so `plain` being empty is
         // the invariant we can always assert).
         assert!(plain.link_timelines.iter().all(|t| t.is_empty()));
+    }
+
+    #[test]
+    fn cached_keys_enumerate_in_key_order_regardless_of_run_order() {
+        // Populate two runners with the same jobs in opposite orders; the
+        // memo enumeration must come out identical. This is the
+        // determinism property the BTreeMap backing guarantees (simlint
+        // rule D001) — a hash map would enumerate in a process-varying
+        // order and leak run order into anything built from it.
+        let wl = quick_workload();
+        let fill = |labels: &[(&str, u8)]| {
+            let mut r = Runner::new(Scale::quick());
+            for &(label, sockets) in labels {
+                r.report(label, configs::locality(sockets), &wl);
+            }
+            r.cached_keys().cloned().collect::<Vec<_>>()
+        };
+        let a = fill(&[("loc4", 4), ("loc2", 2), ("loc1", 1)]);
+        let b = fill(&[("loc1", 1), ("loc4", 4), ("loc2", 2)]);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort();
+        assert_eq!(a, sorted, "cached_keys must enumerate in key order");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Miss status holding registers.
 
 use numa_gpu_types::LineAddr;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Result of attempting to track a miss in the MSHR file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +35,7 @@ pub enum MshrAllocation {
 #[derive(Debug, Clone)]
 pub struct MshrFile<W> {
     capacity: usize,
-    entries: HashMap<LineAddr, Vec<W>>,
+    entries: BTreeMap<LineAddr, Vec<W>>,
 }
 
 impl<W> MshrFile<W> {
@@ -48,7 +48,7 @@ impl<W> MshrFile<W> {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
         MshrFile {
             capacity,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
         }
     }
 
@@ -90,6 +90,14 @@ impl<W> MshrFile<W> {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Lines with an outstanding miss, in ascending address order. The
+    /// order depends only on the set of outstanding lines — never on
+    /// allocation order — so drain loops and diagnostics built on it are
+    /// deterministic.
+    pub fn outstanding_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.entries.keys().copied()
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +136,24 @@ mod tests {
         assert_eq!(m.allocate(l(3), 0), MshrAllocation::Full);
         // Merging into an existing entry still works at capacity.
         assert_eq!(m.allocate(l(1), 1), MshrAllocation::Merged);
+    }
+
+    #[test]
+    fn outstanding_lines_sorted_regardless_of_allocation_order() {
+        // Allocate the same lines in two different orders; the outstanding
+        // set must enumerate identically (simlint rule D001: a hash map
+        // here would leak allocation order into any drain loop).
+        let fill = |order: &[u64]| {
+            let mut m: MshrFile<u8> = MshrFile::new(8);
+            for &i in order {
+                m.allocate(l(i), 0);
+            }
+            m.outstanding_lines().collect::<Vec<_>>()
+        };
+        let a = fill(&[9, 1, 7, 3]);
+        let b = fill(&[3, 7, 1, 9]);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![l(1), l(3), l(7), l(9)]);
     }
 
     #[test]

@@ -317,7 +317,7 @@ impl NumaGpuSystem {
             self.kernel_starts.push(ticks_to_cycles(start));
             self.run_kernel(kernel.clone());
             if self.obs.tracing() {
-                let start_cycle = *self.kernel_starts.last().expect("just pushed");
+                let start_cycle = ticks_to_cycles(start);
                 let end_cycle = ticks_to_cycles(self.now.max(self.write_drain));
                 let idx = self.kernel_starts.len() - 1;
                 self.obs.emit(

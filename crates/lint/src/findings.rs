@@ -1,0 +1,197 @@
+//! Diagnostics: the [`Finding`] type, the rule catalogue, and the
+//! machine-readable report.
+
+use numa_gpu_testkit::json::Json;
+
+/// The rule catalogue: stable ID plus a one-line summary. IDs are
+/// append-only — a retired rule keeps its ID reserved so old pragmas and
+/// CI logs never change meaning.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "D001",
+        "no HashMap/HashSet in deterministic simulation crates (iteration-order nondeterminism)",
+    ),
+    (
+        "D002",
+        "no std::time::Instant/SystemTime outside bench/exec reporting paths",
+    ),
+    (
+        "D003",
+        "no float ==/!= comparisons and no f32/f64 Iterator::sum/product reductions",
+    ),
+    (
+        "Z001",
+        "every Cargo.toml dependency must be a workspace path dependency",
+    ),
+    (
+        "A001",
+        "no unwrap/expect/panic! in non-test library code of simulation crates",
+    ),
+    (
+        "O001",
+        "no direct println!/eprintln! in library code (use exec::Reporter or a bin)",
+    ),
+    ("P001", "malformed simlint pragma"),
+    ("P002", "unused simlint pragma"),
+];
+
+/// Rule IDs a pragma may suppress (the pragma meta-rules cannot suppress
+/// themselves).
+pub const ALLOWABLE_RULES: &[&str] = &["D001", "D002", "D003", "Z001", "A001", "O001"];
+
+/// Resolves a user-supplied rule name to its catalogue ID.
+pub fn rule_id(name: &str) -> Option<&'static str> {
+    RULES.iter().map(|(id, _)| *id).find(|id| *id == name)
+}
+
+/// One diagnostic: a rule violation (or pragma problem) at an exact span.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (characters).
+    pub col: u32,
+    /// Stable rule ID (`D001`, …).
+    pub rule: &'static str,
+    /// Human-readable explanation with a suggested fix.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line:col: RULE message` — the text-format diagnostic line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {} {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+
+    /// JSON form (field order fixed so output is byte-stable).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("file", Json::Str(self.file.clone())),
+            ("line", Json::UInt(self.line as u64)),
+            ("col", Json::UInt(self.col as u64)),
+            ("rule", Json::Str(self.rule.to_string())),
+            ("message", Json::Str(self.message.clone())),
+        ])
+    }
+}
+
+/// Result of linting a whole workspace.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, sorted by `(file, line, col, rule)`.
+    pub findings: Vec<Finding>,
+    /// Rust files scanned.
+    pub files_scanned: usize,
+    /// Manifests scanned.
+    pub manifests_scanned: usize,
+}
+
+impl LintReport {
+    /// Sorts and dedupes findings into the canonical deterministic order.
+    pub fn normalize(&mut self) {
+        self.findings.sort();
+        self.findings.dedup();
+    }
+
+    /// Whether the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The full machine-readable report. Byte-identical across runs on
+    /// identical inputs: ordering is canonical and nothing time- or
+    /// environment-dependent is recorded.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("simlint", Json::UInt(1)),
+            ("files_scanned", Json::UInt(self.files_scanned as u64)),
+            (
+                "manifests_scanned",
+                Json::UInt(self.manifests_scanned as u64),
+            ),
+            (
+                "findings",
+                Json::Arr(self.findings.iter().map(Finding::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Text-format report: one diagnostic line per finding.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_span_accurate() {
+        let f = Finding {
+            file: "crates/engine/src/lib.rs".into(),
+            line: 7,
+            col: 21,
+            rule: "D001",
+            message: "no".into(),
+        };
+        assert_eq!(f.render(), "crates/engine/src/lib.rs:7:21: D001 no");
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedupes() {
+        let f = |file: &str, line| Finding {
+            file: file.into(),
+            line,
+            col: 1,
+            rule: "D001",
+            message: String::new(),
+        };
+        let mut r = LintReport {
+            findings: vec![f("b.rs", 2), f("a.rs", 9), f("b.rs", 2)],
+            files_scanned: 2,
+            manifests_scanned: 0,
+        };
+        r.normalize();
+        assert_eq!(r.findings.len(), 2);
+        assert_eq!(r.findings[0].file, "a.rs");
+    }
+
+    #[test]
+    fn json_is_reparsable_and_stable() {
+        let r = LintReport {
+            findings: vec![Finding {
+                file: "x.rs".into(),
+                line: 1,
+                col: 2,
+                rule: "O001",
+                message: "msg".into(),
+            }],
+            files_scanned: 1,
+            manifests_scanned: 1,
+        };
+        let a = r.to_json().to_string();
+        let b = r.to_json().to_string();
+        assert_eq!(a, b);
+        let parsed = Json::parse(&a).expect("report JSON reparses");
+        assert_eq!(parsed.get("simlint").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn every_allowable_rule_is_in_the_catalogue() {
+        for r in ALLOWABLE_RULES {
+            assert!(rule_id(r).is_some(), "{r} missing from catalogue");
+        }
+        assert!(rule_id("D999").is_none());
+    }
+}

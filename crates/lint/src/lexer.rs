@@ -1,0 +1,522 @@
+//! A minimal, panic-free Rust lexer.
+//!
+//! `simlint` rules only need a token stream that is *comment-, string-,
+//! raw-string- and char-literal-aware* — enough to never mistake the word
+//! `HashMap` inside a string or a doc comment for real code, and to carry
+//! span information (`line:col`) for every token it does emit. This is a
+//! deliberate subset of a real Rust lexer: no `syn`, no external crates,
+//! ~300 lines, and a hard guarantee that it never panics on arbitrary
+//! bytes (fuzzed in `tests/lexer_props.rs`).
+//!
+//! Known approximations, all harmless for the rules built on top:
+//!
+//! * Tuple-field chains (`x.0.1`) lex the trailing `0.1` as a float
+//!   literal.
+//! * Numeric-literal validity is not checked (`0x`, `1e` lex as numbers).
+//! * `>>` / `>>=` are lexed greedily, so nested-generic closers become
+//!   shift tokens; no rule inspects those.
+
+/// Kind of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Lifetime such as `'a` (the quote is part of the text).
+    Lifetime,
+    /// Integer literal (including `0x`/`0o`/`0b` forms).
+    Int,
+    /// Float literal (`1.0`, `1e5`, `1f64`, …).
+    Float,
+    /// String literal, escapes included verbatim.
+    Str,
+    /// Raw string literal (`r"…"`, `r#"…"#`, and byte-raw forms).
+    RawStr,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Byte literal (`b'a'`).
+    Byte,
+    /// Byte-string literal (`b"…"`).
+    ByteStr,
+    /// `// …` comment (doc comments included), newline excluded.
+    LineComment,
+    /// `/* … */` comment, nesting-aware.
+    BlockComment,
+    /// Operator or delimiter, longest-match (`==`, `::`, `{`, …).
+    Punct,
+    /// A byte the lexer has no rule for (emitted, never panicked on).
+    Unknown,
+}
+
+impl TokKind {
+    /// Whether the token is a comment (skipped by rule matching, scanned
+    /// by the pragma parser).
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the first character.
+    pub col: u32,
+}
+
+/// Multi-character operators, longest first so matching is maximal-munch.
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, n: usize) -> Option<char> {
+        self.chars.get(self.i + n).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(char) -> bool) {
+        while matches!(self.peek(0), Some(c) if pred(c)) {
+            self.bump();
+        }
+    }
+
+    /// Consumes a (possibly escaped) literal body up to `close`; tolerates
+    /// EOF mid-literal.
+    fn quoted_body(&mut self, close: char) {
+        loop {
+            match self.bump() {
+                None => return,
+                Some('\\') => {
+                    self.bump();
+                }
+                Some(c) if c == close => return,
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Cursor on the opening `"` of a raw string with `hashes` hashes.
+    fn raw_body(&mut self, hashes: usize) {
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None => return,
+                Some('"') => {
+                    if (0..hashes).all(|n| self.peek(n) == Some('#')) {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        return;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    /// Cursor on `'`: a char literal or a lifetime.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        match self.peek(1) {
+            Some('\\') => {
+                self.bump(); // quote
+                self.quoted_body('\'');
+                TokKind::Char
+            }
+            // 'x' for any single non-quote char, including '(' and ' '.
+            Some(c) if c != '\'' && self.peek(2) == Some('\'') => {
+                self.bump();
+                self.bump();
+                self.bump();
+                TokKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                self.bump(); // quote
+                self.bump_while(is_ident_continue);
+                TokKind::Lifetime
+            }
+            _ => {
+                self.bump();
+                TokKind::Unknown
+            }
+        }
+    }
+
+    /// Cursor on a decimal digit.
+    fn number(&mut self) -> TokKind {
+        let first = self.peek(0);
+        self.bump();
+        if first == Some('0') && matches!(self.peek(0), Some('x' | 'o' | 'b')) {
+            self.bump();
+            self.bump_while(|c| c.is_ascii_alphanumeric() || c == '_');
+            return TokKind::Int;
+        }
+        let mut float = false;
+        self.bump_while(|c| c.is_ascii_digit() || c == '_');
+        if self.peek(0) == Some('.') {
+            match self.peek(1) {
+                Some(c) if c.is_ascii_digit() => {
+                    float = true;
+                    self.bump();
+                    self.bump_while(|c| c.is_ascii_digit() || c == '_');
+                }
+                Some('.') => {}                    // range operator
+                Some(c) if is_ident_start(c) => {} // method call on the literal
+                _ => {
+                    // Trailing-dot float such as `1.`.
+                    float = true;
+                    self.bump();
+                }
+            }
+        }
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let exp = match (self.peek(1), self.peek(2)) {
+                (Some(c), _) if c.is_ascii_digit() => true,
+                (Some('+' | '-'), Some(c)) if c.is_ascii_digit() => true,
+                _ => false,
+            };
+            if exp {
+                float = true;
+                self.bump();
+                if matches!(self.peek(0), Some('+' | '-')) {
+                    self.bump();
+                }
+                self.bump_while(|c| c.is_ascii_digit() || c == '_');
+            }
+        }
+        if matches!(self.peek(0), Some(c) if is_ident_start(c)) {
+            let suffix_start = self.i;
+            self.bump_while(is_ident_continue);
+            let suffix: String = self.chars[suffix_start..self.i].iter().collect();
+            if suffix == "f32" || suffix == "f64" {
+                float = true;
+            }
+        }
+        if float {
+            TokKind::Float
+        } else {
+            TokKind::Int
+        }
+    }
+
+    /// Raw string / raw identifier / plain `r` identifier, cursor on `r`.
+    fn r_prefixed(&mut self) -> TokKind {
+        if self.peek(1) == Some('"') {
+            self.bump(); // r
+            self.raw_body(0);
+            return TokKind::RawStr;
+        }
+        if self.peek(1) == Some('#') {
+            let mut hashes = 0;
+            while self.peek(1 + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(1 + hashes) == Some('"') {
+                self.bump(); // r
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                self.raw_body(hashes);
+                return TokKind::RawStr;
+            }
+            if hashes == 1 && matches!(self.peek(2), Some(c) if is_ident_start(c)) {
+                self.bump(); // r
+                self.bump(); // #
+                self.bump_while(is_ident_continue);
+                return TokKind::Ident;
+            }
+        }
+        self.bump_while(is_ident_continue);
+        TokKind::Ident
+    }
+
+    /// Byte / byte-string / byte-raw-string / plain `b` ident, cursor on
+    /// `b`.
+    fn b_prefixed(&mut self) -> TokKind {
+        match self.peek(1) {
+            Some('"') => {
+                self.bump(); // b
+                self.bump(); // quote
+                self.quoted_body('"');
+                TokKind::ByteStr
+            }
+            Some('\'') => {
+                self.bump(); // b
+                self.bump(); // quote
+                self.quoted_body('\'');
+                TokKind::Byte
+            }
+            Some('r') if matches!(self.peek(2), Some('"' | '#')) => {
+                self.bump(); // b
+                self.r_prefixed()
+            }
+            _ => {
+                self.bump_while(is_ident_continue);
+                TokKind::Ident
+            }
+        }
+    }
+}
+
+/// Lexes `src` into tokens. Whitespace is dropped; comments are kept (the
+/// pragma parser reads them). Never panics, whatever the input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let (start, sl, sc) = (lx.i, lx.line, lx.col);
+        let kind = match c {
+            '/' if lx.peek(1) == Some('/') => {
+                lx.bump_while(|c| c != '\n');
+                TokKind::LineComment
+            }
+            '/' if lx.peek(1) == Some('*') => {
+                lx.bump();
+                lx.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (lx.peek(0), lx.peek(1)) {
+                        (Some('/'), Some('*')) => {
+                            lx.bump();
+                            lx.bump();
+                            depth += 1;
+                        }
+                        (Some('*'), Some('/')) => {
+                            lx.bump();
+                            lx.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            lx.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                TokKind::BlockComment
+            }
+            '"' => {
+                lx.bump();
+                lx.quoted_body('"');
+                TokKind::Str
+            }
+            '\'' => lx.char_or_lifetime(),
+            'r' => lx.r_prefixed(),
+            'b' => lx.b_prefixed(),
+            c if is_ident_start(c) => {
+                lx.bump_while(is_ident_continue);
+                TokKind::Ident
+            }
+            c if c.is_ascii_digit() => lx.number(),
+            _ => {
+                let mut matched = None;
+                for op in OPS {
+                    if op.chars().enumerate().all(|(n, oc)| lx.peek(n) == Some(oc)) {
+                        matched = Some(op.len());
+                        break;
+                    }
+                }
+                for _ in 0..matched.unwrap_or(1) {
+                    lx.bump();
+                }
+                TokKind::Punct
+            }
+        };
+        toks.push(Token {
+            kind,
+            text: lx.chars[start..lx.i].iter().collect(),
+            line: sl,
+            col: sc,
+        });
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_strings_and_comments() {
+        let toks = kinds("let x = \"HashMap\"; // HashMap\n/* HashMap */ y");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let".into()),
+                (TokKind::Ident, "x".into()),
+                (TokKind::Punct, "=".into()),
+                (TokKind::Str, "\"HashMap\"".into()),
+                (TokKind::Punct, ";".into()),
+                (TokKind::LineComment, "// HashMap".into()),
+                (TokKind::BlockComment, "/* HashMap */".into()),
+                (TokKind::Ident, "y".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_depth_zero() {
+        let toks = kinds("/* a /* b */ c */ x");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn raw_strings_respect_hash_count() {
+        let toks = kinds(r####"r#"a " b"# + r"c" + r###"d"# e"### f"####);
+        assert_eq!(toks[0], (TokKind::RawStr, r##"r#"a " b"#"##.into()));
+        assert_eq!(toks[2], (TokKind::RawStr, "r\"c\"".into()));
+        assert_eq!(toks[4].0, TokKind::RawStr);
+        assert_eq!(toks[5], (TokKind::Ident, "f".into()));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = kinds("'a' 'x: &'static str '\\n' '('");
+        assert_eq!(toks[0], (TokKind::Char, "'a'".into()));
+        assert_eq!(toks[1], (TokKind::Lifetime, "'x".into()));
+        assert_eq!(toks[4], (TokKind::Lifetime, "'static".into()));
+        assert_eq!(toks[6], (TokKind::Char, "'\\n'".into()));
+        assert_eq!(toks[7], (TokKind::Char, "'('".into()));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        assert_eq!(
+            kinds("0..8"),
+            vec![
+                (TokKind::Int, "0".into()),
+                (TokKind::Punct, "..".into()),
+                (TokKind::Int, "8".into()),
+            ]
+        );
+        assert_eq!(kinds("1.5e-3")[0], (TokKind::Float, "1.5e-3".into()));
+        assert_eq!(kinds("1f64")[0], (TokKind::Float, "1f64".into()));
+        assert_eq!(kinds("1u64")[0], (TokKind::Int, "1u64".into()));
+        assert_eq!(kinds("0xFF_u8")[0], (TokKind::Int, "0xFF_u8".into()));
+        assert_eq!(kinds("1.max(2)")[0], (TokKind::Int, "1".into()));
+        assert_eq!(kinds("2.")[0], (TokKind::Float, "2.".into()));
+    }
+
+    #[test]
+    fn multi_char_operators_are_single_tokens() {
+        assert_eq!(
+            kinds("a == b != c :: d"),
+            vec![
+                (TokKind::Ident, "a".into()),
+                (TokKind::Punct, "==".into()),
+                (TokKind::Ident, "b".into()),
+                (TokKind::Punct, "!=".into()),
+                (TokKind::Ident, "c".into()),
+                (TokKind::Punct, "::".into()),
+                (TokKind::Ident, "d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_literals() {
+        assert_eq!(kinds("b\"xy\"")[0].0, TokKind::ByteStr);
+        assert_eq!(kinds("b'z'")[0].0, TokKind::Byte);
+        assert_eq!(kinds("br#\"w\"#")[0].0, TokKind::RawStr);
+        assert_eq!(kinds("bare")[0], (TokKind::Ident, "bare".into()));
+        assert_eq!(kinds("r")[0], (TokKind::Ident, "r".into()));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(kinds("r#type")[0], (TokKind::Ident, "r#type".into()));
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    /// Historical fuzz-style regressions: inputs that once looked risky for
+    /// hand-rolled lexers (truncated literals, stray quotes, bare
+    /// prefixes). The contract is simply "no panic, cursor terminates".
+    #[test]
+    fn pathological_inputs_never_panic() {
+        for src in [
+            "r#",
+            "r#\"",
+            "b'",
+            "'",
+            "''",
+            "'''",
+            "/*",
+            "/*/",
+            "\"\\",
+            "1.",
+            "0..1",
+            "'a",
+            "b\"",
+            "r###\"x\"##",
+            "#![cfg(test)]",
+            "🦀'🦀",
+            "1e",
+            "1e+",
+            "0x",
+            "'\\",
+            "b",
+            "br",
+            "br#",
+            "\\",
+            "\u{0}",
+            "//",
+            "/**/*/",
+        ] {
+            let toks = lex(src);
+            assert!(
+                toks.iter().all(|t| !t.text.is_empty()),
+                "empty token for {src:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `simlint` — in-tree determinism and model-invariant static analysis
+//! for the numa-gpu workspace.
+//!
+//! The simulator's headline guarantee is bit-for-bit determinism: the same
+//! configuration and seed must produce the same `SimReport` on every run,
+//! every thread count, every platform. That guarantee is easy to break
+//! silently — one `HashMap` iteration in a scheduler, one wall-clock read
+//! in a hot path, one float reduction whose order the optimizer may pick —
+//! and none of those show up as a test failure until long after the commit
+//! that introduced them. `simlint` turns each class of breakage into a
+//! span-accurate diagnostic that fails `cargo test` and CI.
+//!
+//! The pass is deliberately zero-dependency: a minimal hand-rolled Rust
+//! [`lexer`] (comment-, string-, raw-string- and char-literal-aware — no
+//! `syn`), a [`rules`] engine over the token stream, a line-oriented
+//! [`manifest`] check, and a deterministic [`workspace`] walker. Findings
+//! carry stable rule IDs (see [`findings::RULES`]) and can be suppressed
+//! only at the site via `simlint:` allow-[`pragma`]s that must name the
+//! rule and a reason.
+//!
+//! Run it as a CLI (`cargo run -p numa-gpu-lint`, binary name `simlint`)
+//! or let the integration-test gate in `crates/lint/tests/` enforce it on
+//! every plain `cargo test`.
+
+pub mod findings;
+pub mod lexer;
+pub mod manifest;
+pub mod pragma;
+pub mod rules;
+pub mod workspace;
+
+pub use findings::{Finding, LintReport, RULES};
+pub use workspace::lint_workspace;

@@ -1,0 +1,107 @@
+//! `simlint` CLI.
+//!
+//! ```text
+//! simlint [--root DIR] [--format text|json] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use numa_gpu_lint::{lint_workspace, RULES};
+
+struct Opts {
+    root: PathBuf,
+    json: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        json: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = args.next().ok_or("--root needs a directory argument")?;
+                opts.root = PathBuf::from(v);
+            }
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => {
+                    return Err(format!(
+                        "--format must be `text` or `json`, got {:?}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: simlint [--root DIR] [--format text|json] [--list-rules]".to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("simlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        for (id, summary) in RULES {
+            println!("{id}  {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    // Default to the workspace root when launched via `cargo run -p
+    // numa-gpu-lint` from anywhere inside the tree.
+    let root = if opts.root == Path::new(".") {
+        std::env::var_os("CARGO_MANIFEST_DIR")
+            .map(|d| {
+                let d = PathBuf::from(d);
+                d.parent()
+                    .and_then(|p| p.parent())
+                    .map(|p| p.to_path_buf())
+                    .unwrap_or(d)
+            })
+            .unwrap_or(opts.root)
+    } else {
+        opts.root
+    };
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+        println!(
+            "simlint: {} finding(s) across {} files and {} manifests",
+            report.findings.len(),
+            report.files_scanned,
+            report.manifests_scanned
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

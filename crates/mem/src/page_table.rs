@@ -1,7 +1,7 @@
 //! NUMA page placement policies (paper §3).
 
 use numa_gpu_types::{Counter, LineAddr, PageId, PagePlacement, SocketId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-page migration bookkeeping for
 /// [`PagePlacement::FirstTouchMigrate`].
@@ -52,8 +52,8 @@ pub struct PlacementStats {
 pub struct PageTable {
     policy: PagePlacement,
     num_sockets: u8,
-    first_touch: HashMap<PageId, SocketId>,
-    migration: HashMap<PageId, MigrationState>,
+    first_touch: BTreeMap<PageId, SocketId>,
+    migration: BTreeMap<PageId, MigrationState>,
     stats: PlacementStats,
 }
 
@@ -68,8 +68,8 @@ impl PageTable {
         PageTable {
             policy,
             num_sockets,
-            first_touch: HashMap::new(),
-            migration: HashMap::new(),
+            first_touch: BTreeMap::new(),
+            migration: BTreeMap::new(),
             stats: PlacementStats::default(),
         }
     }
@@ -142,6 +142,14 @@ impl PageTable {
     /// report zero because placement is computed, not recorded).
     pub fn resident_pages(&self) -> usize {
         self.first_touch.len()
+    }
+
+    /// All recorded first-touch placements in ascending page order. The
+    /// order depends only on the set of placed pages — never on the order
+    /// the placements happened — so snapshots built from it are stable
+    /// across runs and thread schedules.
+    pub fn placements(&self) -> impl Iterator<Item = (PageId, SocketId)> + '_ {
+        self.first_touch.iter().map(|(p, s)| (*p, *s))
     }
 
     /// Placement statistics.
@@ -294,6 +302,28 @@ mod tests {
         pt.home_of_line(l, SocketId::new(2)); // run(2)=1 again
         assert_eq!(pt.home_of_line(l, SocketId::new(2)), SocketId::new(2));
         assert_eq!(pt.stats().pages_migrated.get(), 1);
+    }
+
+    #[test]
+    fn placements_enumerate_in_page_order_regardless_of_touch_order() {
+        // Touch the same pages in two different orders; the placement
+        // snapshot must come out identical. This is the determinism
+        // property the BTreeMap backing guarantees (simlint rule D001) —
+        // a hash map would enumerate these in a process-varying order.
+        let touch = |order: &[u64]| {
+            let mut pt = PageTable::new(PagePlacement::FirstTouch, 4);
+            for &page in order {
+                pt.home_of_line(line(page * PAGE_SIZE), SocketId::new((page % 4) as u8));
+            }
+            pt.placements().collect::<Vec<_>>()
+        };
+        let a = touch(&[7, 2, 9, 0, 4, 11, 3]);
+        let b = touch(&[3, 11, 0, 9, 4, 2, 7]);
+        assert_eq!(a, b);
+        let pages: Vec<u64> = a.iter().map(|(p, _)| p.index()).collect();
+        let mut sorted = pages.clone();
+        sorted.sort_unstable();
+        assert_eq!(pages, sorted, "placements must enumerate in page order");
     }
 
     #[test]

@@ -177,6 +177,7 @@ impl Sm {
             self.can_accept_cta(warps),
             "dispatch_cta without capacity check"
         );
+        // simlint: allow(A001, reason = "can_accept_cta assert above guarantees free slots")
         let cta_slot = self.free_cta_slots.pop().expect("checked above");
         self.ctas[cta_slot as usize] = Some(CtaRuntime {
             cta,
@@ -186,6 +187,7 @@ impl Sm {
         self.resident_ctas += 1;
         (0..warps)
             .map(|warp_in_cta| {
+                // simlint: allow(A001, reason = "can_accept_cta assert above guarantees free slots")
                 let slot = self.free_warp_slots.pop().expect("checked above");
                 self.warps[slot as usize] = Some(WarpContext {
                     cta_slot,
@@ -204,9 +206,11 @@ impl Sm {
     ///
     /// Panics if `slot` holds no warp.
     pub fn next_op(&mut self, slot: WarpSlot) -> Option<WarpOp> {
+        // simlint: allow(A001, reason = "documented # Panics contract: caller passes a live slot")
         let ctx = self.warps[slot.index()].expect("next_op on empty warp slot");
         let rt = self.ctas[ctx.cta_slot as usize]
             .as_mut()
+            // simlint: allow(A001, reason = "a resident warp always points at its live CTA slot")
             .expect("warp points at live CTA");
         let op = rt.program.next_op(ctx.warp_in_cta);
         if op.is_some() {
@@ -225,10 +229,12 @@ impl Sm {
     pub fn retire_warp(&mut self, slot: WarpSlot) -> Option<CtaId> {
         let ctx = self.warps[slot.index()]
             .take()
+            // simlint: allow(A001, reason = "documented # Panics contract: caller passes a live slot")
             .expect("retire_warp on empty warp slot");
         self.free_warp_slots.push(slot.index() as u16);
         let rt = self.ctas[ctx.cta_slot as usize]
             .as_mut()
+            // simlint: allow(A001, reason = "a resident warp always points at its live CTA slot")
             .expect("warp points at live CTA");
         rt.warps_outstanding -= 1;
         if rt.warps_outstanding == 0 {

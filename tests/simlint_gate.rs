@@ -1,0 +1,21 @@
+//! Workspace-level simlint gate: a plain `cargo test` from the root
+//! package fails on any unsuppressed determinism/model-invariant finding,
+//! mirroring the gate in `crates/lint/tests/workspace_gate.rs` so the
+//! check runs whether tests are invoked per-package or `--workspace`.
+
+use numa_gpu_lint::lint_workspace;
+use std::path::Path;
+
+#[test]
+fn workspace_is_simlint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = lint_workspace(root).expect("workspace scan");
+    assert!(
+        report.is_clean(),
+        "simlint found {} violation(s) — run `cargo run -p numa-gpu-lint` for \
+         the list, then fix them or add a site-local \
+         `simlint: allow(RULE, reason = ...)`:\n{}",
+        report.findings.len(),
+        report.render_text()
+    );
+}
