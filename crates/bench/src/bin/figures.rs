@@ -4,7 +4,8 @@
 //! figures [--quick] [--jobs N] [--out DIR] [artifact...]
 //!
 //! artifacts: table1 table2 fig2 fig3 fig5 fig6 fig6-sens fig8 fig9
-//!            fig9-wb fig10 fig11 power ablations   (default: all)
+//!            fig9-wb fig10 fig11 power ablations resilience
+//!            (default: all)
 //! ```
 //!
 //! `--quick` uses the reduced workload scale (CI-sized); default is the
@@ -19,7 +20,7 @@ use numa_gpu_workloads::Scale;
 use std::io::Write;
 use std::time::Instant;
 
-const ALL: [&str; 14] = [
+const ALL: [&str; 15] = [
     "table1",
     "table2",
     "fig2",
@@ -34,6 +35,7 @@ const ALL: [&str; 14] = [
     "fig11",
     "power",
     "ablations",
+    "resilience",
 ];
 
 fn main() {
@@ -98,6 +100,7 @@ fn main() {
             "fig11" => experiments::fig11(&mut runner).to_string(),
             "power" => experiments::power(&mut runner).to_string(),
             "ablations" => experiments::ablations(&mut runner).to_string(),
+            "resilience" => experiments::resilience(&mut runner).to_string(),
             _ => unreachable!("validated above"),
         };
         println!("{text}");

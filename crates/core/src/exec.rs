@@ -2,23 +2,33 @@
 
 use crate::system::{Ev, NumaGpuSystem};
 use numa_gpu_cache::LineClass;
+use numa_gpu_engine::WatchdogTrip;
+use numa_gpu_faults::{AppliedFault, FaultKind};
 use numa_gpu_interconnect::BalanceAction;
 use numa_gpu_obs::TraceEvent;
 use numa_gpu_runtime::{Kernel, LaunchPlan};
 use numa_gpu_sm::L1ReadOutcome;
 use numa_gpu_types::{
-    cycles_to_ticks, ticks_to_cycles, CacheMode, MemKind, SocketId, Tick, WarpOp, WarpSlot,
-    SATURATION_THRESHOLD, TICKS_PER_CYCLE,
+    cycles_to_ticks, ticks_to_cycles, CacheMode, MemKind, SimError, SocketId, Tick, WarpOp,
+    WarpSlot, SATURATION_THRESHOLD, TICKS_PER_CYCLE,
 };
 use std::sync::Arc;
 
 /// Latency between CTA dispatch and its warps' first issue, in cycles.
 const DISPATCH_LATENCY_CYCLES: u64 = 10;
 
+/// Extra per-access latency a faulted DRAM charges inside its ECC
+/// scrub-and-retry window, in cycles.
+const ECC_RETRY_PENALTY_CYCLES: u64 = 25;
+
 impl NumaGpuSystem {
     /// Runs one kernel to completion. `self.now` must already be the kernel
     /// launch time (after the boundary flush).
-    pub(crate) fn run_kernel(&mut self, kernel: Arc<dyn Kernel>) {
+    ///
+    /// Returns [`SimError::Deadlock`] when forward progress stops (empty
+    /// event queue with CTAs outstanding, or the stall watchdog fires) and
+    /// [`SimError::CycleLimit`] when the configured cycle budget runs out.
+    pub(crate) fn run_kernel(&mut self, kernel: Arc<dyn Kernel>) -> Result<(), SimError> {
         let total_ctas = kernel.num_ctas();
         assert!(total_ctas > 0, "kernel with zero CTAs");
         self.plan = Some(LaunchPlan::new(
@@ -30,20 +40,37 @@ impl NumaGpuSystem {
         self.outstanding_ctas = total_ctas;
 
         let launch = self.now;
+        self.watchdog.note_progress(launch);
         for s in 0..self.cfg.num_sockets {
             self.dispatch_socket(launch, SocketId::new(s));
         }
         self.ensure_samplers(launch);
 
         while self.outstanding_ctas > 0 || self.inflight_mem > 0 {
-            let (t, ev) = self
-                .events
-                .pop()
-                // simlint: allow(A001, reason = "loop guard proves events remain; empty pop = scheduler deadlock, stop loudly")
-                .expect("event queue empty with CTAs outstanding (deadlock)");
+            // The periodic samplers self-reschedule forever, so the queue
+            // never empties while a kernel runs in a healthy system; an
+            // empty pop here is a genuine scheduler deadlock.
+            let Some((t, ev)) = self.events.pop() else {
+                return Err(self.deadlock());
+            };
             self.now = self.now.max(t);
             if ev.is_mem_stage() {
                 self.inflight_mem -= 1;
+            }
+            // Samplers and fault stamps fire unconditionally, so they are
+            // not evidence of forward progress; everything else is.
+            if !matches!(ev, Ev::LinkSample | Ev::CacheSample | Ev::Fault { .. }) {
+                self.watchdog.note_progress(self.now);
+            }
+            let idle = self.outstanding_ctas > 0 && self.inflight_mem == 0;
+            if let Err(trip) = self.watchdog.check(self.now, idle) {
+                return Err(match trip {
+                    WatchdogTrip::Budget { limit, .. } => SimError::CycleLimit {
+                        limit_cycles: ticks_to_cycles(limit),
+                        at_cycle: ticks_to_cycles(self.now),
+                    },
+                    WatchdogTrip::Stall { .. } => self.deadlock(),
+                });
             }
             match ev {
                 Ev::WarpIssue { sm, slot } => self.on_warp_issue(t, sm, slot),
@@ -66,10 +93,119 @@ impl NumaGpuSystem {
                 Ev::WriteAtHome { from, line, home } => self.on_write_at_home(t, from, line, home),
                 Ev::LinkSample => self.on_link_sample(t),
                 Ev::CacheSample => self.on_cache_sample(t),
+                Ev::Fault { idx } => self.on_fault(idx),
             }
         }
         self.kernel = None;
         self.plan = None;
+        Ok(())
+    }
+
+    /// The error for a run whose scheduler stopped making forward progress.
+    fn deadlock(&self) -> SimError {
+        SimError::Deadlock {
+            cycle: ticks_to_cycles(self.now),
+            outstanding_ctas: self.outstanding_ctas,
+            inflight_mem: self.inflight_mem,
+        }
+    }
+
+    /// Applies fault `idx` of the installed plan at the current time.
+    fn on_fault(&mut self, idx: u32) {
+        let spec = match self
+            .fault_state
+            .as_ref()
+            .and_then(|fs| fs.plan.specs().get(idx as usize))
+        {
+            Some(spec) => *spec,
+            None => return,
+        };
+        let now = self.now;
+        let cycle = ticks_to_cycles(now);
+        match spec.kind {
+            FaultKind::LinkLanes {
+                socket,
+                healthy_lanes,
+            } => {
+                let link = self.switch.link_mut(SocketId::new(socket));
+                let nominal = link.nominal_lanes();
+                let healthy = link.set_lane_health(now, healthy_lanes);
+                if let Some(fs) = &mut self.fault_state {
+                    let s = socket as usize;
+                    if healthy < nominal {
+                        if fs.degraded_at[s].is_none() {
+                            fs.degraded_at[s] = Some(cycle);
+                        }
+                    } else {
+                        // Fully restored: a later degradation starts a
+                        // fresh recovery measurement.
+                        fs.degraded_at[s] = None;
+                    }
+                }
+            }
+            FaultKind::LinkRetrain {
+                socket,
+                window_cycles,
+            } => {
+                self.switch
+                    .link_mut(SocketId::new(socket))
+                    .retrain(now, cycles_to_ticks(window_cycles as u64));
+            }
+            FaultKind::DramStall {
+                socket,
+                window_cycles,
+            } => {
+                self.drams[socket as usize].stall(
+                    now,
+                    cycles_to_ticks(window_cycles as u64),
+                    cycles_to_ticks(ECC_RETRY_PENALTY_CYCLES),
+                );
+            }
+            FaultKind::SmDisable { first_sm, last_sm } => {
+                for sm in first_sm..=last_sm {
+                    let smi = sm as usize;
+                    if !self.sms[smi].is_enabled() {
+                        continue;
+                    }
+                    let evicted = self.sms[smi].disable();
+                    // In-flight fills and wakeups for the dead SM are
+                    // dropped at their handlers; clear the replay state so
+                    // nothing resurrects a freed warp slot.
+                    for op in &mut self.pending_ops[smi] {
+                        *op = None;
+                    }
+                    for st in &mut self.warp_mem[smi] {
+                        *st = Default::default();
+                    }
+                    let socket = self.socket_of_sm(sm as u32);
+                    if let Some(plan) = &mut self.plan {
+                        plan.requeue_front(socket, &evicted);
+                    }
+                    if let Some(fs) = &mut self.fault_state {
+                        fs.disabled_sms += 1;
+                        fs.requeued_ctas += evicted.len() as u32;
+                    }
+                    self.dispatch_socket(now, socket);
+                }
+            }
+        }
+        if let Some(fs) = &mut self.fault_state {
+            fs.applied.push(AppliedFault {
+                cycle,
+                description: spec.kind.describe(),
+            });
+        }
+        if self.obs.tracing() {
+            self.obs.emit(
+                TraceEvent::instant(
+                    format!("fault: {}", spec.kind.describe()),
+                    "fault",
+                    cycle,
+                    0,
+                )
+                .arg("planned_cycle", spec.cycle),
+            );
+        }
     }
 
     /// Schedules the periodic samplers the first time a kernel runs.
@@ -97,11 +233,14 @@ impl NumaGpuSystem {
             Some(k) => k.clone(),
             None => return,
         };
+        // Take the plan out for the duration of the fill so no mid-loop
+        // re-borrow is needed; it is restored unconditionally on exit.
+        let Some(mut plan) = self.plan.take() else {
+            return;
+        };
         let warps = kernel.warps_per_cta();
         let base = socket.index() as u32 * self.sms_per_socket;
         'outer: loop {
-            // simlint: allow(A001, reason = "plan is Some for the whole kernel; cleared only after the event loop drains")
-            let plan = self.plan.as_mut().expect("plan during kernel");
             if plan.remaining_for(socket) == 0 {
                 break;
             }
@@ -110,8 +249,6 @@ impl NumaGpuSystem {
             for i in 0..self.sms_per_socket {
                 let sm = (base + i) as usize;
                 if self.sms[sm].can_accept_cta(warps) {
-                    // simlint: allow(A001, reason = "plan is Some for the whole kernel; cleared only after the event loop drains")
-                    let plan = self.plan.as_mut().expect("plan during kernel");
                     let cta = match plan.next_for_socket(socket) {
                         Some(c) => c,
                         None => break 'outer,
@@ -143,12 +280,18 @@ impl NumaGpuSystem {
                 break;
             }
         }
+        self.plan = Some(plan);
     }
 
     /// A warp is ready: pull its next op (or replay a parked one) and model
     /// its issue.
     fn on_warp_issue(&mut self, t: Tick, sm: u32, slot: WarpSlot) {
         let smi = sm as usize;
+        if !self.sms[smi].is_enabled() {
+            // Stale wakeup for an SM a fault disabled: its warp slots are
+            // freed and its CTAs already requeued elsewhere.
+            return;
+        }
         let op = match self.pending_ops[smi][slot.index()].take() {
             Some(op) => op,
             None => match self.sms[smi].next_op(slot) {
@@ -243,6 +386,12 @@ impl NumaGpuSystem {
     /// warp's scoreboard, and wake the ones that were stalled on it.
     fn on_l1_fill(&mut self, t: Tick, sm: u32, line: numa_gpu_types::LineAddr, class: LineClass) {
         let smi = sm as usize;
+        if !self.sms[smi].is_enabled() {
+            // Fill for an SM a fault disabled: the data is dropped (the
+            // requeued CTA will refetch); in-flight accounting already
+            // happened at the event loop.
+            return;
+        }
         for slot in self.sms[smi].l1_fill(line, class) {
             let st = &mut self.warp_mem[smi][slot.index()];
             debug_assert!(st.outstanding > 0, "fill without outstanding load");
@@ -274,6 +423,22 @@ impl NumaGpuSystem {
         let actions = self
             .switch
             .sample_and_rebalance_all(t, SATURATION_THRESHOLD);
+        // Resilience: the first non-Hold rebalance after a lane degradation
+        // is the balancer's recovery response; record its latency.
+        let mut recoveries: Vec<(usize, u64)> = Vec::new();
+        if let Some(fs) = &mut self.fault_state {
+            let cycle = ticks_to_cycles(t);
+            for (s, action) in actions.iter().enumerate() {
+                if *action == BalanceAction::Hold {
+                    continue;
+                }
+                if let (Some(degraded), None) = (fs.degraded_at[s], fs.recovery[s]) {
+                    let latency = cycle.saturating_sub(degraded);
+                    fs.recovery[s] = Some(latency);
+                    recoveries.push((s, latency));
+                }
+            }
+        }
         if self.obs.record_timeline {
             for (s, sample) in samples.iter().enumerate() {
                 self.obs.timelines[s].push(*sample);
@@ -306,6 +471,12 @@ impl NumaGpuSystem {
                         .arg("ingress_util", samples[s].ingress_util),
                     );
                 }
+            }
+            for (s, latency) in &recoveries {
+                self.obs.emit(
+                    TraceEvent::instant(format!("link.s{s}.recovered"), "fault", cycle, *s as u32)
+                        .arg("recovery_cycles", *latency),
+                );
             }
         }
         self.events.push(

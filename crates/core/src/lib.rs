@@ -52,8 +52,11 @@ pub use system::NumaGpuSystem;
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`](numa_gpu_types::ConfigError) if the configuration
-/// is invalid.
+/// Returns [`SimError::Config`](numa_gpu_types::SimError) if the
+/// configuration is invalid, [`SimError::Deadlock`](numa_gpu_types::SimError)
+/// if the scheduler stops making forward progress, and
+/// [`SimError::CycleLimit`](numa_gpu_types::SimError) if the configured
+/// cycle budget runs out.
 ///
 /// # Examples
 ///
@@ -64,14 +67,14 @@ pub use system::NumaGpuSystem;
 /// # fn wl() -> numa_gpu_runtime::Workload { unimplemented!() }
 /// let report = run_workload(SystemConfig::numa_aware_sockets(4), &wl())?;
 /// println!("{} cycles", report.total_cycles);
-/// # Ok::<(), numa_gpu_types::ConfigError>(())
+/// # Ok::<(), numa_gpu_types::SimError>(())
 /// ```
 pub fn run_workload(
     cfg: numa_gpu_types::SystemConfig,
     workload: &numa_gpu_runtime::Workload,
-) -> Result<SimReport, numa_gpu_types::ConfigError> {
+) -> Result<SimReport, numa_gpu_types::SimError> {
     let mut sys = NumaGpuSystem::new(cfg)?;
-    Ok(sys.run(workload))
+    sys.run(workload)
 }
 
 /// Like [`run_workload`] but with per-sample link timeline recording
@@ -79,13 +82,31 @@ pub fn run_workload(
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`](numa_gpu_types::ConfigError) if the configuration
-/// is invalid.
+/// As for [`run_workload`].
 pub fn run_workload_with_timeline(
     cfg: numa_gpu_types::SystemConfig,
     workload: &numa_gpu_runtime::Workload,
-) -> Result<SimReport, numa_gpu_types::ConfigError> {
+) -> Result<SimReport, numa_gpu_types::SimError> {
     let mut sys = NumaGpuSystem::new(cfg)?;
     sys.enable_link_timeline();
-    Ok(sys.run(workload))
+    sys.run(workload)
+}
+
+/// Like [`run_workload`] but with a [`FaultPlan`](numa_gpu_faults::FaultPlan)
+/// installed before the run. An empty plan yields a report byte-identical
+/// to [`run_workload`]'s.
+///
+/// # Errors
+///
+/// As for [`run_workload`], plus
+/// [`SimError::InvalidFaultPlan`](numa_gpu_types::SimError) if the plan does
+/// not fit the configured system shape.
+pub fn run_workload_with_faults(
+    cfg: numa_gpu_types::SystemConfig,
+    workload: &numa_gpu_runtime::Workload,
+    faults: &numa_gpu_faults::FaultPlan,
+) -> Result<SimReport, numa_gpu_types::SimError> {
+    let mut sys = NumaGpuSystem::new(cfg)?;
+    sys.set_fault_plan(faults.clone())?;
+    sys.run(workload)
 }

@@ -5,15 +5,16 @@ use crate::power::average_link_power_w;
 use crate::report::{SimReport, SocketReport};
 use numa_gpu_cache::LineClass;
 use numa_gpu_cache::{CacheStats, PartitionController, SetAssocCache, WayPartition};
-use numa_gpu_engine::{EventQueue, ServiceQueue};
+use numa_gpu_engine::{EventQueue, ServiceQueue, Watchdog};
+use numa_gpu_faults::{AppliedFault, FaultPlan, LinkResilience, ResilienceReport};
 use numa_gpu_interconnect::Switch;
 use numa_gpu_mem::{Dram, PageTable};
 use numa_gpu_obs::TraceEvent;
 use numa_gpu_runtime::{Kernel, LaunchPlan, Workload};
 use numa_gpu_sm::Sm;
 use numa_gpu_types::{
-    cycles_to_ticks, ticks_to_cycles, CacheMode, ConfigError, LineAddr, SocketId, SystemConfig,
-    Tick, WarpOp, WarpSlot,
+    cycles_to_ticks, ticks_to_cycles, CacheMode, ConfigError, LineAddr, SimError, SocketId,
+    SystemConfig, Tick, WarpOp, WarpSlot, TICKS_PER_CYCLE,
 };
 use std::sync::Arc;
 
@@ -74,6 +75,8 @@ pub(crate) enum Ev {
     LinkSample,
     /// Periodic NUMA-aware cache partition sampling (§5).
     CacheSample,
+    /// An injected fault fires (index into the installed `FaultPlan`).
+    Fault { idx: u32 },
 }
 
 impl Ev {
@@ -82,8 +85,41 @@ impl Ev {
     pub(crate) fn is_mem_stage(&self) -> bool {
         !matches!(
             self,
-            Ev::WarpIssue { .. } | Ev::LinkSample | Ev::CacheSample
+            Ev::WarpIssue { .. } | Ev::LinkSample | Ev::CacheSample | Ev::Fault { .. }
         )
+    }
+}
+
+/// Fault-injection bookkeeping: the installed plan plus what actually
+/// happened. Present only when a *non-empty* [`FaultPlan`] was installed, so
+/// a zero-fault run is bit-identical to a run with no plan at all.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    /// The installed plan (validated against the configuration).
+    pub plan: FaultPlan,
+    /// Timeline of faults as they were applied, in application order.
+    pub applied: Vec<AppliedFault>,
+    /// SMs permanently disabled by `FaultKind::SmDisable`.
+    pub disabled_sms: u32,
+    /// Resident CTAs evicted from disabled SMs and requeued.
+    pub requeued_ctas: u32,
+    /// Per-socket cycle of the earliest still-unanswered lane degradation.
+    pub degraded_at: Vec<Option<u64>>,
+    /// Per-socket balancer recovery latency in cycles (first non-Hold
+    /// rebalance after the degradation).
+    pub recovery: Vec<Option<u64>>,
+}
+
+impl FaultState {
+    fn new(plan: FaultPlan, sockets: usize) -> Self {
+        FaultState {
+            plan,
+            applied: Vec::new(),
+            disabled_sms: 0,
+            requeued_ctas: 0,
+            degraded_at: vec![None; sockets],
+            recovery: vec![None; sockets],
+        }
     }
 }
 
@@ -111,9 +147,9 @@ pub(crate) struct WarpMemState {
 ///
 /// # fn workload() -> numa_gpu_runtime::Workload { unimplemented!() }
 /// let mut sys = NumaGpuSystem::new(SystemConfig::numa_aware_sockets(4))?;
-/// let report = sys.run(&workload());
+/// let report = sys.run(&workload())?;
 /// println!("took {} cycles", report.total_cycles);
-/// # Ok::<(), numa_gpu_types::ConfigError>(())
+/// # Ok::<(), numa_gpu_types::SimError>(())
 /// ```
 pub struct NumaGpuSystem {
     pub(crate) cfg: SystemConfig,
@@ -150,6 +186,10 @@ pub struct NumaGpuSystem {
     pub(crate) samplers_scheduled: bool,
     pub(crate) has_run: bool,
     pub(crate) kernel_starts: Vec<u64>,
+    /// Fault-injection state (`None` unless a non-empty plan is installed).
+    pub(crate) fault_state: Option<FaultState>,
+    /// Forward-progress watchdog (cycle budget + no-progress detector).
+    pub(crate) watchdog: Watchdog,
     /// Metrics registry, trace sink, and Fig-5 timelines (see `observe`).
     pub(crate) obs: ObsState,
     // Derived constants.
@@ -232,6 +272,15 @@ impl NumaGpuSystem {
         let ctls = (0..sockets)
             .map(|_| PartitionController::new(cfg.l2.ways))
             .collect();
+        let budget = if cfg.watchdog.max_cycles > 0 {
+            Some(cycles_to_ticks(cfg.watchdog.max_cycles))
+        } else {
+            None
+        };
+        let watchdog = Watchdog::new(
+            budget,
+            cycles_to_ticks(cfg.watchdog.effective_stall_cycles()),
+        );
 
         Ok(NumaGpuSystem {
             noc_latency: cycles_to_ticks(cfg.noc.latency_cycles as u64),
@@ -261,6 +310,8 @@ impl NumaGpuSystem {
             samplers_scheduled: false,
             has_run: false,
             kernel_starts: Vec::new(),
+            fault_state: None,
+            watchdog,
             obs,
         })
     }
@@ -274,6 +325,26 @@ impl NumaGpuSystem {
     /// Call before [`Self::run`].
     pub fn enable_link_timeline(&mut self) {
         self.obs.record_timeline = true;
+    }
+
+    /// Installs a fault plan to apply during [`Self::run`]. Call before
+    /// `run`. Installing an *empty* plan is exactly equivalent to never
+    /// calling this: the run (and its report, byte for byte) is identical
+    /// to a fault-free run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFaultPlan`] if the plan references
+    /// sockets, lanes, or SMs outside this system's shape.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), SimError> {
+        let lanes_total = self.cfg.link.lanes_per_direction.saturating_mul(2);
+        plan.validate(self.cfg.num_sockets, lanes_total, self.sms.len() as u32)?;
+        self.fault_state = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultState::new(plan, self.cfg.num_sockets as usize))
+        };
+        Ok(())
     }
 
     /// Socket that owns SM `sm`.
@@ -292,18 +363,38 @@ impl NumaGpuSystem {
 
     /// Runs `workload` to completion and returns the report.
     ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if the scheduler stops making forward
+    /// progress (event queue empties with CTAs outstanding, or the stall
+    /// watchdog sees no progress for `watchdog.stall_cycles`), and
+    /// [`SimError::CycleLimit`] if `watchdog.max_cycles` is exceeded.
+    ///
     /// # Panics
     ///
     /// Panics if called twice on the same system (state is single-use), if
     /// the workload has no kernels, or if a kernel's CTAs need more warps
     /// than an SM can hold.
-    pub fn run(&mut self, workload: &Workload) -> SimReport {
+    pub fn run(&mut self, workload: &Workload) -> Result<SimReport, SimError> {
         assert!(!self.has_run, "NumaGpuSystem::run is single-use");
         assert!(
             !workload.kernels.is_empty(),
             "workload must contain at least one kernel"
         );
         self.has_run = true;
+
+        if let Some(fs) = &self.fault_state {
+            let stamps: Vec<(Tick, u32)> = fs
+                .plan
+                .specs()
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (cycles_to_ticks(s.cycle), i as u32))
+                .collect();
+            for (at, idx) in stamps {
+                self.events.push(at, Ev::Fault { idx });
+            }
+        }
 
         for kernel in &workload.kernels {
             assert!(
@@ -315,7 +406,7 @@ impl NumaGpuSystem {
             let start = self.kernel_boundary();
             self.now = start;
             self.kernel_starts.push(ticks_to_cycles(start));
-            self.run_kernel(kernel.clone());
+            self.run_kernel(kernel.clone())?;
             if self.obs.tracing() {
                 let start_cycle = ticks_to_cycles(start);
                 let end_cycle = ticks_to_cycles(self.now.max(self.write_drain));
@@ -334,7 +425,7 @@ impl NumaGpuSystem {
         }
         // Charge the final write drain.
         self.now = self.now.max(self.write_drain);
-        self.build_report(workload)
+        Ok(self.build_report(workload))
     }
 
     fn build_report(&mut self, workload: &Workload) -> SimReport {
@@ -384,6 +475,26 @@ impl NumaGpuSystem {
         }
         let metrics = self.obs.registry.as_ref().map(|r| r.snapshot());
         let trace_events = self.obs.take_trace();
+        let resilience = self.fault_state.as_ref().map(|fs| {
+            let links = (0..self.cfg.num_sockets as usize)
+                .map(|s| {
+                    let link = self.switch.link(SocketId::new(s as u8));
+                    LinkResilience {
+                        socket: s as u8,
+                        nominal_lane_cycles: total_cycles * link.nominal_lanes() as u64,
+                        available_lane_cycles: link.available_lane_ticks(self.now)
+                            / TICKS_PER_CYCLE,
+                        recovery_cycles: fs.recovery[s],
+                    }
+                })
+                .collect();
+            ResilienceReport {
+                applied: fs.applied.clone(),
+                links,
+                disabled_sms: fs.disabled_sms,
+                requeued_ctas: fs.requeued_ctas,
+            }
+        });
         SimReport {
             workload: workload.meta.name.clone(),
             total_cycles,
@@ -401,6 +512,7 @@ impl NumaGpuSystem {
             link_power_w: average_link_power_w(interconnect_bytes, total_cycles),
             metrics,
             trace_events,
+            resilience,
         }
     }
 

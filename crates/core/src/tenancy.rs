@@ -26,12 +26,12 @@
 //! ];
 //! let r = run_space_partitioned(&SystemConfig::numa_aware_sockets(4), &tenants)?;
 //! println!("makespan: {} cycles", r.makespan_cycles);
-//! # Ok::<(), numa_gpu_types::ConfigError>(())
+//! # Ok::<(), numa_gpu_types::SimError>(())
 //! ```
 
 use crate::{NumaGpuSystem, SimReport};
 use numa_gpu_runtime::Workload;
-use numa_gpu_types::{ConfigError, SystemConfig};
+use numa_gpu_types::{ConfigError, SimError, SystemConfig};
 
 /// One tenant: a workload plus the number of sockets its logical GPU gets.
 #[derive(Debug, Clone)]
@@ -69,21 +69,24 @@ impl TenancyReport {
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if the tenants request more sockets than `base`
-/// provides, request zero sockets, or the derived configuration is invalid.
+/// Returns [`SimError::Config`] if the tenants request more sockets than
+/// `base` provides, request zero sockets, or the derived configuration is
+/// invalid; simulation errors propagate as for
+/// [`run_workload`](crate::run_workload).
 pub fn run_space_partitioned(
     base: &SystemConfig,
     tenants: &[TenantSpec],
-) -> Result<TenancyReport, ConfigError> {
+) -> Result<TenancyReport, SimError> {
     let requested: u32 = tenants.iter().map(|t| t.sockets as u32).sum();
     if requested > base.num_sockets as u32 {
         return Err(ConfigError::new(format!(
             "tenants request {requested} sockets but the machine has {}",
             base.num_sockets
-        )));
+        ))
+        .into());
     }
     if tenants.iter().any(|t| t.sockets == 0) {
-        return Err(ConfigError::new("each tenant needs at least one socket"));
+        return Err(ConfigError::new("each tenant needs at least one socket").into());
     }
     let mut per_tenant = Vec::with_capacity(tenants.len());
     let mut makespan = 0u64;
@@ -91,7 +94,7 @@ pub fn run_space_partitioned(
         let mut cfg = base.clone();
         cfg.num_sockets = t.sockets;
         let mut sys = NumaGpuSystem::new(cfg)?;
-        let report = sys.run(&t.workload);
+        let report = sys.run(&t.workload)?;
         makespan = makespan.max(report.total_cycles);
         per_tenant.push(report);
     }
@@ -106,16 +109,17 @@ pub fn run_space_partitioned(
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] if `base` is invalid.
+/// Returns [`SimError::Config`] if `base` is invalid; simulation errors
+/// propagate as for [`run_workload`](crate::run_workload).
 pub fn run_time_multiplexed(
     base: &SystemConfig,
     tenants: &[TenantSpec],
-) -> Result<TenancyReport, ConfigError> {
+) -> Result<TenancyReport, SimError> {
     let mut per_tenant = Vec::with_capacity(tenants.len());
     let mut makespan = 0u64;
     for t in tenants {
         let mut sys = NumaGpuSystem::new(base.clone())?;
-        let report = sys.run(&t.workload);
+        let report = sys.run(&t.workload)?;
         makespan += report.total_cycles;
         per_tenant.push(report);
     }

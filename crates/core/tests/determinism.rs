@@ -22,7 +22,7 @@ fn identical_runs_reproduce_timelines_and_json() {
     let run = || {
         let mut sys = NumaGpuSystem::new(SystemConfig::numa_sockets(4)).unwrap();
         sys.enable_link_timeline();
-        sys.run(&wl)
+        sys.run(&wl).unwrap()
     };
     let a = run();
     let b = run();

@@ -173,7 +173,9 @@ fn remote_write_traffic_reaches_home_dram_via_writeback_or_flush() {
 #[test]
 fn report_accounts_every_socket() {
     let mut sys = NumaGpuSystem::new(SystemConfig::numa_sockets(8)).unwrap();
-    let r = sys.run(&workload(vec![WarpOp::read(Addr::new(0))]));
+    let r = sys
+        .run(&workload(vec![WarpOp::read(Addr::new(0))]))
+        .unwrap();
     assert_eq!(r.sockets.len(), 8);
     // CTA 0 runs on socket 0 under contiguous scheduling.
     let home = SocketId::new(0);

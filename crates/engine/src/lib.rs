@@ -27,6 +27,8 @@
 
 mod event_queue;
 mod service_queue;
+mod watchdog;
 
 pub use event_queue::{EventQueue, EventQueueStats};
 pub use service_queue::ServiceQueue;
+pub use watchdog::{Watchdog, WatchdogTrip};

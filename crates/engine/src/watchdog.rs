@@ -1,0 +1,177 @@
+//! Forward-progress watchdog for the event loop.
+//!
+//! Two independent detectors, both off by default and both free of any
+//! effect on a healthy run's timing:
+//!
+//! * a **cycle budget** — the run may not pass a configured tick, full
+//!   stop (the `--max-cycles` backstop);
+//! * a **stall detector** — if no *progress-bearing* event has been
+//!   dispatched for a whole window while the caller reports the machine
+//!   as idle, the run is declared stuck. The caller decides what counts
+//!   as progress (warp issues and memory-stage events do; free-running
+//!   periodic samplers do not) and what counts as idle (no memory in
+//!   flight), so the watchdog itself stays model-agnostic.
+
+use numa_gpu_types::Tick;
+
+/// Why the watchdog fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogTrip {
+    /// The tick budget was exhausted.
+    Budget {
+        /// The configured budget, in ticks.
+        limit: Tick,
+        /// The tick at which the check tripped.
+        at: Tick,
+    },
+    /// No progress-bearing event inside the stall window while idle.
+    Stall {
+        /// The tick of the last progress-bearing event.
+        last_progress: Tick,
+        /// The tick at which the check tripped.
+        at: Tick,
+    },
+}
+
+/// A cycle-budget + no-progress detector (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use numa_gpu_engine::{Watchdog, WatchdogTrip};
+///
+/// let mut dog = Watchdog::new(Some(1_000), 100);
+/// dog.note_progress(40);
+/// assert_eq!(dog.check(90, true), Ok(()));
+/// // 110 ticks after the last progress event, while idle: stalled.
+/// assert!(matches!(dog.check(150, true), Err(WatchdogTrip::Stall { .. })));
+/// // The same gap while memory is in flight is fine.
+/// assert_eq!(dog.check(150, false), Ok(()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    budget: Option<Tick>,
+    stall_window: Tick,
+    last_progress: Tick,
+}
+
+impl Watchdog {
+    /// Creates a watchdog with an optional tick budget and a stall window
+    /// (in ticks). A zero stall window disables stall detection.
+    pub fn new(budget: Option<Tick>, stall_window: Tick) -> Self {
+        Watchdog {
+            budget,
+            stall_window,
+            last_progress: 0,
+        }
+    }
+
+    /// Records a progress-bearing event at `now`. Ticks are monotone in
+    /// the event loop, so this only ever moves forward.
+    #[inline]
+    pub fn note_progress(&mut self, now: Tick) {
+        if now > self.last_progress {
+            self.last_progress = now;
+        }
+    }
+
+    /// The tick of the most recent progress-bearing event.
+    #[inline]
+    pub fn last_progress(&self) -> Tick {
+        self.last_progress
+    }
+
+    /// Checks both detectors at `now`. `idle` tells the stall detector
+    /// whether the machine has anything in flight that could still wake
+    /// it (stall detection is suppressed while not idle, since a slow
+    /// memory response scheduled far in the future is forward progress
+    /// already paid for).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`WatchdogTrip`] that fired; budget is checked first.
+    #[inline]
+    pub fn check(&self, now: Tick, idle: bool) -> Result<(), WatchdogTrip> {
+        if let Some(limit) = self.budget {
+            if now > limit {
+                return Err(WatchdogTrip::Budget { limit, at: now });
+            }
+        }
+        if self.stall_window > 0
+            && idle
+            && now.saturating_sub(self.last_progress) > self.stall_window
+        {
+            return Err(WatchdogTrip::Stall {
+                last_progress: self.last_progress,
+                at: now,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_trips_past_limit_only() {
+        let dog = Watchdog::new(Some(100), 0);
+        assert_eq!(dog.check(100, true), Ok(()));
+        assert_eq!(
+            dog.check(101, true),
+            Err(WatchdogTrip::Budget {
+                limit: 100,
+                at: 101
+            })
+        );
+    }
+
+    #[test]
+    fn no_budget_never_trips_budget() {
+        let dog = Watchdog::new(None, 0);
+        assert_eq!(dog.check(u64::MAX, true), Ok(()));
+    }
+
+    #[test]
+    fn stall_requires_idle_and_window() {
+        let mut dog = Watchdog::new(None, 50);
+        dog.note_progress(10);
+        assert_eq!(dog.check(60, true), Ok(())); // exactly the window: fine
+        assert_eq!(dog.check(61, false), Ok(())); // busy: suppressed
+        assert_eq!(
+            dog.check(61, true),
+            Err(WatchdogTrip::Stall {
+                last_progress: 10,
+                at: 61
+            })
+        );
+    }
+
+    #[test]
+    fn progress_resets_the_window() {
+        let mut dog = Watchdog::new(None, 50);
+        dog.note_progress(10);
+        dog.note_progress(100);
+        // Out-of-order note must not move the mark backwards.
+        dog.note_progress(40);
+        assert_eq!(dog.last_progress(), 100);
+        assert_eq!(dog.check(149, true), Ok(()));
+        assert!(dog.check(151, true).is_err());
+    }
+
+    #[test]
+    fn zero_window_disables_stall_detection() {
+        let dog = Watchdog::new(None, 0);
+        assert_eq!(dog.check(u64::MAX, true), Ok(()));
+    }
+
+    #[test]
+    fn budget_checked_before_stall() {
+        let dog = Watchdog::new(Some(10), 5);
+        assert!(matches!(
+            dog.check(100, true),
+            Err(WatchdogTrip::Budget { .. })
+        ));
+    }
+}

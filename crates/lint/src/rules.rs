@@ -30,6 +30,7 @@ pub const SIM_CRATES: &[&str] = &[
     "cache",
     "mem",
     "interconnect",
+    "faults",
     "core",
     "runtime",
     "workloads",

@@ -57,6 +57,11 @@ pub struct Dram {
     obs: DramObs,
     /// Open row per bank (stats-only open-row locality model).
     open_rows: [Option<u64>; NUM_BANKS],
+    /// End of the current ECC-retry window (0 when healthy). Requests
+    /// issued before this tick pay `ecc_penalty` extra latency.
+    ecc_until: Tick,
+    /// Extra per-access latency inside an ECC-retry window.
+    ecc_penalty: Tick,
 }
 
 impl Dram {
@@ -72,6 +77,8 @@ impl Dram {
             stats: DramStats::default(),
             obs: DramObs::default(),
             open_rows: [None; NUM_BANKS],
+            ecc_until: 0,
+            ecc_penalty: 0,
         }
     }
 
@@ -108,12 +115,24 @@ impl Dram {
         self.write(now, bytes)
     }
 
+    /// Extra latency a request issued at `now` pays while an ECC-retry
+    /// window is open (0 on a healthy DRAM, so the fault-free timing is
+    /// bit-identical to a build without fault support).
+    #[inline]
+    fn ecc_extra(&self, now: Tick) -> Tick {
+        if now < self.ecc_until {
+            self.ecc_penalty
+        } else {
+            0
+        }
+    }
+
     /// Services a read of `bytes` at tick `now`; returns the tick the data
     /// is available (queueing + occupancy + access latency).
     pub fn read(&mut self, now: Tick, bytes: u32) -> Tick {
         self.stats.reads.inc();
         self.stats.bytes.add(bytes as u64);
-        self.queue.service(now, bytes) + self.latency
+        self.queue.service(now, bytes) + self.latency + self.ecc_extra(now)
     }
 
     /// Services a write of `bytes` at tick `now`; returns the tick the write
@@ -121,7 +140,17 @@ impl Dram {
     pub fn write(&mut self, now: Tick, bytes: u32) -> Tick {
         self.stats.writes.inc();
         self.stats.bytes.add(bytes as u64);
-        self.queue.service(now, bytes) + self.latency
+        self.queue.service(now, bytes) + self.latency + self.ecc_extra(now)
+    }
+
+    /// Injects a fault: the interface is held busy for `window` ticks
+    /// starting at `now` (requests queue behind the stall), and requests
+    /// issued before the window closes pay `retry_penalty` extra latency —
+    /// the ECC scrub-and-retry model.
+    pub fn stall(&mut self, now: Tick, window: Tick, retry_penalty: Tick) {
+        self.queue.add_busy(now, window);
+        self.ecc_until = self.ecc_until.max(now + window);
+        self.ecc_penalty = retry_penalty;
     }
 
     /// Starts a fresh utilization window (for the NUMA-aware cache
@@ -252,6 +281,32 @@ mod tests {
         }
         assert!(d.is_saturated(TICKS_PER_CYCLE, 0.99));
         assert_eq!(d.window_utilization(TICKS_PER_CYCLE), 1.0);
+    }
+
+    #[test]
+    fn stall_queues_requests_and_applies_ecc_penalty() {
+        let mut d = dram();
+        let healthy = dram().read(0, 128);
+        let window = 50 * TICKS_PER_CYCLE;
+        let penalty = 20 * TICKS_PER_CYCLE;
+        d.stall(0, window, penalty);
+        // Inside the window: queued behind the stall plus the retry penalty.
+        let done = d.read(0, 128);
+        assert_eq!(done, healthy + window + penalty);
+        // After the window closes the penalty disappears.
+        let t = 2 * window;
+        let late = d.read(t, 128);
+        let fresh = dram().read(t, 128);
+        assert_eq!(late, fresh);
+    }
+
+    #[test]
+    fn unstalled_dram_timing_is_unchanged() {
+        // The ECC fields default to zero: a healthy DRAM's arithmetic is
+        // exactly the pre-fault model.
+        let mut d = dram();
+        assert_eq!(d.read(0, 128), 171 + 100 * TICKS_PER_CYCLE);
+        assert_eq!(d.ecc_extra(12345), 0);
     }
 
     #[test]

@@ -233,6 +233,42 @@ impl ObsConfig {
     }
 }
 
+/// Forward-progress watchdog configuration.
+///
+/// Both limits default to off (`0`): a watchdog must never change what a
+/// healthy run computes, only how an unhealthy one terminates. The stall
+/// window is armed by the simulator even when `stall_cycles` is `0` — it
+/// then falls back to [`WatchdogConfig::DEFAULT_STALL_CYCLES`] — because a
+/// genuine scheduler deadlock would otherwise spin forever behind the
+/// free-running samplers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct WatchdogConfig {
+    /// Hard cycle budget for a whole run; `0` means unlimited. Exceeding it
+    /// yields [`SimError::CycleLimit`](crate::SimError::CycleLimit).
+    pub max_cycles: u64,
+    /// Cycles without a progress-bearing event (while CTAs are outstanding
+    /// and no memory is in flight) before the run is declared deadlocked;
+    /// `0` selects [`WatchdogConfig::DEFAULT_STALL_CYCLES`].
+    pub stall_cycles: u64,
+}
+
+impl WatchdogConfig {
+    /// Default stall window when `stall_cycles` is left at `0`. Compute-op
+    /// waits are tens of cycles and dispatch jitter is sub-thousand, so a
+    /// million idle cycles with no memory in flight is unambiguous.
+    pub const DEFAULT_STALL_CYCLES: u64 = 1_000_000;
+
+    /// The stall window actually in force (resolves the `0` default).
+    #[inline]
+    pub const fn effective_stall_cycles(&self) -> u64 {
+        if self.stall_cycles == 0 {
+            Self::DEFAULT_STALL_CYCLES
+        } else {
+            self.stall_cycles
+        }
+    }
+}
+
 /// Saturation threshold used by both the link load balancer and the cache
 /// partitioning algorithm (the paper uses "99% saturated").
 pub const SATURATION_THRESHOLD: f64 = 0.99;
@@ -285,6 +321,9 @@ pub struct SystemConfig {
     /// Observability switches (metrics registry + event tracing). Defaults
     /// to fully off; never affects simulated timing.
     pub obs: ObsConfig,
+    /// Forward-progress watchdog (cycle budget + stall detector). Defaults
+    /// to off; never affects the timing of a run that completes.
+    pub watchdog: WatchdogConfig,
 }
 
 // Configs are cloned into sweep worker threads; this fails to compile if a
@@ -343,6 +382,7 @@ impl SystemConfig {
             ideal_no_l2_invalidate: false,
             partition_l1: true,
             obs: ObsConfig::off(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -538,6 +578,22 @@ mod tests {
         assert!(!c.obs.any());
         assert!(ObsConfig::full().any());
         assert_eq!(ObsConfig::default(), ObsConfig::off());
+    }
+
+    #[test]
+    fn watchdog_defaults_off_with_effective_stall_window() {
+        let c = SystemConfig::pascal_single();
+        assert_eq!(c.watchdog, WatchdogConfig::default());
+        assert_eq!(c.watchdog.max_cycles, 0);
+        assert_eq!(
+            c.watchdog.effective_stall_cycles(),
+            WatchdogConfig::DEFAULT_STALL_CYCLES
+        );
+        let w = WatchdogConfig {
+            max_cycles: 10,
+            stall_cycles: 7,
+        };
+        assert_eq!(w.effective_stall_cycles(), 7);
     }
 
     #[test]

@@ -31,10 +31,10 @@ mod time;
 pub use addr::{Addr, LineAddr, PageId, LINE_SIZE, PAGE_SIZE};
 pub use config::{
     CacheConfig, CacheMode, CtaSchedulingPolicy, DramConfig, LinkConfig, LinkMode, NocConfig,
-    ObsConfig, PagePlacement, SmConfig, SystemConfig, WritePolicy, HEADER_BYTES,
+    ObsConfig, PagePlacement, SmConfig, SystemConfig, WatchdogConfig, WritePolicy, HEADER_BYTES,
     SATURATION_THRESHOLD,
 };
-pub use error::ConfigError;
+pub use error::{ConfigError, SimError};
 pub use ids::{CtaId, KernelId, SmIndex, SocketId, WarpSlot};
 pub use ops::{CtaProgram, MemKind, WarpOp};
 pub use stats::{Counter, Ratio};

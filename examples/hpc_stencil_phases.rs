@@ -20,7 +20,7 @@ fn main() {
     cfg.link.mode = LinkMode::DynamicAsymmetric;
     let mut sys = NumaGpuSystem::new(cfg).expect("valid config");
     sys.enable_link_timeline();
-    let report = sys.run(&wl);
+    let report = sys.run(&wl).expect("simulation completes");
 
     println!(
         "HPC-HPGMG-UVM on a 4-socket NUMA GPU with dynamic lanes: {} cycles, {} lane turns",

@@ -14,12 +14,24 @@
 //!          [--trace-out FILE]      # write a Chrome trace_event JSON (chrome://tracing)
 //!          [--dump-trace FILE]     # record the workload's kernels as text traces
 //!          [--from-trace FILE]     # run a recorded trace instead of a catalog workload
+//!          [--faults SPEC]         # inject faults, e.g. "lanes:s1@5000=8; dram:s0@2000+300"
+//!          [--fault-seed N]        # inject a seeded random fault plan instead
+//!          [--max-cycles N]        # abort with an error if the run exceeds N cycles
 //! ```
+//!
+//! Simulation failures (scheduler deadlock, cycle budget exhausted) print
+//! the error and exit with status 3; usage errors exit with status 2.
 
-use numa_gpu::core::NumaGpuSystem;
+use numa_gpu::core::{NumaGpuSystem, SimReport};
+use numa_gpu::faults::FaultPlan;
 use numa_gpu::runtime::Kernel as _;
-use numa_gpu::types::{CacheMode, CtaSchedulingPolicy, LinkMode, PagePlacement, SystemConfig};
+use numa_gpu::types::{
+    CacheMode, CtaSchedulingPolicy, LinkMode, PagePlacement, SimError, SystemConfig,
+};
 use numa_gpu::workloads::{by_name, Scale, WORKLOAD_NAMES};
+
+/// Time horizon (in cycles) over which `--fault-seed` scatters its faults.
+const FAULT_HORIZON_CYCLES: u64 = 100_000;
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n");
@@ -27,13 +39,25 @@ fn usage(msg: &str) -> ! {
         "usage: simulate --workload NAME [--sockets N] [--quick|--full] \
          [--cache memside|static|shared|numa-aware] [--link static|dynamic|2x] \
          [--placement fine|page|first-touch] [--cta interleave|contiguous] \
-         [--baseline] [--jobs N] [--timeline] [--metrics] [--trace-out FILE]"
+         [--baseline] [--jobs N] [--timeline] [--metrics] [--trace-out FILE] \
+         [--faults SPEC] [--fault-seed N] [--max-cycles N]"
     );
     eprintln!("\nworkloads:");
     for n in WORKLOAD_NAMES {
         eprintln!("  {n}");
     }
     std::process::exit(2);
+}
+
+/// Prints a simulation failure and exits with a status distinct from usage
+/// errors so harnesses can tell "bad invocation" from "run did not finish".
+fn fail(e: &SimError) -> ! {
+    eprintln!("simulation error: {e}");
+    std::process::exit(3);
+}
+
+fn unwrap_report(r: Result<SimReport, SimError>) -> SimReport {
+    r.unwrap_or_else(|e| fail(&e))
 }
 
 fn main() {
@@ -52,6 +76,9 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut dump_trace: Option<String> = None;
     let mut from_trace: Option<String> = None;
+    let mut faults_spec: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut max_cycles: u64 = 0;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -113,6 +140,19 @@ fn main() {
             "--trace-out" => trace_out = Some(value("--trace-out")),
             "--dump-trace" => dump_trace = Some(value("--dump-trace")),
             "--from-trace" => from_trace = Some(value("--from-trace")),
+            "--faults" => faults_spec = Some(value("--faults")),
+            "--fault-seed" => {
+                fault_seed = Some(
+                    value("--fault-seed")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--fault-seed must be an integer")),
+                );
+            }
+            "--max-cycles" => {
+                max_cycles = value("--max-cycles")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--max-cycles must be a positive integer"));
+            }
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -167,7 +207,26 @@ fn main() {
     cfg.cta_policy = cta;
     cfg.obs.metrics = metrics;
     cfg.obs.trace = trace_out.is_some();
+    cfg.watchdog.max_cycles = max_cycles;
     cfg.validate().unwrap_or_else(|e| usage(&e.to_string()));
+
+    let fault_plan: Option<FaultPlan> = match (&faults_spec, fault_seed) {
+        (Some(_), Some(_)) => usage("--faults and --fault-seed are mutually exclusive"),
+        (Some(spec), None) => {
+            Some(FaultPlan::parse(spec).unwrap_or_else(|e| usage(&e.to_string())))
+        }
+        (None, Some(seed)) => Some(FaultPlan::random(
+            seed,
+            cfg.num_sockets,
+            cfg.link.lanes_per_direction.saturating_mul(2),
+            cfg.num_sockets as u32 * cfg.sm.sms_per_socket as u32,
+            FAULT_HORIZON_CYCLES,
+        )),
+        (None, None) => None,
+    };
+    if let Some(plan) = &fault_plan {
+        eprintln!("fault plan: {plan}");
+    }
 
     // The per-sim observability handles are `Rc`-based, so each
     // `NumaGpuSystem` is constructed inside the worker thread that runs it;
@@ -177,10 +236,14 @@ fn main() {
     let run_main = {
         let cfg = cfg.clone();
         let workload = workload.clone();
+        let fault_plan = fault_plan.clone();
         move || {
             let mut sys = NumaGpuSystem::new(cfg).expect("validated above");
             if timeline {
                 sys.enable_link_timeline();
+            }
+            if let Some(plan) = fault_plan {
+                sys.set_fault_plan(plan)?;
             }
             sys.run(&workload)
         }
@@ -192,7 +255,6 @@ fn main() {
             numa_gpu::exec::Job::new("main", run_main),
             numa_gpu::exec::Job::new("baseline", move || {
                 numa_gpu::core::run_workload(SystemConfig::pascal_single(), &baseline_wl)
-                    .expect("baseline config is valid")
             }),
         ]);
         let single = results.pop().expect("two jobs submitted");
@@ -200,6 +262,8 @@ fn main() {
     } else {
         (run_main(), None)
     };
+    let report = unwrap_report(report);
+    let prerun_baseline = prerun_baseline.map(unwrap_report);
     println!("{report}");
     for (i, s) in report.sockets.iter().enumerate() {
         println!(
@@ -227,6 +291,30 @@ fn main() {
         }
     }
 
+    if let Some(res) = &report.resilience {
+        println!("\nfaults applied:");
+        for f in &res.applied {
+            println!("  cycle {:>10}: {}", f.cycle, f.description);
+        }
+        for l in &res.links {
+            println!(
+                "  GPU{}: link lane availability {:.1}%{}",
+                l.socket,
+                100.0 * l.availability(),
+                match l.recovery_cycles {
+                    Some(c) => format!(", balancer re-allocated after {c} cycles"),
+                    None => String::new(),
+                }
+            );
+        }
+        if res.disabled_sms > 0 {
+            println!(
+                "  {} SM(s) disabled, {} CTA(s) requeued",
+                res.disabled_sms, res.requeued_ctas
+            );
+        }
+    }
+
     if let Some(path) = &trace_out {
         let doc = report.chrome_trace().to_string();
         std::fs::write(path, &doc).unwrap_or_else(|e| usage(&format!("cannot write trace: {e}")));
@@ -242,8 +330,10 @@ fn main() {
 
     if baseline {
         let single = prerun_baseline.unwrap_or_else(|| {
-            numa_gpu::core::run_workload(SystemConfig::pascal_single(), &workload)
-                .expect("baseline config is valid")
+            unwrap_report(numa_gpu::core::run_workload(
+                SystemConfig::pascal_single(),
+                &workload,
+            ))
         });
         println!("\nbaseline {single}");
         println!(

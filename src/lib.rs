@@ -30,6 +30,7 @@
 //! | [`workloads`] | the 41 Table 2 benchmarks as synthetic generators |
 //! | [`obs`] | metrics registry, event tracing, Chrome-trace export |
 //! | [`exec`] | deterministic fixed-worker thread pool for sweep fan-out |
+//! | [`faults`] | deterministic fault injection plans and resilience metrics |
 //!
 //! # Quickstart
 //!
@@ -42,7 +43,7 @@
 //! let single = run_workload(SystemConfig::pascal_single(), &wl)?;
 //! let numa = run_workload(SystemConfig::numa_aware_sockets(4), &wl)?;
 //! println!("4-socket NUMA-aware speedup: {:.2}x", numa.speedup_over(&single));
-//! # Ok::<(), numa_gpu::types::ConfigError>(())
+//! # Ok::<(), numa_gpu::types::SimError>(())
 //! ```
 
 #![deny(missing_docs)]
@@ -52,6 +53,7 @@ pub use numa_gpu_cache as cache;
 pub use numa_gpu_core as core;
 pub use numa_gpu_engine as engine;
 pub use numa_gpu_exec as exec;
+pub use numa_gpu_faults as faults;
 pub use numa_gpu_interconnect as interconnect;
 pub use numa_gpu_mem as mem;
 pub use numa_gpu_obs as obs;

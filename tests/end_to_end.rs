@@ -259,7 +259,7 @@ fn timeline_recording_produces_samples() {
     let wl = by_name("HPC-HPGMG-UVM", &quick()).unwrap();
     let mut sys = NumaGpuSystem::new(SystemConfig::numa_sockets(4)).unwrap();
     sys.enable_link_timeline();
-    let r = sys.run(&wl);
+    let r = sys.run(&wl).unwrap();
     assert_eq!(r.link_timelines.len(), 4);
     assert!(r.link_timelines.iter().all(|t| !t.is_empty()));
     // Kernel start marks exist for the Fig-5 dotted lines.
