@@ -1,0 +1,42 @@
+//! Wall-clock benchmark of the partitioned event loop: one 8-socket
+//! study-config simulation at `sim_threads` = 1, 2, and the available
+//! worker count.
+//!
+//! Run `TESTKIT_BENCH_JSON=results/BENCH_intra_run_parallel.json cargo
+//! bench -p numa-gpu-bench --bench intra_run_parallel` to record numbers.
+//! Windows are bounded by the cross-socket lookahead (~64 cycles), so on
+//! a single-core machine the scoped-spawn barriers only add overhead; the
+//! speedup needs real cores, up to one per socket.
+
+use numa_gpu_core::run_workload;
+use numa_gpu_testkit::bench::Bench;
+use numa_gpu_testkit::{bench_group, bench_main};
+use numa_gpu_types::SystemConfig;
+use numa_gpu_workloads::{by_name, Scale};
+use std::time::Duration;
+
+fn one_run(sim_threads: u16) -> u64 {
+    let wl = by_name("Rodinia-Euler3D", &Scale::quick()).expect("catalog workload");
+    let mut cfg = SystemConfig::numa_aware_sockets(8);
+    cfg.sim_threads = sim_threads;
+    run_workload(cfg, &wl)
+        .expect("study config runs")
+        .total_cycles
+}
+
+fn bench_intra_run(c: &mut Bench) {
+    let mut g = c.benchmark_group("intra_run_parallel");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("euler3d_8s_sim_threads_1", |b| b.iter(|| one_run(1)));
+    g.bench_function("euler3d_8s_sim_threads_2", |b| b.iter(|| one_run(2)));
+    let n = numa_gpu_exec::ThreadPool::available().workers().min(8) as u16;
+    g.bench_function(format!("euler3d_8s_sim_threads_avail_{n}"), |b| {
+        b.iter(|| one_run(n))
+    });
+    g.finish();
+}
+
+bench_group!(intra_run_parallel, bench_intra_run);
+bench_main!(intra_run_parallel);

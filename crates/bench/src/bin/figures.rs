@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! figures [--quick] [--jobs N] [--out DIR] [artifact...]
+//! figures [--quick] [--jobs N] [--sim-threads N] [--out DIR] [artifact...]
 //!
 //! artifacts: table1 table2 fig2 fig3 fig5 fig6 fig6-sens fig8 fig9
 //!            fig9-wb fig10 fig11 power ablations resilience
@@ -11,8 +11,10 @@
 //! `--quick` uses the reduced workload scale (CI-sized); default is the
 //! full committed scale. `--jobs N` runs up to `N` simulations in parallel
 //! (default: available parallelism; `1` reproduces the serial behavior
-//! exactly — output is byte-identical either way). With `--out DIR` each
-//! artifact is also written to `DIR/<name>.txt`.
+//! exactly — output is byte-identical either way). `--sim-threads N`
+//! parallelizes *inside* each simulation via the partitioned event loop
+//! (0 = auto; output is byte-identical at every setting, default 1). With
+//! `--out DIR` each artifact is also written to `DIR/<name>.txt`.
 
 use numa_gpu_bench::{experiments, Runner};
 use numa_gpu_exec::ThreadPool;
@@ -56,11 +58,19 @@ fn main() {
         }),
         None => ThreadPool::available().workers(),
     };
+    let sim_threads_arg = flag_value("--sim-threads");
+    let sim_threads: Option<u16> = sim_threads_arg.as_ref().map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--sim-threads expects an integer (0 = auto), got `{v}`");
+            std::process::exit(2);
+        })
+    });
     let selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .filter(|a| Some(a.as_str()) != out_dir.as_deref())
         .filter(|a| Some(a.as_str()) != jobs_arg.as_deref())
+        .filter(|a| Some(a.as_str()) != sim_threads_arg.as_deref())
         .cloned()
         .collect();
     let selected: Vec<&str> = if selected.is_empty() {
@@ -77,6 +87,9 @@ fn main() {
 
     let scale = if quick { Scale::quick() } else { Scale::full() };
     let mut runner = Runner::new(scale).verbose().jobs(jobs);
+    if let Some(threads) = sim_threads {
+        runner = runner.sim_threads(threads);
+    }
     eprintln!("using {} worker thread(s)", runner.job_count());
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output dir");

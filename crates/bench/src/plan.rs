@@ -206,6 +206,17 @@ impl SimPlan {
         self
     }
 
+    /// Overrides `sim_threads` on every planned configuration — the
+    /// intra-run parallelism knob. Reports are byte-identical at every
+    /// setting (the partitioned event loop guarantees it), which is why
+    /// this is *not* part of the job key: a memoized report answers for
+    /// every thread count.
+    pub fn override_sim_threads(&mut self, threads: u16) {
+        for job in &mut self.jobs {
+            job.cfg.sim_threads = threads;
+        }
+    }
+
     /// Drops every job whose key fails `keep` (used to skip already-cached
     /// work).
     pub fn retain(&mut self, mut keep: impl FnMut(&JobKey) -> bool) {

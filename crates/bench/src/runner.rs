@@ -28,6 +28,7 @@ pub struct Runner {
     cache: BTreeMap<JobKey, Arc<SimReport>>,
     runs: u64,
     jobs: usize,
+    sim_threads: Option<u16>,
     reporter: Arc<Reporter>,
 }
 
@@ -51,6 +52,7 @@ impl Runner {
             cache: BTreeMap::new(),
             runs: 0,
             jobs: 1,
+            sim_threads: None,
             reporter: Arc::new(Reporter::stderr(false)),
         }
     }
@@ -67,6 +69,15 @@ impl Runner {
     /// to at least 1). `1` executes plans serially on the calling thread.
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Overrides `SystemConfig::sim_threads` on every simulation this
+    /// runner executes (0 = auto-size to the machine). Reports are
+    /// byte-identical at every setting, so memoized results stay valid —
+    /// the override is not part of the cache key by design.
+    pub fn sim_threads(mut self, threads: u16) -> Self {
+        self.sim_threads = Some(threads);
         self
     }
 
@@ -102,6 +113,9 @@ impl Runner {
         plan.retain(|key| !self.cache.contains_key(key));
         if plan.is_empty() {
             return;
+        }
+        if let Some(threads) = self.sim_threads {
+            plan.override_sim_threads(threads);
         }
         for (key, report) in plan.execute(self.jobs, &self.reporter) {
             self.runs += 1;
@@ -166,11 +180,14 @@ impl Runner {
     fn report_keyed(
         &mut self,
         key: JobKey,
-        cfg: SystemConfig,
+        mut cfg: SystemConfig,
         workload: &Workload,
     ) -> Arc<SimReport> {
         if let Some(r) = self.cache.get(&key) {
             return r.clone();
+        }
+        if let Some(threads) = self.sim_threads {
+            cfg.sim_threads = threads;
         }
         self.reporter.line(&format!("  sim {}", key.display()));
         let job = SimJob {

@@ -1,17 +1,45 @@
-//! Kernel execution: event loop, warp lifecycle, CTA dispatch.
+//! Kernel execution: the partitioned window-barrier event loop, warp
+//! lifecycle, and CTA dispatch.
+//!
+//! # Conservative lookahead executor
+//!
+//! The loop repeatedly picks the earliest pending shard event `start`,
+//! opens a window `[start, w_end)` with
+//! `w_end = conservative_window(start, lookahead, next_control_tick)`,
+//! runs every shard's events inside the window (concurrently on the
+//! `exec` thread pool when `sim_threads > 1`), and then executes a
+//! *barrier*: cross-partition outboxes are merged in canonical
+//! `(tick, partition, seq)` order and delivered, first-touch page claims
+//! are arbitrated, and global counters fold. Control-plane events
+//! (samplers, fault stamps) run serially between windows, after same-tick
+//! shard events — the control partition sorts last.
+//!
+//! The lookahead is sound because no shard can affect another sooner than
+//! half the one-way link latency ([`switch_hop_latency`]): every
+//! cross-socket message pays at least that before reaching the switch, so
+//! events inside a window can only schedule cross-partition work at or
+//! after the window's end. Control events are excluded from windows the
+//! same way — a control event at tick `c` bounds `w_end` to `c + 1`, and
+//! everything it schedules lands at least the dispatch latency later.
+//!
+//! Identical state evolution at every `sim_threads` value follows from
+//! shard isolation: inside a window a shard touches only its own state
+//! (plus a read-only page table), so the execution interleaving chosen by
+//! the pool cannot be observed.
 
-use crate::system::{Ev, NumaGpuSystem};
+use crate::system::{Ev, FaultState, NumaGpuSystem, PagesView, SocketShard, XMsg};
 use numa_gpu_cache::LineClass;
-use numa_gpu_engine::WatchdogTrip;
+use numa_gpu_engine::{conservative_window, merge_cross, WatchdogTrip};
 use numa_gpu_faults::{AppliedFault, FaultKind};
-use numa_gpu_interconnect::BalanceAction;
+use numa_gpu_interconnect::{BalanceAction, LinkDirection};
 use numa_gpu_obs::TraceEvent;
 use numa_gpu_runtime::{Kernel, LaunchPlan};
 use numa_gpu_sm::L1ReadOutcome;
 use numa_gpu_types::{
-    cycles_to_ticks, ticks_to_cycles, CacheMode, MemKind, SimError, SocketId, Tick, WarpOp,
-    WarpSlot, SATURATION_THRESHOLD, TICKS_PER_CYCLE,
+    cycles_to_ticks, ticks_to_cycles, CacheMode, MemKind, PageId, PagePlacement, SimError,
+    SocketId, Tick, WarpOp, WarpSlot, SATURATION_THRESHOLD, TICKS_PER_CYCLE,
 };
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Latency between CTA dispatch and its warps' first issue, in cycles.
@@ -25,80 +53,207 @@ impl NumaGpuSystem {
     /// Runs one kernel to completion. `self.now` must already be the kernel
     /// launch time (after the boundary flush).
     ///
-    /// Returns [`SimError::Deadlock`] when forward progress stops (empty
-    /// event queue with CTAs outstanding, or the stall watchdog fires) and
-    /// [`SimError::CycleLimit`] when the configured cycle budget runs out.
+    /// Returns [`SimError::Deadlock`] when forward progress stops (all
+    /// partition queues empty with CTAs outstanding, or the stall watchdog
+    /// fires) and [`SimError::CycleLimit`] when the configured cycle budget
+    /// runs out.
     pub(crate) fn run_kernel(&mut self, kernel: Arc<dyn Kernel>) -> Result<(), SimError> {
         let total_ctas = kernel.num_ctas();
         assert!(total_ctas > 0, "kernel with zero CTAs");
-        self.plan = Some(LaunchPlan::new(
-            self.cfg.cta_policy,
-            total_ctas,
-            self.cfg.num_sockets,
-        ));
-        self.kernel = Some(kernel);
+        // The launch plan's per-socket queues drain straight into the
+        // shards: CTA dispatch never steals across sockets (matching the
+        // paper's scheduler), so each shard owns its CTA list outright.
+        let mut plan = LaunchPlan::new(self.cfg.cta_policy, total_ctas, self.cfg.num_sockets);
         self.outstanding_ctas = total_ctas;
 
         let launch = self.now;
         self.watchdog.note_progress(launch);
-        for s in 0..self.cfg.num_sockets {
-            self.dispatch_socket(launch, SocketId::new(s));
+        for shard in &mut self.shards {
+            while let Some(cta) = plan.next_for_socket(shard.socket) {
+                shard.ctas.push_back(cta);
+            }
+            shard.kernel = Some(kernel.clone());
+            shard.dispatch_local(launch);
         }
         self.ensure_samplers(launch);
 
+        let result = self.event_loop();
+        for shard in &mut self.shards {
+            shard.kernel = None;
+            shard.ctas.clear();
+        }
+        result
+    }
+
+    /// The window-barrier loop (see the module docs for the algorithm).
+    fn event_loop(&mut self) -> Result<(), SimError> {
         while self.outstanding_ctas > 0 || self.inflight_mem > 0 {
-            // The periodic samplers self-reschedule forever, so the queue
-            // never empties while a kernel runs in a healthy system; an
-            // empty pop here is a genuine scheduler deadlock.
-            let Some((t, ev)) = self.events.pop() else {
-                return Err(self.deadlock());
-            };
-            self.now = self.now.max(t);
-            if ev.is_mem_stage() {
-                self.inflight_mem -= 1;
-            }
-            // Samplers and fault stamps fire unconditionally, so they are
-            // not evidence of forward progress; everything else is.
-            if !matches!(ev, Ev::LinkSample | Ev::CacheSample | Ev::Fault { .. }) {
-                self.watchdog.note_progress(self.now);
-            }
-            let idle = self.outstanding_ctas > 0 && self.inflight_mem == 0;
-            if let Err(trip) = self.watchdog.check(self.now, idle) {
-                return Err(match trip {
-                    WatchdogTrip::Budget { limit, .. } => SimError::CycleLimit {
-                        limit_cycles: ticks_to_cycles(limit),
-                        at_cycle: ticks_to_cycles(self.now),
-                    },
-                    WatchdogTrip::Stall { .. } => self.deadlock(),
-                });
-            }
-            match ev {
-                Ev::WarpIssue { sm, slot } => self.on_warp_issue(t, sm, slot),
-                Ev::ReadAtL2 { sm, line, home } => self.on_read_at_l2(t, sm, line, home),
-                Ev::ReadAtHome { sm, line, home } => self.on_read_at_home(t, sm, line, home),
-                Ev::ReadReturn { sm, line, home } => self.on_read_return(t, sm, line, home),
-                Ev::DataToSm {
-                    sm,
-                    line,
-                    class,
-                    fill_l2,
-                } => self.on_data_to_sm(t, sm, line, class, fill_l2),
-                Ev::L1Fill { sm, line, class } => self.on_l1_fill(t, sm, line, class),
-                Ev::WriteAtL2 {
-                    sm,
-                    slot,
-                    line,
-                    home,
-                } => self.on_write_at_l2(t, sm, slot, line, home),
-                Ev::WriteAtHome { from, line, home } => self.on_write_at_home(t, from, line, home),
-                Ev::LinkSample => self.on_link_sample(t),
-                Ev::CacheSample => self.on_cache_sample(t),
-                Ev::Fault { idx } => self.on_fault(idx),
+            // In-flight traffic is always materialized: every staged event
+            // sits in some shard queue, and outboxes are empty here (the
+            // barrier drains them). So empty shard queues with work
+            // outstanding means only the self-rescheduling control plane is
+            // left; control events are not progress, and the stall watchdog
+            // converts the spin into a deadlock report.
+            let shard_next = self.shards.iter().filter_map(|s| s.queue.peek_tick()).min();
+            let ctrl_next = self.control.peek_tick();
+            match (shard_next, ctrl_next) {
+                (None, None) => return Err(self.deadlock()),
+                (None, Some(_)) => self.step_control()?,
+                (Some(start), ctrl) => {
+                    if ctrl.is_some_and(|c| c < start) {
+                        self.step_control()?;
+                        continue;
+                    }
+                    let w_end = conservative_window(start, self.lookahead, ctrl);
+                    self.run_windows(w_end);
+                    self.barrier_fold()?;
+                    // Control events at the window edge run now, *after*
+                    // the shard events of the same tick (control is the
+                    // highest partition in the canonical order).
+                    while self.control.peek_tick().is_some_and(|c| c < w_end) {
+                        self.step_control()?;
+                    }
+                }
             }
         }
-        self.kernel = None;
-        self.plan = None;
         Ok(())
+    }
+
+    /// Pops and handles exactly one control-partition event.
+    fn step_control(&mut self) -> Result<(), SimError> {
+        let Some((t, ev)) = self.control.pop() else {
+            return Ok(());
+        };
+        self.now = self.now.max(t);
+        // Samplers and fault stamps fire unconditionally, so they are not
+        // evidence of forward progress; shard events (including
+        // cross-partition deliveries) are what resets the stall watchdog.
+        let idle = self.outstanding_ctas > 0 && self.inflight_mem == 0;
+        self.check_watchdog(idle)?;
+        match ev {
+            Ev::LinkSample => self.on_link_sample(t),
+            Ev::CacheSample => self.on_cache_sample(t),
+            Ev::Fault { idx } => self.on_fault(idx),
+            _ => debug_assert!(false, "shard event {ev:?} in the control partition"),
+        }
+        Ok(())
+    }
+
+    /// Runs every shard up to (exclusive) `w_end`, concurrently when the
+    /// pool has more than one worker and the page-placement policy allows a
+    /// shared page table.
+    fn run_windows(&mut self, w_end: Tick) {
+        if matches!(self.cfg.placement, PagePlacement::FirstTouchMigrate { .. }) {
+            // Reactive migration mutates the page table on remote accesses,
+            // so these runs hold the exclusive borrow and advance shards in
+            // partition order — same windows, same barriers, same results,
+            // at every `sim_threads` value.
+            for shard in &mut self.shards {
+                let mut pages = PagesView::Exclusive(&mut self.pages);
+                shard.run_window(w_end, &mut pages);
+            }
+        } else if self.pool.workers() == 1 {
+            for shard in &mut self.shards {
+                let mut pages = PagesView::Shared(&self.pages);
+                shard.run_window(w_end, &mut pages);
+            }
+        } else {
+            let pages = &self.pages;
+            let tasks: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|shard| {
+                    move || {
+                        let mut view = PagesView::Shared(pages);
+                        shard.run_window(w_end, &mut view);
+                    }
+                })
+                .collect();
+            self.pool.run_scoped(tasks);
+        }
+    }
+
+    /// The window barrier: merge and deliver cross-partition messages,
+    /// arbitrate first-touch page claims, fold shard counters into the
+    /// globals, and run the watchdog.
+    fn barrier_fold(&mut self) -> Result<(), SimError> {
+        // Cross-partition messages, gathered in partition order and merged
+        // into the canonical (tick, partition, seq) order. Delivery pushes
+        // are in merged order, so destination queues see an identical
+        // insertion sequence at every thread count.
+        let outboxes: Vec<Vec<(Tick, (SocketId, XMsg))>> = self
+            .shards
+            .iter_mut()
+            .map(|shard| std::mem::take(&mut shard.outbox))
+            .collect();
+        for m in merge_cross(outboxes) {
+            let (dest, msg) = m.payload;
+            // In-flight accounting happened at emission (`send_cross`);
+            // the XArrive pop decrements it.
+            self.shards[dest.index()]
+                .queue
+                .push(m.at, Ev::XArrive { msg });
+        }
+
+        // First-touch claims: the earliest (tick, partition) touch wins,
+        // exactly the order a single global queue would have placed in.
+        let mut winners: BTreeMap<PageId, (Tick, usize)> = BTreeMap::new();
+        for (p, shard) in self.shards.iter_mut().enumerate() {
+            for (&page, &tick) in &shard.claims {
+                let entry = winners.entry(page).or_insert((tick, p));
+                if (tick, p) < *entry {
+                    *entry = (tick, p);
+                }
+            }
+            shard.claims.clear();
+        }
+        for (page, (_tick, p)) in winners {
+            self.pages.commit_claim(page, SocketId::new(p as u8));
+        }
+
+        let mut delta: i64 = 0;
+        let mut retired: u32 = 0;
+        let mut lookups: u64 = 0;
+        let mut processed: u64 = 0;
+        let mut max_tick: Tick = 0;
+        for shard in &mut self.shards {
+            delta += std::mem::take(&mut shard.inflight_delta);
+            retired += std::mem::take(&mut shard.retired_ctas);
+            lookups += std::mem::take(&mut shard.lookups);
+            processed += std::mem::take(&mut shard.processed);
+            max_tick = max_tick.max(shard.last_tick);
+            self.write_drain = self.write_drain.max(shard.write_drain);
+        }
+        let inflight = self.inflight_mem as i64 + delta;
+        debug_assert!(inflight >= 0, "in-flight memory events went negative");
+        self.inflight_mem = inflight.max(0) as u64;
+        debug_assert!(
+            retired <= self.outstanding_ctas,
+            "retired more CTAs than launched"
+        );
+        self.outstanding_ctas = self.outstanding_ctas.saturating_sub(retired);
+        self.pages.note_lookups(lookups);
+        if processed > 0 {
+            // Every shard event — cross-partition deliveries included — is
+            // forward progress; a barrier-heavy run under a tight stall
+            // watchdog must never trip while messages still flow.
+            self.watchdog.note_progress(max_tick);
+        }
+        self.now = self.now.max(max_tick);
+        let idle = self.outstanding_ctas > 0 && self.inflight_mem == 0;
+        self.check_watchdog(idle)
+    }
+
+    /// Maps a watchdog trip onto the public error type.
+    fn check_watchdog(&self, idle: bool) -> Result<(), SimError> {
+        match self.watchdog.check(self.now, idle) {
+            Ok(()) => Ok(()),
+            Err(WatchdogTrip::Budget { limit, .. }) => Err(SimError::CycleLimit {
+                limit_cycles: ticks_to_cycles(limit),
+                at_cycle: ticks_to_cycles(self.now),
+            }),
+            Err(WatchdogTrip::Stall { .. }) => Err(self.deadlock()),
+        }
     }
 
     /// The error for a run whose scheduler stopped making forward progress.
@@ -115,7 +270,7 @@ impl NumaGpuSystem {
         let spec = match self
             .fault_state
             .as_ref()
-            .and_then(|fs| fs.plan.specs().get(idx as usize))
+            .and_then(|fs: &FaultState| fs.plan.specs().get(idx as usize))
         {
             Some(spec) => *spec,
             None => return,
@@ -127,7 +282,7 @@ impl NumaGpuSystem {
                 socket,
                 healthy_lanes,
             } => {
-                let link = self.switch.link_mut(SocketId::new(socket));
+                let link = &mut self.shards[socket as usize].link;
                 let nominal = link.nominal_lanes();
                 let healthy = link.set_lane_health(now, healthy_lanes);
                 if let Some(fs) = &mut self.fault_state {
@@ -147,15 +302,15 @@ impl NumaGpuSystem {
                 socket,
                 window_cycles,
             } => {
-                self.switch
-                    .link_mut(SocketId::new(socket))
+                self.shards[socket as usize]
+                    .link
                     .retrain(now, cycles_to_ticks(window_cycles as u64));
             }
             FaultKind::DramStall {
                 socket,
                 window_cycles,
             } => {
-                self.drams[socket as usize].stall(
+                self.shards[socket as usize].dram.stall(
                     now,
                     cycles_to_ticks(window_cycles as u64),
                     cycles_to_ticks(ECC_RETRY_PENALTY_CYCLES),
@@ -163,29 +318,33 @@ impl NumaGpuSystem {
             }
             FaultKind::SmDisable { first_sm, last_sm } => {
                 for sm in first_sm..=last_sm {
-                    let smi = sm as usize;
-                    if !self.sms[smi].is_enabled() {
+                    let sm = sm as u32;
+                    let si = (sm / self.sms_per_socket) as usize;
+                    let shard = &mut self.shards[si];
+                    let li = (sm - shard.base_sm) as usize;
+                    if !shard.sms[li].is_enabled() {
                         continue;
                     }
-                    let evicted = self.sms[smi].disable();
+                    let evicted = shard.sms[li].disable();
                     // In-flight fills and wakeups for the dead SM are
                     // dropped at their handlers; clear the replay state so
                     // nothing resurrects a freed warp slot.
-                    for op in &mut self.pending_ops[smi] {
+                    for op in &mut shard.pending_ops[li] {
                         *op = None;
                     }
-                    for st in &mut self.warp_mem[smi] {
+                    for st in &mut shard.warp_mem[li] {
                         *st = Default::default();
                     }
-                    let socket = self.socket_of_sm(sm as u32);
-                    if let Some(plan) = &mut self.plan {
-                        plan.requeue_front(socket, &evicted);
+                    // Evicted CTAs go back to the *front* of this socket's
+                    // queue, preserving launch order.
+                    for cta in evicted.iter().rev() {
+                        shard.ctas.push_front(*cta);
                     }
+                    shard.dispatch_local(now);
                     if let Some(fs) = &mut self.fault_state {
                         fs.disabled_sms += 1;
                         fs.requeued_ctas += evicted.len() as u32;
                     }
-                    self.dispatch_socket(now, socket);
                 }
             }
         }
@@ -214,198 +373,16 @@ impl NumaGpuSystem {
             return;
         }
         self.samplers_scheduled = true;
-        self.events.push(
+        self.control.push(
             now + cycles_to_ticks(self.cfg.link.sample_time_cycles as u64),
             Ev::LinkSample,
         );
-        self.events.push(
+        self.control.push(
             now + cycles_to_ticks(self.cfg.cache_sample_time_cycles as u64),
             Ev::CacheSample,
         );
-        for s in 0..self.cfg.num_sockets as usize {
-            self.drams[s].begin_window(now);
-        }
-    }
-
-    /// Fills every SM of `socket` with pending CTAs, in SM order.
-    pub(crate) fn dispatch_socket(&mut self, t: Tick, socket: SocketId) {
-        let kernel = match &self.kernel {
-            Some(k) => k.clone(),
-            None => return,
-        };
-        // Take the plan out for the duration of the fill so no mid-loop
-        // re-borrow is needed; it is restored unconditionally on exit.
-        let Some(mut plan) = self.plan.take() else {
-            return;
-        };
-        let warps = kernel.warps_per_cta();
-        let base = socket.index() as u32 * self.sms_per_socket;
-        'outer: loop {
-            if plan.remaining_for(socket) == 0 {
-                break;
-            }
-            // Find the next SM with capacity.
-            let mut placed = false;
-            for i in 0..self.sms_per_socket {
-                let sm = (base + i) as usize;
-                if self.sms[sm].can_accept_cta(warps) {
-                    let cta = match plan.next_for_socket(socket) {
-                        Some(c) => c,
-                        None => break 'outer,
-                    };
-                    let program = kernel.cta(cta);
-                    let slots = self.sms[sm].dispatch_cta(cta, program);
-                    for slot in slots {
-                        self.warp_mem[sm][slot.index()] = Default::default();
-                        // Deterministic per-warp jitter staggers first
-                        // issues so near-simultaneous first touches spread
-                        // across sockets instead of following event order.
-                        let jitter = (sm as u64)
-                            .wrapping_mul(2_654_435_761)
-                            .wrapping_add(slot.index() as u64 * 40_503)
-                            % 509;
-                        let wake = t + cycles_to_ticks(DISPATCH_LATENCY_CYCLES + jitter);
-                        self.events.push(
-                            wake,
-                            Ev::WarpIssue {
-                                sm: sm as u32,
-                                slot,
-                            },
-                        );
-                    }
-                    placed = true;
-                }
-            }
-            if !placed {
-                break;
-            }
-        }
-        self.plan = Some(plan);
-    }
-
-    /// A warp is ready: pull its next op (or replay a parked one) and model
-    /// its issue.
-    fn on_warp_issue(&mut self, t: Tick, sm: u32, slot: WarpSlot) {
-        let smi = sm as usize;
-        if !self.sms[smi].is_enabled() {
-            // Stale wakeup for an SM a fault disabled: its warp slots are
-            // freed and its CTAs already requeued elsewhere.
-            return;
-        }
-        let op = match self.pending_ops[smi][slot.index()].take() {
-            Some(op) => op,
-            None => match self.sms[smi].next_op(slot) {
-                Some(op) => op,
-                None => {
-                    // Trace exhausted: wait for outstanding loads, then
-                    // retire (and maybe complete the CTA).
-                    if self.warp_mem[smi][slot.index()].outstanding > 0 {
-                        self.warp_mem[smi][slot.index()].draining = true;
-                        return;
-                    }
-                    if self.sms[smi].retire_warp(slot).is_some() {
-                        self.outstanding_ctas -= 1;
-                        let socket = self.socket_of_sm(sm);
-                        self.dispatch_socket(t, socket);
-                    }
-                    return;
-                }
-            },
-        };
-        match op {
-            WarpOp::Compute { cycles } => {
-                let issue = self.sms[smi].reserve_issue(t);
-                self.events.push(
-                    issue + cycles_to_ticks(cycles as u64),
-                    Ev::WarpIssue { sm, slot },
-                );
-            }
-            WarpOp::Mem { addr, kind } => {
-                let issue = self.sms[smi].reserve_issue(t);
-                let socket = self.socket_of_sm(sm);
-                let line = addr.line();
-                let home = self.pages.home_of_line(line, socket);
-                let class = if home == socket {
-                    LineClass::Local
-                } else {
-                    LineClass::Remote
-                };
-                match kind {
-                    MemKind::Write => {
-                        self.sms[smi].l1_write(line);
-                        // The warp resumes when the store is accepted
-                        // (WriteAtL2 schedules the wakeup).
-                        self.start_write(issue, sm, slot, line, home);
-                    }
-                    MemKind::Read => {
-                        match self.sms[smi].l1_read(line, class, slot) {
-                            L1ReadOutcome::Hit => {
-                                self.count_read(class);
-                                let lat = self.sms[smi].l1_hit_latency();
-                                self.events.push(issue + lat, Ev::WarpIssue { sm, slot });
-                            }
-                            outcome @ (L1ReadOutcome::MissMerged | L1ReadOutcome::MissPrimary) => {
-                                self.count_read(class);
-                                if outcome == L1ReadOutcome::MissPrimary {
-                                    self.start_read(issue, sm, line, home);
-                                }
-                                // The load enters the warp's scoreboard; the
-                                // warp keeps issuing until the scoreboard
-                                // fills (memory-level parallelism), then
-                                // blocks until a fill wakes it.
-                                let st = &mut self.warp_mem[smi][slot.index()];
-                                st.outstanding += 1;
-                                if (st.outstanding as u32) < self.cfg.sm.max_pending_loads as u32 {
-                                    self.events
-                                        .push(issue + TICKS_PER_CYCLE, Ev::WarpIssue { sm, slot });
-                                } else {
-                                    st.blocked = true;
-                                }
-                            }
-                            L1ReadOutcome::MshrFull => {
-                                self.pending_ops[smi][slot.index()] = Some(op);
-                                self.sms[smi].park_retry(slot);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Accounts one issued read by NUMA class (MSHR-full retries are not
-    /// counted until they issue).
-    fn count_read(&mut self, class: LineClass) {
-        match class {
-            LineClass::Local => self.reads_local_class += 1,
-            LineClass::Remote => self.reads_remote_class += 1,
-        }
-    }
-
-    /// A fill arrived at an SM: install the line, credit each waiting
-    /// warp's scoreboard, and wake the ones that were stalled on it.
-    fn on_l1_fill(&mut self, t: Tick, sm: u32, line: numa_gpu_types::LineAddr, class: LineClass) {
-        let smi = sm as usize;
-        if !self.sms[smi].is_enabled() {
-            // Fill for an SM a fault disabled: the data is dropped (the
-            // requeued CTA will refetch); in-flight accounting already
-            // happened at the event loop.
-            return;
-        }
-        for slot in self.sms[smi].l1_fill(line, class) {
-            let st = &mut self.warp_mem[smi][slot.index()];
-            debug_assert!(st.outstanding > 0, "fill without outstanding load");
-            st.outstanding -= 1;
-            if st.blocked {
-                st.blocked = false;
-                self.events.push(t, Ev::WarpIssue { sm, slot });
-            } else if st.draining && st.outstanding == 0 {
-                self.events.push(t, Ev::WarpIssue { sm, slot });
-            }
-        }
-        // An MSHR freed: retry one parked warp.
-        if let Some(slot) = self.sms[smi].pop_retry() {
-            self.events.push(t, Ev::WarpIssue { sm, slot });
+        for shard in &mut self.shards {
+            shard.dram.begin_window(now);
         }
     }
 
@@ -415,14 +392,16 @@ impl NumaGpuSystem {
         // resets the sampling window, so this is the only point where the
         // utilizations the decision saw are observable.
         let observing = self.obs.record_timeline || self.obs.tracing();
-        let samples = if observing {
-            self.switch.sample_points(t)
+        let samples: Vec<numa_gpu_interconnect::LinkSample> = if observing {
+            self.shards.iter().map(|s| s.link.sample_point(t)).collect()
         } else {
             Vec::new()
         };
-        let actions = self
-            .switch
-            .sample_and_rebalance_all(t, SATURATION_THRESHOLD);
+        let actions: Vec<BalanceAction> = self
+            .shards
+            .iter_mut()
+            .map(|s| s.link.sample_and_rebalance(t, SATURATION_THRESHOLD))
+            .collect();
         // Resilience: the first non-Hold rebalance after a lane degradation
         // is the balancer's recovery response; record its latency.
         let mut recoveries: Vec<(usize, u64)> = Vec::new();
@@ -479,7 +458,7 @@ impl NumaGpuSystem {
                 );
             }
         }
-        self.events.push(
+        self.control.push(
             t + cycles_to_ticks(self.cfg.link.sample_time_cycles as u64),
             Ev::LinkSample,
         );
@@ -489,33 +468,37 @@ impl NumaGpuSystem {
     fn on_cache_sample(&mut self, t: Tick) {
         let window = self.cfg.cache_sample_time_cycles as u64;
         if self.cfg.cache_mode == CacheMode::NumaAwareDynamic {
-            for s in 0..self.cfg.num_sockets as usize {
-                let socket = SocketId::new(s as u8);
+            let partition_l1 = self.cfg.partition_l1;
+            let l1_ways = self.cfg.l1.ways;
+            for s in 0..self.shards.len() {
+                let shard = &mut self.shards[s];
                 // Step 1: estimate incoming inter-GPU bandwidth from the
                 // outgoing read-request rate times the response packet size
                 // (avoids mistaking incoming writes for read pressure).
                 let resp_bytes = numa_gpu_types::LINE_SIZE + numa_gpu_types::HEADER_BYTES as u64;
-                let est_incoming = self.remote_reads_window[s] * resp_bytes;
-                let capacity = self
-                    .switch
-                    .link(socket)
-                    .direction_rate(numa_gpu_interconnect::LinkDirection::Ingress)
-                    * window;
+                let est_incoming = shard.remote_reads_window * resp_bytes;
+                let capacity = shard.link.direction_rate(LinkDirection::Ingress) * window;
                 // The paper projects link utilization from demand. A
                 // link-throttled requester issues at exactly the link rate
                 // (the estimate hovers *at* capacity, never above), so the
                 // projection counts ≥85% of capacity — or a directly
                 // backlogged ingress queue — as saturated demand.
                 let link_sat = est_incoming as f64 >= 0.85 * capacity as f64
-                    || self.switch.link(socket).is_saturated(
-                        t,
-                        numa_gpu_interconnect::LinkDirection::Ingress,
-                        SATURATION_THRESHOLD,
-                    );
-                let dram_sat = self.drams[s].is_saturated(t, SATURATION_THRESHOLD);
-                let action = self.ctls[s].step(link_sat, dram_sat);
-                let p = self.ctls[s].partition();
-                self.l2s[s].set_partition(p);
+                    || shard
+                        .link
+                        .is_saturated(t, LinkDirection::Ingress, SATURATION_THRESHOLD);
+                let dram_sat = shard.dram.is_saturated(t, SATURATION_THRESHOLD);
+                let action = shard.ctl.step(link_sat, dram_sat);
+                let p = shard.ctl.partition();
+                shard.l2.set_partition(p);
+                if partition_l1 {
+                    let l1p = scale_partition(p, l1_ways);
+                    for sm in &mut shard.sms {
+                        sm.set_l1_partition(l1p);
+                    }
+                }
+                shard.remote_reads_window = 0;
+                shard.dram.begin_window(t);
                 if action != numa_gpu_cache::PartitionAction::Hold && self.obs.tracing() {
                     self.obs.emit(
                         TraceEvent::instant(
@@ -528,19 +511,237 @@ impl NumaGpuSystem {
                         .arg("remote_ways", p.remote_ways() as u64),
                     );
                 }
-                if self.cfg.partition_l1 {
-                    let l1p = scale_partition(p, self.cfg.l1.ways);
-                    let base = s as u32 * self.sms_per_socket;
-                    for i in 0..self.sms_per_socket {
-                        self.sms[(base + i) as usize].set_l1_partition(l1p);
-                    }
-                }
-                self.remote_reads_window[s] = 0;
-                self.drams[s].begin_window(t);
             }
         }
-        self.events
+        self.control
             .push(t + cycles_to_ticks(window), Ev::CacheSample);
+    }
+}
+
+impl SocketShard {
+    /// Runs this partition's events with timestamps strictly below `w_end`.
+    /// Same-tick pushes made by handlers re-enter the loop, so a window is
+    /// exactly the events a single global queue would have run for this
+    /// socket in `[start, w_end)`.
+    pub(crate) fn run_window(&mut self, w_end: Tick, pages: &mut PagesView<'_>) {
+        while self.queue.peek_tick().is_some_and(|t| t < w_end) {
+            let Some((t, ev)) = self.queue.pop() else {
+                break;
+            };
+            if ev.is_mem_stage() {
+                self.inflight_delta -= 1;
+            }
+            self.processed += 1;
+            self.last_tick = self.last_tick.max(t);
+            self.handle(t, ev, pages);
+        }
+    }
+
+    fn handle(&mut self, t: Tick, ev: Ev, pages: &mut PagesView<'_>) {
+        match ev {
+            Ev::WarpIssue { sm, slot } => self.on_warp_issue(t, sm, slot, pages),
+            Ev::ReadAtL2 { sm, line, home } => self.on_read_at_l2(t, sm, line, home),
+            Ev::ReadAtHome { sm, line, home } => {
+                debug_assert_eq!(home, self.socket);
+                self.on_read_at_home(t, sm, line, pages);
+            }
+            Ev::ReadReturn { sm, line, home } => {
+                debug_assert_eq!(home, self.socket);
+                self.on_read_return(t, sm, line);
+            }
+            Ev::DataToSm {
+                sm,
+                line,
+                class,
+                fill_l2,
+            } => self.on_data_to_sm(t, sm, line, class, fill_l2, pages),
+            Ev::L1Fill { sm, line, class } => self.on_l1_fill(t, sm, line, class),
+            Ev::WriteAtL2 {
+                sm,
+                slot,
+                line,
+                home,
+            } => self.on_write_at_l2(t, sm, slot, line, home, pages),
+            Ev::WriteAtHome { from, line, home } => {
+                debug_assert_eq!(home, self.socket);
+                self.on_write_at_home(t, from, line, pages);
+            }
+            Ev::XArrive { msg } => self.on_x_arrive(t, msg),
+            Ev::LinkSample | Ev::CacheSample | Ev::Fault { .. } => {
+                debug_assert!(false, "control event {ev:?} in a shard partition");
+            }
+        }
+    }
+
+    /// Socket owning global SM id `sm`.
+    #[inline]
+    pub(crate) fn socket_of(&self, sm: u32) -> SocketId {
+        SocketId::new((sm / self.sms.len() as u32) as u8)
+    }
+
+    /// Fills this socket's SMs with pending CTAs, in SM order.
+    pub(crate) fn dispatch_local(&mut self, t: Tick) {
+        let Some(kernel) = self.kernel.clone() else {
+            return;
+        };
+        let warps = kernel.warps_per_cta();
+        'outer: loop {
+            if self.ctas.is_empty() {
+                break;
+            }
+            // Find the next SM with capacity.
+            let mut placed = false;
+            for i in 0..self.sms.len() {
+                if self.sms[i].can_accept_cta(warps) {
+                    let Some(cta) = self.ctas.pop_front() else {
+                        break 'outer;
+                    };
+                    let program = kernel.cta(cta);
+                    let slots = self.sms[i].dispatch_cta(cta, program);
+                    let sm = self.base_sm + i as u32;
+                    for slot in slots {
+                        self.warp_mem[i][slot.index()] = Default::default();
+                        // Deterministic per-warp jitter staggers first
+                        // issues so near-simultaneous first touches spread
+                        // across sockets instead of following event order.
+                        let jitter = (sm as u64)
+                            .wrapping_mul(2_654_435_761)
+                            .wrapping_add(slot.index() as u64 * 40_503)
+                            % 509;
+                        let wake = t + cycles_to_ticks(DISPATCH_LATENCY_CYCLES + jitter);
+                        self.queue.push(wake, Ev::WarpIssue { sm, slot });
+                    }
+                    placed = true;
+                }
+            }
+            if !placed {
+                break;
+            }
+        }
+    }
+
+    /// A warp is ready: pull its next op (or replay a parked one) and model
+    /// its issue.
+    fn on_warp_issue(&mut self, t: Tick, sm: u32, slot: WarpSlot, pages: &mut PagesView<'_>) {
+        let li = (sm - self.base_sm) as usize;
+        if !self.sms[li].is_enabled() {
+            // Stale wakeup for an SM a fault disabled: its warp slots are
+            // freed and its CTAs already requeued elsewhere.
+            return;
+        }
+        let op = match self.pending_ops[li][slot.index()].take() {
+            Some(op) => op,
+            None => match self.sms[li].next_op(slot) {
+                Some(op) => op,
+                None => {
+                    // Trace exhausted: wait for outstanding loads, then
+                    // retire (and maybe complete the CTA).
+                    if self.warp_mem[li][slot.index()].outstanding > 0 {
+                        self.warp_mem[li][slot.index()].draining = true;
+                        return;
+                    }
+                    if self.sms[li].retire_warp(slot).is_some() {
+                        self.retired_ctas += 1;
+                        self.dispatch_local(t);
+                    }
+                    return;
+                }
+            },
+        };
+        match op {
+            WarpOp::Compute { cycles } => {
+                let issue = self.sms[li].reserve_issue(t);
+                self.queue.push(
+                    issue + cycles_to_ticks(cycles as u64),
+                    Ev::WarpIssue { sm, slot },
+                );
+            }
+            WarpOp::Mem { addr, kind } => {
+                let issue = self.sms[li].reserve_issue(t);
+                let line = addr.line();
+                let home = self.home_of_line(t, line, pages);
+                let class = if home == self.socket {
+                    LineClass::Local
+                } else {
+                    LineClass::Remote
+                };
+                match kind {
+                    MemKind::Write => {
+                        self.sms[li].l1_write(line);
+                        // The warp resumes when the store is accepted
+                        // (WriteAtL2 schedules the wakeup).
+                        self.start_write(issue, sm, slot, line, home);
+                    }
+                    MemKind::Read => {
+                        match self.sms[li].l1_read(line, class, slot) {
+                            L1ReadOutcome::Hit => {
+                                self.count_read(class);
+                                let lat = self.sms[li].l1_hit_latency();
+                                self.queue.push(issue + lat, Ev::WarpIssue { sm, slot });
+                            }
+                            outcome @ (L1ReadOutcome::MissMerged | L1ReadOutcome::MissPrimary) => {
+                                self.count_read(class);
+                                if outcome == L1ReadOutcome::MissPrimary {
+                                    self.start_read(issue, sm, line, home);
+                                }
+                                // The load enters the warp's scoreboard; the
+                                // warp keeps issuing until the scoreboard
+                                // fills (memory-level parallelism), then
+                                // blocks until a fill wakes it.
+                                let st = &mut self.warp_mem[li][slot.index()];
+                                st.outstanding += 1;
+                                if (st.outstanding as u32) < self.cfg.sm.max_pending_loads as u32 {
+                                    self.queue
+                                        .push(issue + TICKS_PER_CYCLE, Ev::WarpIssue { sm, slot });
+                                } else {
+                                    st.blocked = true;
+                                }
+                            }
+                            L1ReadOutcome::MshrFull => {
+                                self.pending_ops[li][slot.index()] = Some(op);
+                                self.sms[li].park_retry(slot);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accounts one issued read by NUMA class (MSHR-full retries are not
+    /// counted until they issue).
+    fn count_read(&mut self, class: LineClass) {
+        match class {
+            LineClass::Local => self.reads_local_class += 1,
+            LineClass::Remote => self.reads_remote_class += 1,
+        }
+    }
+
+    /// A fill arrived at an SM: install the line, credit each waiting
+    /// warp's scoreboard, and wake the ones that were stalled on it.
+    fn on_l1_fill(&mut self, t: Tick, sm: u32, line: numa_gpu_types::LineAddr, class: LineClass) {
+        let li = (sm - self.base_sm) as usize;
+        if !self.sms[li].is_enabled() {
+            // Fill for an SM a fault disabled: the data is dropped (the
+            // requeued CTA will refetch); in-flight accounting already
+            // happened at the event loop.
+            return;
+        }
+        for slot in self.sms[li].l1_fill(line, class) {
+            let st = &mut self.warp_mem[li][slot.index()];
+            debug_assert!(st.outstanding > 0, "fill without outstanding load");
+            st.outstanding -= 1;
+            if st.blocked {
+                st.blocked = false;
+                self.queue.push(t, Ev::WarpIssue { sm, slot });
+            } else if st.draining && st.outstanding == 0 {
+                self.queue.push(t, Ev::WarpIssue { sm, slot });
+            }
+        }
+        // An MSHR freed: retry one parked warp.
+        if let Some(slot) = self.sms[li].pop_retry() {
+            self.queue.push(t, Ev::WarpIssue { sm, slot });
+        }
     }
 }
 

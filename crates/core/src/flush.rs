@@ -7,11 +7,18 @@
 //! extend into it: dirty lines drain to their homes (consuming DRAM and
 //! link bandwidth) before the next kernel may launch.
 //!
+//! The boundary runs serially between kernels — no windows are open, every
+//! outbox is empty — so it may touch any pair of shards directly; the two
+//! legs of a cross-socket writeback are applied back to back exactly as the
+//! monolithic switch would have.
+//!
 //! The `ideal_no_l2_invalidate` switch models Figure 9's hypothetical upper
 //! bound: an L2 that can ignore invalidation events entirely.
 
-use crate::system::NumaGpuSystem;
+use crate::mempath::{DATA_PACKET_BYTES, LINE_BYTES};
+use crate::system::{Ev, NumaGpuSystem};
 use numa_gpu_cache::LineClass;
+use numa_gpu_interconnect::LinkDirection;
 use numa_gpu_types::{cycles_to_ticks, CacheMode, SocketId, Tick};
 
 /// Fixed cost of broadcasting the bulk-invalidate command, in cycles.
@@ -27,8 +34,10 @@ impl NumaGpuSystem {
         let mut ready = t;
 
         // L1s always flush (write-through: clean, so no traffic).
-        for sm in &mut self.sms {
-            sm.flush_l1();
+        for shard in &mut self.shards {
+            for sm in &mut shard.sms {
+                sm.flush_l1();
+            }
         }
 
         // Writes issued during the previous kernel must be globally visible
@@ -42,19 +51,49 @@ impl NumaGpuSystem {
         let flush_l2 = self.cfg.cache_mode.l2_needs_flush() && !self.cfg.ideal_no_l2_invalidate;
         if flush_l2 {
             ready += cycles_to_ticks(INVALIDATE_BROADCAST_CYCLES);
-            for s in 0..self.cfg.num_sockets as usize {
+            for s in 0..self.shards.len() {
                 let socket = SocketId::new(s as u8);
                 let outcome = match self.cfg.cache_mode {
                     // Only the GPU-side remote cache portion is coherent; the
                     // memory-side local portion needs no invalidation.
-                    CacheMode::StaticRemoteCache => {
-                        self.l2s[s].invalidate_where(|_, class| class == LineClass::Remote)
-                    }
-                    _ => self.l2s[s].invalidate_all(),
+                    CacheMode::StaticRemoteCache => self.shards[s]
+                        .l2
+                        .invalidate_where(|_, class| class == LineClass::Remote),
+                    _ => self.shards[s].l2.invalidate_all(),
                 };
                 for line in outcome.dirty_writebacks {
-                    let done = self.writeback(t, socket, line);
-                    self.write_drain = self.write_drain.max(done);
+                    let home = self.pages.home_of_line(line, socket);
+                    if home == socket {
+                        let done = self.shards[s].dram.write_line(t, line, LINE_BYTES);
+                        self.write_drain = self.write_drain.max(done);
+                    } else {
+                        // Both message legs applied here, serially: egress
+                        // at the flushing socket, ingress at the home, half
+                        // the wire latency each side. The home-side
+                        // absorption is still an event, processed by the
+                        // next kernel's loop (in-flight count keeps the
+                        // loop alive until it drains).
+                        let egress_clear =
+                            self.shards[s]
+                                .link
+                                .send(t, LinkDirection::Egress, DATA_PACKET_BYTES);
+                        let at_switch = egress_clear + self.lookahead;
+                        let arrive = self.shards[home.index()].link.send(
+                            at_switch,
+                            LinkDirection::Ingress,
+                            DATA_PACKET_BYTES,
+                        ) + self.lookahead;
+                        self.shards[home.index()].queue.push(
+                            arrive,
+                            Ev::WriteAtHome {
+                                from: socket,
+                                line,
+                                home,
+                            },
+                        );
+                        self.inflight_mem += 1;
+                        self.write_drain = self.write_drain.max(arrive);
+                    }
                 }
             }
         }
@@ -64,7 +103,9 @@ impl NumaGpuSystem {
         // allocates the even split "at initial kernel launch" and adapts
         // from there (resetting every launch would re-pay the convergence
         // tax each kernel).
-        self.switch.reset_symmetric_all(ready);
+        for shard in &mut self.shards {
+            shard.link.reset_symmetric(ready);
+        }
         ready
     }
 }

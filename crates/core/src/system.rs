@@ -1,4 +1,18 @@
 //! The multi-socket NUMA GPU system: construction and public API.
+//!
+//! # Partitioned event loop
+//!
+//! The simulator runs one event-queue *partition per socket* — a
+//! [`SocketShard`] bundling the socket's SMs, L2, DRAM, NoC, and switch
+//! link — plus a shared *control partition* for the cross-cutting plane
+//! (link balancer sampling, cache repartition sampling, fault injection).
+//! Shards advance concurrently inside conservative lookahead windows and
+//! exchange cross-socket traffic as explicit [`XMsg`] messages, merged
+//! deterministically at window barriers (see `exec` for the executor and
+//! `mempath` for the message plane). Reports are byte-identical at every
+//! `sim_threads` setting because the windowed algorithm itself — window
+//! boundaries, merge order, per-shard event order — never depends on how
+//! many worker threads happen to execute it.
 
 use crate::observe::ObsState;
 use crate::power::average_link_power_w;
@@ -6,16 +20,18 @@ use crate::report::{SimReport, SocketReport};
 use numa_gpu_cache::LineClass;
 use numa_gpu_cache::{CacheStats, PartitionController, SetAssocCache, WayPartition};
 use numa_gpu_engine::{EventQueue, ServiceQueue, Watchdog};
+use numa_gpu_exec::ThreadPool;
 use numa_gpu_faults::{AppliedFault, FaultPlan, LinkResilience, ResilienceReport};
-use numa_gpu_interconnect::Switch;
+use numa_gpu_interconnect::{switch_hop_latency, GpuLink};
 use numa_gpu_mem::{Dram, PageTable};
 use numa_gpu_obs::TraceEvent;
-use numa_gpu_runtime::{Kernel, LaunchPlan, Workload};
+use numa_gpu_runtime::{Kernel, Workload};
 use numa_gpu_sm::Sm;
 use numa_gpu_types::{
-    cycles_to_ticks, ticks_to_cycles, CacheMode, ConfigError, LineAddr, SimError, SocketId,
-    SystemConfig, Tick, WarpOp, WarpSlot, TICKS_PER_CYCLE,
+    cycles_to_ticks, ticks_to_cycles, CacheMode, ConfigError, CtaId, LineAddr, PageId, SimError,
+    SocketId, SystemConfig, Tick, WarpOp, WarpSlot, TICKS_PER_CYCLE,
 };
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Events driving the simulation. Memory-path stages are separate events so
@@ -71,11 +87,18 @@ pub(crate) enum Ev {
         line: LineAddr,
         home: SocketId,
     },
-    /// Periodic link load balancer sampling (§4).
+    /// A cross-partition message reaches this shard's switch boundary: the
+    /// payload still has to cross the ingress lanes before its next stage.
+    /// Delivered at the barrier merge; counts as watchdog forward progress
+    /// like every other shard event.
+    XArrive { msg: XMsg },
+    /// Periodic link load balancer sampling (§4). Control partition only.
     LinkSample,
-    /// Periodic NUMA-aware cache partition sampling (§5).
+    /// Periodic NUMA-aware cache partition sampling (§5). Control partition
+    /// only.
     CacheSample,
     /// An injected fault fires (index into the installed `FaultPlan`).
+    /// Control partition only.
     Fault { idx: u32 },
 }
 
@@ -88,6 +111,33 @@ impl Ev {
             Ev::WarpIssue { .. } | Ev::LinkSample | Ev::CacheSample | Ev::Fault { .. }
         )
     }
+}
+
+/// A cross-partition message: one leg of socket-to-socket traffic. The
+/// emitting shard pays its egress lanes and half the wire latency, stamps
+/// the switch-boundary arrival tick, and appends the message to its window
+/// outbox; the destination shard pays ingress and the second latency half
+/// on delivery — reproducing the monolithic switch's transfer timing
+/// leg for leg.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum XMsg {
+    /// Read request travelling to the home socket (header-sized).
+    ReadReq {
+        sm: u32,
+        line: LineAddr,
+        home: SocketId,
+    },
+    /// Read response returning to the requester (line + header).
+    ReadResp { sm: u32, line: LineAddr },
+    /// Write data travelling to the home socket (line + header).
+    WriteData {
+        from: SocketId,
+        line: LineAddr,
+        home: SocketId,
+    },
+    /// Write acknowledgment returning to the requester (header-sized);
+    /// extends the requester's write drain on arrival.
+    WriteAck,
 }
 
 /// Fault-injection bookkeeping: the installed plan plus what actually
@@ -134,6 +184,196 @@ pub(crate) struct WarpMemState {
     pub draining: bool,
 }
 
+/// How a shard resolves line homes inside a window.
+///
+/// Every policy except reactive migration is served by a shared immutable
+/// borrow: computed policies answer directly, and unplaced first-touch
+/// pages become shard-local *claims* committed at the barrier. Reactive
+/// migration mutates the table on remote accesses, so those runs hold an
+/// exclusive borrow and the executor advances shards sequentially — still
+/// windowed, still deterministic, independent of `sim_threads`.
+pub(crate) enum PagesView<'a> {
+    /// Read-only table shared across concurrently running shards.
+    Shared(&'a PageTable),
+    /// Exclusive table for the sequential (migration-policy) schedule.
+    Exclusive(&'a mut PageTable),
+}
+
+/// One event-loop partition: a socket's private state — SMs, L1s, L2,
+/// DRAM, NoC queues, switch link, partition controller — plus its event
+/// queue and the cross-partition outbox. Events carry *global* SM ids; the
+/// shard translates to its local slice via `base_sm`.
+///
+/// All fields a window touches live here, so a shard can run on a worker
+/// thread with no synchronization beyond the barrier. `Send` is required
+/// (and checked below) for exactly that move.
+pub(crate) struct SocketShard {
+    pub socket: SocketId,
+    pub base_sm: u32,
+    pub cfg: Arc<SystemConfig>,
+    /// Kernel whose CTAs this shard is dispatching (set per kernel run).
+    pub kernel: Option<Arc<dyn Kernel>>,
+    /// Pending CTAs for this socket, drained from the launch plan at kernel
+    /// start (dispatch never steals across sockets, matching the paper).
+    pub ctas: VecDeque<CtaId>,
+    pub sms: Vec<Sm>,
+    /// Pending (not yet successfully issued) memory op per warp slot,
+    /// parked on MSHR-full and replayed on retry.
+    pub pending_ops: Vec<Vec<Option<WarpOp>>>,
+    /// Per-warp memory scoreboard: outstanding loads and wait state.
+    pub warp_mem: Vec<Vec<WarpMemState>>,
+    pub l2: SetAssocCache,
+    pub dram: Dram,
+    /// Request-direction crossbar (SM -> L2/switch).
+    pub noc_req: ServiceQueue,
+    /// Response-direction crossbar (L2/switch -> SM).
+    pub noc_resp: ServiceQueue,
+    /// This socket's switch link (egress and ingress lanes).
+    pub link: GpuLink,
+    pub ctl: PartitionController,
+    /// This partition's event queue.
+    pub queue: EventQueue<Ev>,
+    /// Cross-partition messages emitted this window, in emission order,
+    /// stamped with their switch-boundary tick and destination.
+    pub outbox: Vec<(Tick, (SocketId, XMsg))>,
+    /// First-touch pages this shard claimed this window (page -> first
+    /// claim tick); the barrier arbitrates racing claims deterministically.
+    pub claims: BTreeMap<PageId, Tick>,
+    /// Outgoing remote read requests in the current cache sampling window
+    /// (the paper's incoming-bandwidth estimator).
+    pub remote_reads_window: u64,
+    pub reads_local_class: u64,
+    pub reads_remote_class: u64,
+    /// Shard-local high-water mark of fire-and-forget write completions;
+    /// folded into the global drain at each barrier.
+    pub write_drain: Tick,
+    /// Net change to the global in-flight memory event count this window.
+    pub inflight_delta: i64,
+    /// CTAs retired this window; folded at the barrier.
+    pub retired_ctas: u32,
+    /// Page-table lookups answered against the shared borrow this window.
+    pub lookups: u64,
+    /// Events processed this window (watchdog progress evidence).
+    pub processed: u64,
+    /// Highest event tick this shard has processed.
+    pub last_tick: Tick,
+    // Derived constants.
+    pub noc_latency: Tick,
+    pub l2_hit_latency: Tick,
+    /// Half the one-way link latency: the switch-hop cost each message leg
+    /// pays, and the source of the executor's conservative lookahead.
+    pub half_latency: Tick,
+}
+
+// Shards move onto pool worker threads inside windows; this fails to
+// compile if any component stops being thread-safe.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<SocketShard>();
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<PageTable>();
+};
+
+impl SocketShard {
+    fn new(cfg: &Arc<SystemConfig>, socket: SocketId) -> Self {
+        let sms_per_socket = cfg.sm.sms_per_socket as u32;
+        let l1_partition = if cfg.cache_mode == CacheMode::NumaAwareDynamic && cfg.partition_l1 {
+            Some(WayPartition::balanced(cfg.l1.ways))
+        } else {
+            None
+        };
+        let l2_partition = match cfg.cache_mode {
+            CacheMode::NumaAwareDynamic | CacheMode::StaticRemoteCache => {
+                Some(WayPartition::balanced(cfg.l2.ways))
+            }
+            _ => None,
+        };
+        SocketShard {
+            socket,
+            base_sm: socket.index() as u32 * sms_per_socket,
+            kernel: None,
+            ctas: VecDeque::new(),
+            sms: (0..sms_per_socket)
+                .map(|_| Sm::new(&cfg.sm, &cfg.l1, l1_partition))
+                .collect(),
+            pending_ops: (0..sms_per_socket)
+                .map(|_| vec![None; cfg.sm.max_warps as usize])
+                .collect(),
+            warp_mem: (0..sms_per_socket)
+                .map(|_| vec![WarpMemState::default(); cfg.sm.max_warps as usize])
+                .collect(),
+            l2: SetAssocCache::new(&cfg.l2, l2_partition),
+            dram: Dram::new(cfg.dram),
+            noc_req: ServiceQueue::new(cfg.noc.bytes_per_cycle),
+            noc_resp: ServiceQueue::new(cfg.noc.bytes_per_cycle),
+            link: GpuLink::new(&cfg.link),
+            ctl: PartitionController::new(cfg.l2.ways),
+            queue: EventQueue::new(),
+            outbox: Vec::new(),
+            claims: BTreeMap::new(),
+            remote_reads_window: 0,
+            reads_local_class: 0,
+            reads_remote_class: 0,
+            write_drain: 0,
+            inflight_delta: 0,
+            retired_ctas: 0,
+            lookups: 0,
+            processed: 0,
+            last_tick: 0,
+            noc_latency: cycles_to_ticks(cfg.noc.latency_cycles as u64),
+            l2_hit_latency: cycles_to_ticks(cfg.l2.hit_latency_cycles as u64),
+            half_latency: switch_hop_latency(&cfg.link),
+            cfg: Arc::clone(cfg),
+        }
+    }
+
+    /// Schedules a memory-path stage event in this shard's queue, tracking
+    /// it as in flight.
+    #[inline]
+    pub(crate) fn push_mem(&mut self, at: Tick, ev: Ev) {
+        debug_assert!(ev.is_mem_stage());
+        self.inflight_delta += 1;
+        self.queue.push(at, ev);
+    }
+
+    /// Resolves `line`'s home socket. Against a shared table, unplaced
+    /// first-touch pages are *claimed* for this shard (treated as local
+    /// until the barrier arbitrates); claims and lookup counts fold into
+    /// the real table at the barrier.
+    pub(crate) fn home_of_line(
+        &mut self,
+        t: Tick,
+        line: LineAddr,
+        pages: &mut PagesView<'_>,
+    ) -> SocketId {
+        match pages {
+            PagesView::Exclusive(pt) => pt.home_of_line(line, self.socket),
+            PagesView::Shared(pt) => {
+                self.lookups += 1;
+                if let Some(home) = pt.peek_line(line) {
+                    return home;
+                }
+                self.claims.entry(line.page()).or_insert(t);
+                self.socket
+            }
+        }
+    }
+
+    /// Emits a cross-partition message: pays this socket's egress lanes and
+    /// the first latency half, then parks the message in the outbox for the
+    /// barrier merge. The message is in flight until its final stage pops.
+    pub(crate) fn send_cross(&mut self, t: Tick, to: SocketId, msg: XMsg, bytes: u32) -> Tick {
+        debug_assert_ne!(to, self.socket, "local traffic must not cross the switch");
+        let egress_clear = self
+            .link
+            .send(t, numa_gpu_interconnect::LinkDirection::Egress, bytes);
+        let at_switch = egress_clear + self.half_latency;
+        self.inflight_delta += 1;
+        self.outbox.push((at_switch, (to, msg)));
+        egress_clear
+    }
+}
+
 /// A simulated multi-socket NUMA GPU (or single-GPU baseline).
 ///
 /// Build one per run with [`NumaGpuSystem::new`], optionally enable
@@ -152,49 +392,37 @@ pub(crate) struct WarpMemState {
 /// # Ok::<(), numa_gpu_types::SimError>(())
 /// ```
 pub struct NumaGpuSystem {
-    pub(crate) cfg: SystemConfig,
-    pub(crate) sms: Vec<Sm>,
-    /// Pending (not yet successfully issued) memory op per warp slot,
-    /// parked on MSHR-full and replayed on retry.
-    pub(crate) pending_ops: Vec<Vec<Option<WarpOp>>>,
-    /// Per-warp memory scoreboard: outstanding loads and wait state.
-    pub(crate) warp_mem: Vec<Vec<WarpMemState>>,
-    pub(crate) l2s: Vec<SetAssocCache>,
-    pub(crate) drams: Vec<Dram>,
-    /// Per-socket request-direction crossbar (SM -> L2/switch).
-    pub(crate) noc_req: Vec<ServiceQueue>,
-    /// Per-socket response-direction crossbar (L2/switch -> SM).
-    pub(crate) noc_resp: Vec<ServiceQueue>,
-    pub(crate) switch: Switch,
+    pub(crate) cfg: Arc<SystemConfig>,
+    /// One event-loop partition per socket.
+    pub(crate) shards: Vec<SocketShard>,
     pub(crate) pages: PageTable,
-    pub(crate) ctls: Vec<PartitionController>,
-    pub(crate) events: EventQueue<Ev>,
+    /// The shared control partition: balancer/cache sampling and fault
+    /// stamps. Always handled serially, after same-tick shard events (the
+    /// control partition sorts as the highest partition index).
+    pub(crate) control: EventQueue<Ev>,
+    /// Worker pool for intra-window shard execution (`sim_threads`).
+    pub(crate) pool: ThreadPool,
+    /// Conservative lookahead: the minimum cross-socket message latency
+    /// (half the one-way link latency), bounding window width.
+    pub(crate) lookahead: Tick,
     pub(crate) now: Tick,
-    pub(crate) plan: Option<LaunchPlan>,
-    pub(crate) kernel: Option<Arc<dyn Kernel>>,
     pub(crate) outstanding_ctas: u32,
     /// In-flight staged memory events (the kernel loop drains these).
     pub(crate) inflight_mem: u64,
     /// High-water mark of fire-and-forget write completions, so a kernel
     /// that ends in a write burst is charged for the drain.
     pub(crate) write_drain: Tick,
-    /// Outgoing remote read requests per socket in the current cache
-    /// sampling window (the paper's incoming-bandwidth estimator).
-    pub(crate) remote_reads_window: Vec<u64>,
-    pub(crate) reads_local_class: u64,
-    pub(crate) reads_remote_class: u64,
     pub(crate) samplers_scheduled: bool,
     pub(crate) has_run: bool,
     pub(crate) kernel_starts: Vec<u64>,
     /// Fault-injection state (`None` unless a non-empty plan is installed).
     pub(crate) fault_state: Option<FaultState>,
     /// Forward-progress watchdog (cycle budget + no-progress detector).
+    /// Cross-partition message deliveries count as progress like any other
+    /// shard event, so barrier-heavy runs never trip the stall detector.
     pub(crate) watchdog: Watchdog,
     /// Metrics registry, trace sink, and Fig-5 timelines (see `observe`).
     pub(crate) obs: ObsState,
-    // Derived constants.
-    pub(crate) noc_latency: Tick,
-    pub(crate) l2_hit_latency: Tick,
     pub(crate) sms_per_socket: u32,
 }
 
@@ -202,7 +430,7 @@ impl std::fmt::Debug for NumaGpuSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NumaGpuSystem")
             .field("sockets", &self.cfg.num_sockets)
-            .field("sms", &self.sms.len())
+            .field("sim_threads", &self.pool.workers())
             .field("now_cycles", &ticks_to_cycles(self.now))
             .finish_non_exhaustive()
     }
@@ -218,60 +446,28 @@ impl NumaGpuSystem {
         cfg.validate()?;
         let sockets = cfg.num_sockets as usize;
         let sms_per_socket = cfg.sm.sms_per_socket as u32;
-        let total_sms = sockets * sms_per_socket as usize;
+        let cfg = Arc::new(cfg);
 
-        let l1_partition = if cfg.cache_mode == CacheMode::NumaAwareDynamic && cfg.partition_l1 {
-            Some(WayPartition::balanced(cfg.l1.ways))
-        } else {
-            None
-        };
-        let l2_partition = match cfg.cache_mode {
-            CacheMode::NumaAwareDynamic | CacheMode::StaticRemoteCache => {
-                Some(WayPartition::balanced(cfg.l2.ways))
-            }
-            _ => None,
-        };
-
-        let mut sms = (0..total_sms)
-            .map(|_| Sm::new(&cfg.sm, &cfg.l1, l1_partition))
-            .collect::<Vec<_>>();
-        let pending_ops = (0..total_sms)
-            .map(|_| vec![None; cfg.sm.max_warps as usize])
+        let mut shards: Vec<SocketShard> = (0..sockets)
+            .map(|s| SocketShard::new(&cfg, SocketId::new(s as u8)))
             .collect();
-        let warp_mem = (0..total_sms)
-            .map(|_| vec![WarpMemState::default(); cfg.sm.max_warps as usize])
-            .collect();
-        let mut l2s: Vec<SetAssocCache> = (0..sockets)
-            .map(|_| SetAssocCache::new(&cfg.l2, l2_partition))
-            .collect();
-        let mut drams: Vec<Dram> = (0..sockets).map(|_| Dram::new(cfg.dram)).collect();
-        let noc_req = (0..sockets)
-            .map(|_| ServiceQueue::new(cfg.noc.bytes_per_cycle))
-            .collect();
-        let noc_resp = (0..sockets)
-            .map(|_| ServiceQueue::new(cfg.noc.bytes_per_cycle))
-            .collect();
-        let mut switch = Switch::new(&cfg.link, cfg.num_sockets);
 
         // Observability: registration happens once here, in socket order, so
         // snapshots are byte-stable across runs. All SMs of a socket share
         // clones of the same handles (socket-level cardinality).
         let mut obs = ObsState::new(&cfg.obs, sockets);
         if obs.registry.is_some() {
-            for s in 0..sockets {
+            for (s, shard) in shards.iter_mut().enumerate() {
                 let h = obs.socket_handles(s);
-                for sm in &mut sms[s * sms_per_socket as usize..(s + 1) * sms_per_socket as usize] {
+                for sm in &mut shard.sms {
                     sm.set_obs(h.sm.clone());
                 }
-                l2s[s].set_obs(h.l2);
-                drams[s].set_obs(h.dram);
-                switch.link_mut(SocketId::new(s as u8)).set_obs(h.link);
+                shard.l2.set_obs(h.l2);
+                shard.dram.set_obs(h.dram);
+                shard.link.set_obs(h.link);
             }
         }
         let pages = PageTable::new(cfg.placement, cfg.num_sockets);
-        let ctls = (0..sockets)
-            .map(|_| PartitionController::new(cfg.l2.ways))
-            .collect();
         let budget = if cfg.watchdog.max_cycles > 0 {
             Some(cycles_to_ticks(cfg.watchdog.max_cycles))
         } else {
@@ -281,32 +477,27 @@ impl NumaGpuSystem {
             budget,
             cycles_to_ticks(cfg.watchdog.effective_stall_cycles()),
         );
+        // `0` auto-sizes to the machine; anything else is taken literally.
+        // Either way there is no point running more workers than partitions.
+        let requested = if cfg.sim_threads == 0 {
+            ThreadPool::available().workers()
+        } else {
+            cfg.sim_threads as usize
+        };
+        let pool = ThreadPool::new(requested.min(sockets).max(1));
 
         Ok(NumaGpuSystem {
-            noc_latency: cycles_to_ticks(cfg.noc.latency_cycles as u64),
-            l2_hit_latency: cycles_to_ticks(cfg.l2.hit_latency_cycles as u64),
+            lookahead: switch_hop_latency(&cfg.link),
             sms_per_socket,
             cfg,
-            sms,
-            pending_ops,
-            warp_mem,
-            l2s,
-            drams,
-            noc_req,
-            noc_resp,
-            switch,
+            shards,
             pages,
-            ctls,
-            events: EventQueue::new(),
+            control: EventQueue::new(),
+            pool,
             now: 0,
-            plan: None,
-            kernel: None,
             outstanding_ctas: 0,
             inflight_mem: 0,
             write_drain: 0,
-            remote_reads_window: vec![0; sockets],
-            reads_local_class: 0,
-            reads_remote_class: 0,
             samplers_scheduled: false,
             has_run: false,
             kernel_starts: Vec::new(),
@@ -338,7 +529,8 @@ impl NumaGpuSystem {
     /// sockets, lanes, or SMs outside this system's shape.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), SimError> {
         let lanes_total = self.cfg.link.lanes_per_direction.saturating_mul(2);
-        plan.validate(self.cfg.num_sockets, lanes_total, self.sms.len() as u32)?;
+        let total_sms = self.shards.len() as u32 * self.sms_per_socket;
+        plan.validate(self.cfg.num_sockets, lanes_total, total_sms)?;
         self.fault_state = if plan.is_empty() {
             None
         } else {
@@ -347,26 +539,12 @@ impl NumaGpuSystem {
         Ok(())
     }
 
-    /// Socket that owns SM `sm`.
-    #[inline]
-    pub(crate) fn socket_of_sm(&self, sm: u32) -> SocketId {
-        SocketId::new((sm / self.sms_per_socket) as u8)
-    }
-
-    /// Schedules a memory-path stage event, tracking it as in flight.
-    #[inline]
-    pub(crate) fn push_mem(&mut self, at: Tick, ev: Ev) {
-        debug_assert!(ev.is_mem_stage());
-        self.inflight_mem += 1;
-        self.events.push(at, ev);
-    }
-
     /// Runs `workload` to completion and returns the report.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::Deadlock`] if the scheduler stops making forward
-    /// progress (event queue empties with CTAs outstanding, or the stall
+    /// progress (event queues empty with CTAs outstanding, or the stall
     /// watchdog sees no progress for `watchdog.stall_cycles`), and
     /// [`SimError::CycleLimit`] if `watchdog.max_cycles` is exceeded.
     ///
@@ -392,7 +570,7 @@ impl NumaGpuSystem {
                 .map(|(i, s)| (cycles_to_ticks(s.cycle), i as u32))
                 .collect();
             for (at, idx) in stamps {
-                self.events.push(at, Ev::Fault { idx });
+                self.control.push(at, Ev::Fault { idx });
             }
         }
 
@@ -437,25 +615,25 @@ impl NumaGpuSystem {
             "build_report before the final write drain was charged"
         );
         let total_cycles = ticks_to_cycles(self.now);
-        let sockets: Vec<SocketReport> = (0..self.cfg.num_sockets as usize)
-            .map(|s| {
-                let link = self.switch.link(SocketId::new(s as u8));
-                SocketReport {
-                    egress_bytes: link.stats().egress_bytes.get(),
-                    ingress_bytes: link.stats().ingress_bytes.get(),
-                    dram_bytes: self.drams[s].stats().bytes.get(),
-                    l2: self.l2s[s].stats(),
-                    lane_turns: link.stats().lane_turns.get(),
-                    equalizations: link.stats().equalizations.get(),
-                    l2_partition: self.l2s[s]
-                        .partition()
-                        .map(|p| (p.local_ways(), p.remote_ways())),
-                }
+        let sockets: Vec<SocketReport> = self
+            .shards
+            .iter()
+            .map(|shard| SocketReport {
+                egress_bytes: shard.link.stats().egress_bytes.get(),
+                ingress_bytes: shard.link.stats().ingress_bytes.get(),
+                dram_bytes: shard.dram.stats().bytes.get(),
+                l2: shard.l2.stats(),
+                lane_turns: shard.link.stats().lane_turns.get(),
+                equalizations: shard.link.stats().equalizations.get(),
+                l2_partition: shard
+                    .l2
+                    .partition()
+                    .map(|p| (p.local_ways(), p.remote_ways())),
             })
             .collect();
         let interconnect_bytes: u64 = sockets.iter().map(|s| s.egress_bytes).sum();
         let mut l1 = CacheStats::default();
-        for sm in &self.sms {
+        for sm in self.shards.iter().flat_map(|shard| shard.sms.iter()) {
             let s = sm.l1_stats();
             l1.local_hits.add(s.local_hits.get());
             l1.local_misses.add(s.local_misses.get());
@@ -464,28 +642,39 @@ impl NumaGpuSystem {
             l1.fills.add(s.fills.get());
             l1.evictions.add(s.evictions.get());
         }
-        let reads = self.reads_local_class + self.reads_remote_class;
+        let reads_local: u64 = self.shards.iter().map(|s| s.reads_local_class).sum();
+        let reads_remote: u64 = self.shards.iter().map(|s| s.reads_remote_class).sum();
+        let reads = reads_local + reads_remote;
         let link_timelines = std::mem::take(&mut self.obs.timelines);
         if let Some(reg) = &mut self.obs.registry {
-            // Engine-level high-water marks, published once at end of run.
-            let st = self.events.stats();
-            reg.gauge("engine.events_scheduled").set(st.pushes);
-            reg.gauge("engine.events_dispatched").set(st.pops);
-            reg.gauge("engine.queue_max_len").set(st.max_len as u64);
+            // Engine-level high-water marks, published once at end of run:
+            // aggregated over every partition queue plus the control queue.
+            let mut pushes = self.control.stats().pushes;
+            let mut pops = self.control.stats().pops;
+            let mut max_len = self.control.stats().max_len;
+            for shard in &self.shards {
+                let st = shard.queue.stats();
+                pushes += st.pushes;
+                pops += st.pops;
+                max_len = max_len.max(st.max_len);
+            }
+            reg.gauge("engine.events_scheduled").set(pushes);
+            reg.gauge("engine.events_dispatched").set(pops);
+            reg.gauge("engine.queue_max_len").set(max_len as u64);
         }
         let metrics = self.obs.registry.as_ref().map(|r| r.snapshot());
         let trace_events = self.obs.take_trace();
         let resilience = self.fault_state.as_ref().map(|fs| {
-            let links = (0..self.cfg.num_sockets as usize)
-                .map(|s| {
-                    let link = self.switch.link(SocketId::new(s as u8));
-                    LinkResilience {
-                        socket: s as u8,
-                        nominal_lane_cycles: total_cycles * link.nominal_lanes() as u64,
-                        available_lane_cycles: link.available_lane_ticks(self.now)
-                            / TICKS_PER_CYCLE,
-                        recovery_cycles: fs.recovery[s],
-                    }
+            let links = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(s, shard)| LinkResilience {
+                    socket: s as u8,
+                    nominal_lane_cycles: total_cycles * shard.link.nominal_lanes() as u64,
+                    available_lane_cycles: shard.link.available_lane_ticks(self.now)
+                        / TICKS_PER_CYCLE,
+                    recovery_cycles: fs.recovery[s],
                 })
                 .collect();
             ResilienceReport {
@@ -506,7 +695,7 @@ impl NumaGpuSystem {
             remote_read_fraction: if reads == 0 {
                 0.0
             } else {
-                self.reads_remote_class as f64 / reads as f64
+                reads_remote as f64 / reads as f64
             },
             interconnect_bytes,
             link_power_w: average_link_power_w(interconnect_bytes, total_cycles),

@@ -10,6 +10,13 @@
 //!   paper's controllers can ask "was this ≥99% saturated in the last
 //!   sample period?".
 //!
+//! On top of these, [`conservative_window`] and [`merge_cross`] provide the
+//! windowing and deterministic barrier-merge rules for running one
+//! [`EventQueue`] per partition concurrently (see the `partition` module
+//! docs), and [`Watchdog`] supervises forward progress — cross-partition
+//! message deliveries count as progress, so a partition idling at a window
+//! barrier is never mistaken for a deadlock.
+//!
 //! # Examples
 //!
 //! ```
@@ -26,9 +33,11 @@
 #![forbid(unsafe_code)]
 
 mod event_queue;
+mod partition;
 mod service_queue;
 mod watchdog;
 
 pub use event_queue::{EventQueue, EventQueueStats};
+pub use partition::{conservative_window, merge_cross, CrossMessage};
 pub use service_queue::ServiceQueue;
 pub use watchdog::{Watchdog, WatchdogTrip};

@@ -139,6 +139,82 @@ impl ThreadPool {
             })
             .collect()
     }
+
+    /// Runs a batch of *borrowing* closures and returns the results in
+    /// submission order.
+    ///
+    /// Unlike [`ThreadPool::run`], tasks are not `'static`: they may borrow
+    /// from the caller's stack (the windowed simulation executor hands each
+    /// worker a `&mut` partition plus shared read-only state). Workers are
+    /// scoped to this call, claim tasks through an atomic cursor, and are
+    /// joined before it returns. With one worker the batch runs inline on
+    /// the calling thread, reproducing serial execution exactly.
+    ///
+    /// # Panics
+    ///
+    /// If a task panics, the panic payload of the lowest submission index
+    /// is re-raised here once all workers have drained (deterministic
+    /// regardless of which worker hit it first).
+    pub fn run_scoped<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let n = tasks.len();
+        let workers = self.workers.min(n);
+
+        let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        type Payload = Box<dyn std::any::Any + Send>;
+        let panicked: Mutex<Option<(usize, Payload)>> = Mutex::new(None);
+
+        let body = |_worker: usize| loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let task = slots[i]
+                .lock()
+                .expect("task slot poisoned")
+                .take()
+                .expect("task claimed twice");
+            match catch_unwind(AssertUnwindSafe(task)) {
+                Ok(value) => *results[i].lock().expect("result slot poisoned") = Some(value),
+                Err(payload) => {
+                    let mut first = panicked.lock().expect("panic slot poisoned");
+                    if first.as_ref().is_none_or(|(j, _)| i < *j) {
+                        *first = Some((i, payload));
+                    }
+                }
+            }
+        };
+
+        if workers == 1 {
+            body(0);
+        } else {
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    scope.spawn(move || body(w));
+                }
+            });
+        }
+
+        if let Some((_, payload)) = panicked.into_inner().expect("panic slot poisoned") {
+            std::panic::resume_unwind(payload);
+        }
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("task finished without a result")
+            })
+            .collect()
+    }
 }
 
 /// The machine's available parallelism (1 when it cannot be queried).
@@ -217,6 +293,57 @@ mod tests {
             .expect_err("panic must propagate");
         let msg = err.downcast_ref::<String>().cloned().unwrap();
         assert!(msg.contains("`first`") && msg.contains("early"), "{msg}");
+    }
+
+    #[test]
+    fn scoped_tasks_borrow_caller_state() {
+        // The whole point of run_scoped: tasks mutate disjoint slices of a
+        // stack-local vector, no 'static required.
+        let pool = ThreadPool::new(4);
+        let mut parts: Vec<Vec<u64>> = (0..8).map(|i| vec![i]).collect();
+        let tasks: Vec<_> = parts
+            .iter_mut()
+            .map(|p| {
+                move || {
+                    p.push(p[0] * 2);
+                    p[0]
+                }
+            })
+            .collect();
+        let out = pool.run_scoped(tasks);
+        assert_eq!(out, (0..8).collect::<Vec<u64>>());
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(p, &vec![i as u64, 2 * i as u64]);
+        }
+    }
+
+    #[test]
+    fn scoped_results_identical_at_any_worker_count() {
+        let work: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = work.iter().map(|v| v * v).collect();
+        for workers in [1, 2, 5, 16] {
+            let pool = ThreadPool::new(workers);
+            let tasks: Vec<_> = work.iter().map(|v| move || v * v).collect();
+            assert_eq!(pool.run_scoped(tasks), expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn scoped_empty_batch_returns_empty() {
+        let pool = ThreadPool::new(3);
+        let out: Vec<u8> = pool.run_scoped(Vec::<fn() -> u8>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn scoped_lowest_index_panic_wins() {
+        let pool = ThreadPool::new(1);
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+            vec![Box::new(|| panic!("early")), Box::new(|| panic!("late"))];
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| pool.run_scoped(tasks)))
+            .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap();
+        assert_eq!(msg, "early");
     }
 
     #[test]

@@ -27,4 +27,4 @@ mod switch;
 
 pub use balancer::{BalanceAction, LinkBalancer};
 pub use link::{GpuLink, LinkDirection, LinkObs, LinkSample, LinkStats};
-pub use switch::Switch;
+pub use switch::{switch_hop_latency, Switch};

@@ -35,6 +35,14 @@ pub struct Switch {
     half_latency: Tick,
 }
 
+/// Half the one-way link latency in ticks for `config` — the earliest a
+/// packet emitted by one socket can reach the switch boundary, and
+/// therefore the conservative lookahead of the partitioned executor: no
+/// cross-socket message can affect another partition sooner than this.
+pub fn switch_hop_latency(config: &LinkConfig) -> Tick {
+    cycles_to_ticks(config.latency_cycles as u64) / 2
+}
+
 impl Switch {
     /// Builds a switch with one link per socket.
     ///
@@ -53,6 +61,13 @@ impl Switch {
     /// Number of attached sockets.
     pub fn num_sockets(&self) -> usize {
         self.links.len()
+    }
+
+    /// Half the one-way link latency in ticks — the time from clearing a
+    /// source's egress lanes to reaching the switch (and again from the
+    /// switch to the destination).
+    pub fn half_latency(&self) -> Tick {
+        self.half_latency
     }
 
     /// Transfers `bytes` from `from` to `to`; returns the arrival tick at

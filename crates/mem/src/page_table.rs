@@ -126,6 +126,51 @@ impl PageTable {
         })
     }
 
+    /// Resolves `line`'s home without placing anything: `Some` when the
+    /// home is computable or already recorded, `None` when the line's page
+    /// is unplaced first-touch territory. Unlike [`Self::peek_page`] this
+    /// answers for every policy (fine interleaving is sub-page, so the
+    /// page-granular peek cannot).
+    ///
+    /// This is the read-only lookup the partitioned executor uses inside a
+    /// window, where the table is shared immutably across partitions; a
+    /// `None` becomes a first-touch *claim*, committed at the barrier via
+    /// [`Self::commit_claim`].
+    pub fn peek_line(&self, line: LineAddr) -> Option<SocketId> {
+        match self.policy {
+            PagePlacement::FineInterleave => {
+                Some(SocketId::new((line.raw() % self.num_sockets as u64) as u8))
+            }
+            _ => self.peek_page(line.page()),
+        }
+    }
+
+    /// Records a first-touch placement decided outside the table (the
+    /// partitioned executor resolves same-window claim races
+    /// deterministically at the barrier, then commits each winner here).
+    /// A page that is already placed keeps its home — commits are
+    /// first-wins, exactly like [`Self::home_of_line`] under first-touch.
+    /// No-op for the computed (interleaved) policies.
+    pub fn commit_claim(&mut self, page: PageId, socket: SocketId) {
+        match self.policy {
+            PagePlacement::FirstTouch | PagePlacement::FirstTouchMigrate { .. } => {
+                let stats = &mut self.stats;
+                self.first_touch.entry(page).or_insert_with(|| {
+                    stats.pages_placed.inc();
+                    socket
+                });
+            }
+            PagePlacement::FineInterleave | PagePlacement::PageInterleave => {}
+        }
+    }
+
+    /// Accounts for `n` home lookups answered outside [`Self::home_of_line`]
+    /// (the partitioned executor resolves homes through [`Self::peek_line`]
+    /// against a shared borrow and folds its counts in at the barrier).
+    pub fn note_lookups(&mut self, n: u64) {
+        self.stats.lookups.add(n);
+    }
+
     /// Looks up a page's current home without placing it.
     pub fn peek_page(&self, page: PageId) -> Option<SocketId> {
         let n = self.num_sockets as u64;
@@ -241,6 +286,51 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn peek_line_answers_every_policy() {
+        let fine = PageTable::new(PagePlacement::FineInterleave, 4);
+        assert_eq!(fine.peek_line(line(128)), Some(SocketId::new(1)));
+        assert_eq!(fine.peek_page(PageId::from_index(0)), None);
+
+        let page = PageTable::new(PagePlacement::PageInterleave, 4);
+        assert_eq!(page.peek_line(line(PAGE_SIZE)), Some(SocketId::new(1)));
+
+        let mut ft = PageTable::new(PagePlacement::FirstTouch, 4);
+        assert_eq!(ft.peek_line(line(0)), None);
+        ft.home_of_line(line(0), SocketId::new(2));
+        assert_eq!(ft.peek_line(line(0)), Some(SocketId::new(2)));
+    }
+
+    #[test]
+    fn commit_claim_is_first_wins_and_counted() {
+        let mut pt = PageTable::new(PagePlacement::FirstTouch, 4);
+        pt.commit_claim(PageId::from_index(3), SocketId::new(1));
+        pt.commit_claim(PageId::from_index(3), SocketId::new(2)); // loser
+        assert_eq!(pt.peek_page(PageId::from_index(3)), Some(SocketId::new(1)));
+        assert_eq!(pt.stats().pages_placed.get(), 1);
+        // And home_of_line agrees with the committed claim.
+        assert_eq!(
+            pt.home_of_line(line(3 * PAGE_SIZE), SocketId::new(0)),
+            SocketId::new(1)
+        );
+    }
+
+    #[test]
+    fn commit_claim_noop_for_computed_policies() {
+        let mut pt = PageTable::new(PagePlacement::FineInterleave, 4);
+        pt.commit_claim(PageId::from_index(0), SocketId::new(3));
+        assert_eq!(pt.resident_pages(), 0);
+        assert_eq!(pt.stats().pages_placed.get(), 0);
+    }
+
+    #[test]
+    fn note_lookups_folds_into_stats() {
+        let mut pt = PageTable::new(PagePlacement::FirstTouch, 2);
+        pt.note_lookups(7);
+        pt.home_of_line(line(0), SocketId::new(0));
+        assert_eq!(pt.stats().lookups.get(), 8);
     }
 
     #[test]

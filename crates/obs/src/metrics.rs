@@ -6,8 +6,8 @@
 //! identical runs.
 
 use numa_gpu_testkit::json::Json;
-use std::cell::{Cell, RefCell};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Kind of a registered metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,8 +25,13 @@ pub enum MetricKind {
 /// The default handle is *disabled*: every operation is a no-op, so model
 /// code can increment unconditionally and pays one branch when
 /// observability is off.
+///
+/// Handles are `Send + Sync` (atomic cells) so per-socket model state can
+/// cross into the windowed executor's worker threads. Writes use relaxed
+/// ordering: during a window each cell has a single writer, and the
+/// barrier's thread join orders everything before the next read.
 #[derive(Debug, Clone, Default)]
-pub struct CounterHandle(Option<Rc<Cell<u64>>>);
+pub struct CounterHandle(Option<Arc<AtomicU64>>);
 
 impl CounterHandle {
     /// A handle that records nothing.
@@ -44,7 +49,8 @@ impl CounterHandle {
     #[inline]
     pub fn add(&self, n: u64) {
         if let Some(c) = &self.0 {
-            c.set(c.get().saturating_add(n));
+            let v = c.load(Ordering::Relaxed);
+            c.store(v.saturating_add(n), Ordering::Relaxed);
         }
     }
 
@@ -56,14 +62,14 @@ impl CounterHandle {
 
     /// Current value (`0` when disabled).
     pub fn get(&self) -> u64 {
-        self.0.as_ref().map_or(0, |c| c.get())
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
     }
 }
 
 /// A shared gauge handle (see [`CounterHandle`] for the disabled-default
 /// contract).
 #[derive(Debug, Clone, Default)]
-pub struct GaugeHandle(Option<Rc<Cell<u64>>>);
+pub struct GaugeHandle(Option<Arc<AtomicU64>>);
 
 impl GaugeHandle {
     /// A handle that records nothing.
@@ -81,7 +87,7 @@ impl GaugeHandle {
     #[inline]
     pub fn set(&self, v: u64) {
         if let Some(c) = &self.0 {
-            c.set(v);
+            c.store(v, Ordering::Relaxed);
         }
     }
 
@@ -89,13 +95,14 @@ impl GaugeHandle {
     #[inline]
     pub fn set_max(&self, v: u64) {
         if let Some(c) = &self.0 {
-            c.set(c.get().max(v));
+            let cur = c.load(Ordering::Relaxed);
+            c.store(cur.max(v), Ordering::Relaxed);
         }
     }
 
     /// Current value (`0` when disabled).
     pub fn get(&self) -> u64 {
-        self.0.as_ref().map_or(0, |c| c.get())
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
     }
 }
 
@@ -138,7 +145,7 @@ fn bucket_of(v: u64) -> usize {
 /// A shared histogram handle (see [`CounterHandle`] for the
 /// disabled-default contract).
 #[derive(Debug, Clone, Default)]
-pub struct HistogramHandle(Option<Rc<RefCell<HistogramData>>>);
+pub struct HistogramHandle(Option<Arc<Mutex<HistogramData>>>);
 
 impl HistogramHandle {
     /// A handle that records nothing.
@@ -153,23 +160,35 @@ impl HistogramHandle {
     }
 
     /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous observer panicked while holding the histogram
+    /// lock (poisoning; cannot happen in model code, which never panics
+    /// mid-observation).
     #[inline]
     pub fn observe(&self, v: u64) {
         if let Some(h) = &self.0 {
-            h.borrow_mut().observe(v);
+            h.lock().expect("histogram lock poisoned").observe(v);
         }
     }
 
     /// Number of samples recorded (`0` when disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram lock is poisoned (see [`Self::observe`]).
     pub fn count(&self) -> u64 {
-        self.0.as_ref().map_or(0, |h| h.borrow().count)
+        self.0
+            .as_ref()
+            .map_or(0, |h| h.lock().expect("histogram lock poisoned").count)
     }
 }
 
 enum MetricCell {
-    Counter(Rc<Cell<u64>>),
-    Gauge(Rc<Cell<u64>>),
-    Histogram(Rc<RefCell<HistogramData>>),
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<Mutex<HistogramData>>),
 }
 
 impl MetricCell {
@@ -262,7 +281,7 @@ impl MetricsRegistry {
         if let Some(MetricCell::Counter(c)) = self.find(name, MetricKind::Counter) {
             return CounterHandle(Some(c.clone()));
         }
-        let cell = Rc::new(Cell::new(0));
+        let cell = Arc::new(AtomicU64::new(0));
         self.entries
             .push((name.to_string(), MetricCell::Counter(cell.clone())));
         CounterHandle(Some(cell))
@@ -277,7 +296,7 @@ impl MetricsRegistry {
         if let Some(MetricCell::Gauge(c)) = self.find(name, MetricKind::Gauge) {
             return GaugeHandle(Some(c.clone()));
         }
-        let cell = Rc::new(Cell::new(0));
+        let cell = Arc::new(AtomicU64::new(0));
         self.entries
             .push((name.to_string(), MetricCell::Gauge(cell.clone())));
         GaugeHandle(Some(cell))
@@ -292,13 +311,18 @@ impl MetricsRegistry {
         if let Some(MetricCell::Histogram(h)) = self.find(name, MetricKind::Histogram) {
             return HistogramHandle(Some(h.clone()));
         }
-        let cell = Rc::new(RefCell::new(HistogramData::default()));
+        let cell = Arc::new(Mutex::new(HistogramData::default()));
         self.entries
             .push((name.to_string(), MetricCell::Histogram(cell.clone())));
         HistogramHandle(Some(cell))
     }
 
     /// Captures every metric's current value, in registration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram lock is poisoned (see
+    /// [`HistogramHandle::observe`]).
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             entries: self
@@ -306,10 +330,10 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(name, cell)| {
                     let value = match cell {
-                        MetricCell::Counter(c) => MetricValue::Counter(c.get()),
-                        MetricCell::Gauge(c) => MetricValue::Gauge(c.get()),
+                        MetricCell::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                        MetricCell::Gauge(c) => MetricValue::Gauge(c.load(Ordering::Relaxed)),
                         MetricCell::Histogram(h) => {
-                            let h = h.borrow();
+                            let h = h.lock().expect("histogram lock poisoned");
                             MetricValue::Histogram(HistogramSummary {
                                 count: h.count,
                                 sum: h.sum,
@@ -426,6 +450,17 @@ mod tests {
         let h = HistogramHandle::disabled();
         h.observe(3);
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn handles_are_send_and_sync() {
+        // The windowed executor moves per-socket handle bundles into
+        // scoped worker threads; losing these bounds would break it.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CounterHandle>();
+        assert_send_sync::<GaugeHandle>();
+        assert_send_sync::<HistogramHandle>();
+        assert_send_sync::<MetricsRegistry>();
     }
 
     #[test]

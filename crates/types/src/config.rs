@@ -324,6 +324,11 @@ pub struct SystemConfig {
     /// Forward-progress watchdog (cycle budget + stall detector). Defaults
     /// to off; never affects the timing of a run that completes.
     pub watchdog: WatchdogConfig,
+    /// Worker threads for the intra-run partitioned event loop: `1` runs
+    /// the windowed executor serially, `0` sizes it to the machine's
+    /// available parallelism, and any value is clamped to the number of
+    /// socket partitions. Reports are byte-identical at every setting.
+    pub sim_threads: u16,
 }
 
 // Configs are cloned into sweep worker threads; this fails to compile if a
@@ -383,6 +388,7 @@ impl SystemConfig {
             partition_l1: true,
             obs: ObsConfig::off(),
             watchdog: WatchdogConfig::default(),
+            sim_threads: 1,
         }
     }
 

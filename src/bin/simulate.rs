@@ -9,6 +9,8 @@
 //!          [--baseline]            # also run the single-GPU baseline
 //!          [--jobs N]              # worker threads (with --baseline, runs both sims
 //!                                  # concurrently; output is byte-identical to --jobs 1)
+//!          [--sim-threads N]       # event-loop partitions advanced concurrently inside
+//!                                  # one sim (0 = auto); byte-identical at every setting
 //!          [--timeline]            # print the link utilization timeline
 //!          [--metrics]             # collect counters and print the metrics snapshot JSON
 //!          [--trace-out FILE]      # write a Chrome trace_event JSON (chrome://tracing)
@@ -39,8 +41,8 @@ fn usage(msg: &str) -> ! {
         "usage: simulate --workload NAME [--sockets N] [--quick|--full] \
          [--cache memside|static|shared|numa-aware] [--link static|dynamic|2x] \
          [--placement fine|page|first-touch] [--cta interleave|contiguous] \
-         [--baseline] [--jobs N] [--timeline] [--metrics] [--trace-out FILE] \
-         [--faults SPEC] [--fault-seed N] [--max-cycles N]"
+         [--baseline] [--jobs N] [--sim-threads N] [--timeline] [--metrics] \
+         [--trace-out FILE] [--faults SPEC] [--fault-seed N] [--max-cycles N]"
     );
     eprintln!("\nworkloads:");
     for n in WORKLOAD_NAMES {
@@ -71,6 +73,7 @@ fn main() {
     let mut cta = CtaSchedulingPolicy::ContiguousBlock;
     let mut baseline = false;
     let mut jobs: usize = 1;
+    let mut sim_threads: u16 = 1;
     let mut timeline = false;
     let mut metrics = false;
     let mut trace_out: Option<String> = None;
@@ -134,6 +137,11 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage("--jobs must be a positive integer"));
                 jobs = jobs.max(1);
+            }
+            "--sim-threads" => {
+                sim_threads = value("--sim-threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--sim-threads must be an integer (0 = auto)"));
             }
             "--timeline" => timeline = true,
             "--metrics" => metrics = true,
@@ -208,6 +216,7 @@ fn main() {
     cfg.obs.metrics = metrics;
     cfg.obs.trace = trace_out.is_some();
     cfg.watchdog.max_cycles = max_cycles;
+    cfg.sim_threads = sim_threads;
     cfg.validate().unwrap_or_else(|e| usage(&e.to_string()));
 
     let fault_plan: Option<FaultPlan> = match (&faults_spec, fault_seed) {
@@ -228,11 +237,12 @@ fn main() {
         eprintln!("fault plan: {plan}");
     }
 
-    // The per-sim observability handles are `Rc`-based, so each
-    // `NumaGpuSystem` is constructed inside the worker thread that runs it;
-    // only the plain-data `SystemConfig`/`Workload`/`SimReport` cross
-    // threads. Printing stays serial and in the original order, so stdout
-    // is byte-identical at any `--jobs` count.
+    // Each `NumaGpuSystem` is constructed inside the worker thread that
+    // runs it; only the plain-data `SystemConfig`/`Workload`/`SimReport`
+    // cross job boundaries. Printing stays serial and in the original
+    // order, so stdout is byte-identical at any `--jobs` count — and the
+    // partitioned event loop makes it byte-identical at any
+    // `--sim-threads` count too.
     let run_main = {
         let cfg = cfg.clone();
         let workload = workload.clone();

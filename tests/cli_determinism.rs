@@ -35,6 +35,111 @@ fn consecutive_runs_are_byte_identical() {
     );
 }
 
+/// The intra-run parallelism acceptance gate: `--sim-threads N` advances
+/// the per-socket event-queue partitions concurrently, and the window
+/// barrier merges cross-partition traffic in canonical order — so stdout
+/// (summary lines, per-socket stats, and the metrics snapshot JSON) must
+/// be byte-identical to the serial windowed run at every thread count.
+fn assert_sim_threads_identical(sockets: &str, threads: &[&str]) {
+    let base = simulate(&[
+        "--workload",
+        "Rodinia-Euler3D",
+        "--quick",
+        "--sockets",
+        sockets,
+        "--metrics",
+        "--sim-threads",
+        "1",
+    ]);
+    for t in threads {
+        let run = simulate(&[
+            "--workload",
+            "Rodinia-Euler3D",
+            "--quick",
+            "--sockets",
+            sockets,
+            "--metrics",
+            "--sim-threads",
+            t,
+        ]);
+        assert_eq!(
+            base, run,
+            "--sockets {sockets}: --sim-threads {t} diverged from --sim-threads 1"
+        );
+    }
+}
+
+#[test]
+fn sim_threads_output_is_byte_identical_2_sockets() {
+    assert_sim_threads_identical("2", &["2", "0"]);
+}
+
+#[test]
+fn sim_threads_output_is_byte_identical_4_sockets() {
+    assert_sim_threads_identical("4", &["2", "4", "0"]);
+}
+
+#[test]
+fn sim_threads_output_is_byte_identical_8_sockets() {
+    assert_sim_threads_identical("8", &["3", "8", "0"]);
+}
+
+#[test]
+fn sim_threads_output_is_byte_identical_under_faults() {
+    let args = |t: &str| {
+        vec![
+            "--workload".to_string(),
+            "Rodinia-Euler3D".to_string(),
+            "--quick".to_string(),
+            "--sockets".to_string(),
+            "8".to_string(),
+            "--fault-seed".to_string(),
+            "42".to_string(),
+            "--metrics".to_string(),
+            "--sim-threads".to_string(),
+            t.to_string(),
+        ]
+    };
+    let base = simulate(&args("1").iter().map(String::as_str).collect::<Vec<_>>());
+    for t in ["4", "8"] {
+        let run = simulate(&args(t).iter().map(String::as_str).collect::<Vec<_>>());
+        assert_eq!(
+            base, run,
+            "faulted 8-socket run diverged at --sim-threads {t}"
+        );
+    }
+}
+
+#[test]
+fn sim_threads_chrome_trace_is_byte_identical() {
+    let trace_path =
+        |t: &str| std::env::temp_dir().join(format!("numa_gpu_cli_det_trace_{t}.json"));
+    let run = |t: &str| {
+        let path = trace_path(t);
+        simulate(&[
+            "--workload",
+            "HPC-HPGMG-UVM",
+            "--quick",
+            "--sockets",
+            "4",
+            "--sim-threads",
+            t,
+            "--trace-out",
+            path.to_str().unwrap(),
+        ]);
+        let doc = std::fs::read(&path).expect("trace file written");
+        let _ = std::fs::remove_file(&path);
+        doc
+    };
+    let base = run("1");
+    assert!(!base.is_empty());
+    assert_eq!(
+        base,
+        run("4"),
+        "Chrome trace differs between --sim-threads 1 and 4"
+    );
+}
+
 #[test]
 fn timeline_output_is_byte_identical() {
     let args = [
