@@ -1,0 +1,82 @@
+//! Wall-clock benchmark of the serial hot path: one 8-socket study-config
+//! simulation at `sim_threads = 1`, plus an event-queue microbenchmark
+//! with a simulation-shaped tick distribution.
+//!
+//! This is the tracked core-loop speed number (`results/BENCH_core_loop.json`
+//! holds the committed trajectory). The full-system bench is the headline:
+//! everything the per-event speed pass touches — event queue, allocation
+//! recycling, SoA warp state — shows up in it. The queue microbenchmark
+//! isolates the calendar-queue replacement.
+//!
+//! Run `TESTKIT_BENCH_JSON=/tmp/core_loop.json cargo bench -p
+//! numa-gpu-bench --bench core_loop` to record numbers; see EXPERIMENTS.md
+//! ("Profiling a run") for how records get folded into the committed file.
+
+use numa_gpu_core::run_workload;
+use numa_gpu_engine::EventQueue;
+use numa_gpu_testkit::bench::Bench;
+use numa_gpu_testkit::{bench_group, bench_main};
+use numa_gpu_types::{SystemConfig, TICKS_PER_CYCLE};
+use numa_gpu_workloads::{by_name, Scale};
+use std::time::Duration;
+
+fn one_run(workload: &str) -> u64 {
+    let wl = by_name(workload, &Scale::quick()).expect("catalog workload");
+    let mut cfg = SystemConfig::numa_aware_sockets(8);
+    cfg.sim_threads = 1;
+    run_workload(cfg, &wl)
+        .expect("study config runs")
+        .total_cycles
+}
+
+/// Push/pop 64k events with the distribution the simulator produces: most
+/// events land within a few cycles of "now" (NoC/issue wakeups), a minority
+/// at DRAM-latency distance, and a trickle far in the future (samplers).
+fn queue_mixed_64k() -> u64 {
+    let mut q = EventQueue::new();
+    let mut now: u64 = 0;
+    let mut acc: u64 = 0;
+    let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+    for i in 0..4_096u64 {
+        q.push(now + (i % 7) * TICKS_PER_CYCLE, i);
+    }
+    for _ in 0..65_536u64 {
+        let Some((t, v)) = q.pop() else { break };
+        now = t;
+        acc = acc.wrapping_add(v);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let r = rng >> 33;
+        let delta = match r % 100 {
+            0..=59 => (r / 100) % (4 * TICKS_PER_CYCLE), // same/near cycle
+            60..=94 => 100 * TICKS_PER_CYCLE + r % TICKS_PER_CYCLE, // DRAM-ish
+            _ => 5_000 * TICKS_PER_CYCLE,                // sampler-ish
+        };
+        q.push(now + delta, acc);
+        if r.is_multiple_of(3) {
+            q.push(now + (r % TICKS_PER_CYCLE), acc ^ r);
+        } else if let Some((_, v2)) = q.pop() {
+            acc = acc.wrapping_add(v2);
+        }
+    }
+    acc
+}
+
+fn bench_core_loop(c: &mut Bench) {
+    let mut g = c.benchmark_group("core_loop");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("euler3d_8s_serial", |b| {
+        b.iter(|| one_run("Rodinia-Euler3D"))
+    });
+    g.bench_function("backprop_8s_serial", |b| {
+        b.iter(|| one_run("Rodinia-Backprop"))
+    });
+    g.bench_function("event_queue_mixed_64k", |b| b.iter(queue_mixed_64k));
+    g.finish();
+}
+
+bench_group!(core_loop, bench_core_loop);
+bench_main!(core_loop);

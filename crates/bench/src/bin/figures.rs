@@ -1,7 +1,8 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! figures [--quick] [--jobs N] [--sim-threads N] [--out DIR] [artifact...]
+//! figures [--quick] [--jobs N] [--sim-threads N] [--profile] [--out DIR]
+//!         [artifact...]
 //!
 //! artifacts: table1 table2 fig2 fig3 fig5 fig6 fig6-sens fig8 fig9
 //!            fig9-wb fig10 fig11 power ablations resilience
@@ -15,6 +16,10 @@
 //! parallelizes *inside* each simulation via the partitioned event loop
 //! (0 = auto; output is byte-identical at every setting, default 1). With
 //! `--out DIR` each artifact is also written to `DIR/<name>.txt`.
+//! `--profile` prints a work-attribution table summed over every
+//! simulation at the end; it never changes the artifacts themselves (the
+//! profile is assembled at report time from counters the simulator
+//! maintains unconditionally).
 
 use numa_gpu_bench::{experiments, Runner};
 use numa_gpu_exec::ThreadPool;
@@ -43,6 +48,7 @@ const ALL: [&str; 15] = [
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let profile = args.iter().any(|a| a == "--profile");
     let flag_value = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -90,6 +96,9 @@ fn main() {
     if let Some(threads) = sim_threads {
         runner = runner.sim_threads(threads);
     }
+    if profile {
+        runner = runner.profile();
+    }
     eprintln!("using {} worker thread(s)", runner.job_count());
     if let Some(dir) = &out_dir {
         std::fs::create_dir_all(dir).expect("create output dir");
@@ -126,6 +135,14 @@ fn main() {
             "<<< {name} done in {:.1?} ({} sims so far)",
             t0.elapsed(),
             runner.runs()
+        );
+    }
+
+    if profile {
+        println!(
+            "cumulative over {} simulation(s):\n{}",
+            runner.runs(),
+            runner.aggregate_profile().render_table()
         );
     }
 }

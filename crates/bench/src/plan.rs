@@ -217,6 +217,18 @@ impl SimPlan {
         }
     }
 
+    /// Enables the self-profiler on every planned configuration. Like
+    /// [`SimPlan::override_sim_threads`] this is *not* part of the job
+    /// key: the profile is assembled at report time from counters the
+    /// simulation maintains unconditionally, so every other report field
+    /// is byte-identical with it on or off and a memoized report still
+    /// answers every table lookup.
+    pub fn override_profile(&mut self, on: bool) {
+        for job in &mut self.jobs {
+            job.cfg.obs.profile = on;
+        }
+    }
+
     /// Drops every job whose key fails `keep` (used to skip already-cached
     /// work).
     pub fn retain(&mut self, mut keep: impl FnMut(&JobKey) -> bool) {

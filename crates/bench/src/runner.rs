@@ -11,7 +11,7 @@
 //! exactly.
 
 use crate::plan::{JobKey, SimJob, SimPlan};
-use numa_gpu_core::SimReport;
+use numa_gpu_core::{ProfileReport, SimReport};
 use numa_gpu_exec::Reporter;
 use numa_gpu_runtime::Workload;
 use numa_gpu_types::SystemConfig;
@@ -29,6 +29,7 @@ pub struct Runner {
     runs: u64,
     jobs: usize,
     sim_threads: Option<u16>,
+    profile: bool,
     reporter: Arc<Reporter>,
 }
 
@@ -53,6 +54,7 @@ impl Runner {
             runs: 0,
             jobs: 1,
             sim_threads: None,
+            profile: false,
             reporter: Arc::new(Reporter::stderr(false)),
         }
     }
@@ -78,6 +80,17 @@ impl Runner {
     /// the override is not part of the cache key by design.
     pub fn sim_threads(mut self, threads: u16) -> Self {
         self.sim_threads = Some(threads);
+        self
+    }
+
+    /// Enables the self-profiler on every simulation this runner executes.
+    /// The profile is assembled at report time from counters the
+    /// simulation maintains unconditionally, so every other report field
+    /// is byte-identical with it on or off — which is why, like
+    /// `sim_threads`, it is not part of the cache key. Read the
+    /// accumulated attribution back with [`Runner::aggregate_profile`].
+    pub fn profile(mut self) -> Self {
+        self.profile = true;
         self
     }
 
@@ -117,6 +130,9 @@ impl Runner {
         if let Some(threads) = self.sim_threads {
             plan.override_sim_threads(threads);
         }
+        if self.profile {
+            plan.override_profile(true);
+        }
         for (key, report) in plan.execute(self.jobs, &self.reporter) {
             self.runs += 1;
             self.cache.insert(key, report);
@@ -126,6 +142,25 @@ impl Runner {
     /// The memoized report for `key`, if that job has run.
     pub fn cached(&self, key: &JobKey) -> Option<Arc<SimReport>> {
         self.cache.get(key).cloned()
+    }
+
+    /// Sums the per-subsystem work attribution over every memoized report
+    /// that carries one (i.e. every simulation run with
+    /// [`Runner::profile`] enabled). Reports are folded in ascending key
+    /// order, so the aggregate — and its rendered table — is byte-stable
+    /// across run order and worker counts. Empty when profiling was off.
+    pub fn aggregate_profile(&self) -> ProfileReport {
+        let mut agg = ProfileReport::new();
+        for report in self.cache.values() {
+            let Some(p) = &report.profile else { continue };
+            for scope in &p.scopes {
+                let out = agg.scope(&scope.name);
+                for (counter, value) in &scope.counters {
+                    out.count(counter, *value);
+                }
+            }
+        }
+        agg
     }
 
     /// Every memoized job key in ascending key order. The order depends
@@ -188,6 +223,9 @@ impl Runner {
         }
         if let Some(threads) = self.sim_threads {
             cfg.sim_threads = threads;
+        }
+        if self.profile {
+            cfg.obs.profile = true;
         }
         self.reporter.line(&format!("  sim {}", key.display()));
         let job = SimJob {
@@ -330,6 +368,37 @@ mod tests {
         let mut sorted = a.clone();
         sorted.sort();
         assert_eq!(a, sorted, "cached_keys must enumerate in key order");
+    }
+
+    #[test]
+    fn profile_runner_aggregates_without_changing_tables() {
+        let wl = quick_workload();
+        let mut plain = Runner::new(Scale::quick());
+        let base = plain.report("loc4", configs::locality(4), &wl);
+        assert!(base.profile.is_none(), "profiling defaults off");
+
+        let mut profiled = Runner::new(Scale::quick()).profile();
+        let mut plan = SimPlan::new();
+        plan.job("loc4", configs::locality(4), &wl);
+        plan.job("single", configs::single(), &wl);
+        profiled.execute(plan);
+        let shim = profiled.report("loc4", configs::locality(4), &wl);
+        assert!(shim.profile.is_some(), "execute applied the override");
+
+        // Every field the tables read is identical with profiling on.
+        let mut stripped = (*shim).clone();
+        stripped.profile = None;
+        assert_eq!(*base, stripped, "profiling must not perturb the report");
+
+        // The aggregate folds both runs and renders deterministically.
+        let agg = profiled.aggregate_profile();
+        let solo = shim.profile.as_ref().unwrap();
+        let popped = |p: &ProfileReport| p.get("engine", "events_popped").unwrap();
+        assert!(popped(&agg) > popped(solo), "second run must contribute");
+        assert_eq!(
+            agg.render_table(),
+            profiled.aggregate_profile().render_table()
+        );
     }
 
     #[test]

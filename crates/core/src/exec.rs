@@ -27,9 +27,9 @@
 //! (plus a read-only page table), so the execution interleaving chosen by
 //! the pool cannot be observed.
 
-use crate::system::{Ev, FaultState, NumaGpuSystem, PagesView, SocketShard, XMsg};
+use crate::system::{Ev, FaultState, NumaGpuSystem, PagesView, SocketShard};
 use numa_gpu_cache::LineClass;
-use numa_gpu_engine::{conservative_window, merge_cross, WatchdogTrip};
+use numa_gpu_engine::{conservative_window, merge_cross_into, WatchdogTrip};
 use numa_gpu_faults::{AppliedFault, FaultKind};
 use numa_gpu_interconnect::{BalanceAction, LinkDirection};
 use numa_gpu_obs::TraceEvent;
@@ -180,19 +180,25 @@ impl NumaGpuSystem {
         // Cross-partition messages, gathered in partition order and merged
         // into the canonical (tick, partition, seq) order. Delivery pushes
         // are in merged order, so destination queues see an identical
-        // insertion sequence at every thread count.
-        let outboxes: Vec<Vec<(Tick, (SocketId, XMsg))>> = self
+        // insertion sequence at every thread count. Outboxes drain in place
+        // and the merge buffer persists across barriers, so the steady
+        // state allocates nothing here.
+        self.barriers += 1;
+        self.merge_reuses += self
             .shards
-            .iter_mut()
-            .map(|shard| std::mem::take(&mut shard.outbox))
-            .collect();
-        for m in merge_cross(outboxes) {
+            .iter()
+            .filter(|s| s.outbox.capacity() > 0)
+            .count() as u64
+            + u64::from(self.merge_buf.capacity() > 0);
+        let shards = &mut self.shards;
+        let merge_buf = &mut self.merge_buf;
+        merge_cross_into(shards.iter_mut().map(|s| &mut s.outbox), merge_buf);
+        self.xmsgs_merged += merge_buf.len() as u64;
+        for m in merge_buf.iter() {
             let (dest, msg) = m.payload;
             // In-flight accounting happened at emission (`send_cross`);
             // the XArrive pop decrements it.
-            self.shards[dest.index()]
-                .queue
-                .push(m.at, Ev::XArrive { msg });
+            shards[dest.index()].queue.push(m.at, Ev::XArrive { msg });
         }
 
         // First-touch claims: the earliest (tick, partition) touch wins,
@@ -524,10 +530,7 @@ impl SocketShard {
     /// exactly the events a single global queue would have run for this
     /// socket in `[start, w_end)`.
     pub(crate) fn run_window(&mut self, w_end: Tick, pages: &mut PagesView<'_>) {
-        while self.queue.peek_tick().is_some_and(|t| t < w_end) {
-            let Some((t, ev)) = self.queue.pop() else {
-                break;
-            };
+        while let Some((t, ev)) = self.queue.pop_if_before(w_end) {
             if ev.is_mem_stage() {
                 self.inflight_delta -= 1;
             }
@@ -585,6 +588,9 @@ impl SocketShard {
             return;
         };
         let warps = kernel.warps_per_cta();
+        // Recycle the shard scratch buffer across dispatches (and L1
+        // fills): in steady state no warp-slot vector is allocated.
+        let mut slots = std::mem::take(&mut self.scratch_slots);
         'outer: loop {
             if self.ctas.is_empty() {
                 break;
@@ -597,9 +603,13 @@ impl SocketShard {
                         break 'outer;
                     };
                     let program = kernel.cta(cta);
-                    let slots = self.sms[i].dispatch_cta(cta, program);
+                    slots.clear();
+                    if slots.capacity() > 0 {
+                        self.buf_reuses += 1;
+                    }
+                    self.sms[i].dispatch_cta_into(cta, program, &mut slots);
                     let sm = self.base_sm + i as u32;
-                    for slot in slots {
+                    for &slot in &slots {
                         self.warp_mem[i][slot.index()] = Default::default();
                         // Deterministic per-warp jitter staggers first
                         // issues so near-simultaneous first touches spread
@@ -618,6 +628,7 @@ impl SocketShard {
                 break;
             }
         }
+        self.scratch_slots = slots;
     }
 
     /// A warp is ready: pull its next op (or replay a parked one) and model
@@ -727,7 +738,16 @@ impl SocketShard {
             // happened at the event loop.
             return;
         }
-        for slot in self.sms[li].l1_fill(line, class) {
+        // Reuse the shard scratch buffer for the woken-warp list: the MSHR
+        // file recycles its waiter storage internally, so a steady-state
+        // fill allocates nothing.
+        let mut woken = std::mem::take(&mut self.scratch_slots);
+        woken.clear();
+        if woken.capacity() > 0 {
+            self.buf_reuses += 1;
+        }
+        self.sms[li].l1_fill_into(line, class, &mut woken);
+        for &slot in &woken {
             let st = &mut self.warp_mem[li][slot.index()];
             debug_assert!(st.outstanding > 0, "fill without outstanding load");
             st.outstanding -= 1;
@@ -738,6 +758,7 @@ impl SocketShard {
                 self.queue.push(t, Ev::WarpIssue { sm, slot });
             }
         }
+        self.scratch_slots = woken;
         // An MSHR freed: retry one parked warp.
         if let Some(slot) = self.sms[li].pop_retry() {
             self.queue.push(t, Ev::WarpIssue { sm, slot });

@@ -47,6 +47,10 @@ pub mod tenancy;
 pub use report::{SimReport, SocketReport};
 pub use system::NumaGpuSystem;
 
+// Re-exported so downstream crates can name the type of
+// [`SimReport::profile`] without depending on the observability crate.
+pub use numa_gpu_obs::ProfileReport;
+
 /// Runs `workload` on a fresh system built from `cfg` — the one-call entry
 /// point used by the benchmark harness.
 ///

@@ -3,7 +3,7 @@
 use numa_gpu_cache::CacheStats;
 use numa_gpu_faults::ResilienceReport;
 use numa_gpu_interconnect::LinkSample;
-use numa_gpu_obs::{chrome_trace, MetricsSnapshot, TraceEvent};
+use numa_gpu_obs::{chrome_trace, MetricsSnapshot, ProfileReport, TraceEvent};
 use numa_gpu_testkit::json::Json;
 
 /// Per-socket results of one simulation run.
@@ -63,6 +63,10 @@ pub struct SimReport {
     /// Fault timeline and resilience metrics (`None` unless a non-empty
     /// fault plan was installed, so fault-free reports are unchanged).
     pub resilience: Option<ResilienceReport>,
+    /// Per-subsystem work attribution (`None` unless
+    /// `SystemConfig::obs.profile` was set). Assembled at report time from
+    /// monotonic counters, so enabling it never changes any other field.
+    pub profile: Option<ProfileReport>,
 }
 
 impl std::fmt::Display for SimReport {
@@ -155,6 +159,13 @@ impl SimReport {
                 "resilience",
                 match &self.resilience {
                     Some(r) => r.to_json(),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "profile",
+                match &self.profile {
+                    Some(p) => p.to_json(),
                     None => Json::Null,
                 },
             ),

@@ -19,12 +19,12 @@ use crate::power::average_link_power_w;
 use crate::report::{SimReport, SocketReport};
 use numa_gpu_cache::LineClass;
 use numa_gpu_cache::{CacheStats, PartitionController, SetAssocCache, WayPartition};
-use numa_gpu_engine::{EventQueue, ServiceQueue, Watchdog};
+use numa_gpu_engine::{CrossMessage, EventQueue, ServiceQueue, Watchdog};
 use numa_gpu_exec::ThreadPool;
 use numa_gpu_faults::{AppliedFault, FaultPlan, LinkResilience, ResilienceReport};
 use numa_gpu_interconnect::{switch_hop_latency, GpuLink};
 use numa_gpu_mem::{Dram, PageTable};
-use numa_gpu_obs::TraceEvent;
+use numa_gpu_obs::{ProfileReport, TraceEvent};
 use numa_gpu_runtime::{Kernel, Workload};
 use numa_gpu_sm::Sm;
 use numa_gpu_types::{
@@ -257,6 +257,12 @@ pub(crate) struct SocketShard {
     pub processed: u64,
     /// Highest event tick this shard has processed.
     pub last_tick: Tick,
+    /// Scratch buffer recycled across CTA dispatches and L1 fills, so the
+    /// per-event hot path allocates no warp-slot vectors in steady state.
+    pub scratch_slots: Vec<WarpSlot>,
+    /// Times `scratch_slots` was reused with retained capacity
+    /// (allocations avoided; feeds the self-profiler).
+    pub buf_reuses: u64,
     // Derived constants.
     pub noc_latency: Tick,
     pub l2_hit_latency: Tick,
@@ -320,6 +326,8 @@ impl SocketShard {
             lookups: 0,
             processed: 0,
             last_tick: 0,
+            scratch_slots: Vec::new(),
+            buf_reuses: 0,
             noc_latency: cycles_to_ticks(cfg.noc.latency_cycles as u64),
             l2_hit_latency: cycles_to_ticks(cfg.l2.hit_latency_cycles as u64),
             half_latency: switch_hop_latency(&cfg.link),
@@ -424,6 +432,15 @@ pub struct NumaGpuSystem {
     /// Metrics registry, trace sink, and Fig-5 timelines (see `observe`).
     pub(crate) obs: ObsState,
     pub(crate) sms_per_socket: u32,
+    /// Persistent merge buffer for the window barrier; outboxes drain into
+    /// it in place, so the steady-state barrier allocates nothing.
+    pub(crate) merge_buf: Vec<CrossMessage<(SocketId, XMsg)>>,
+    /// Window barriers folded so far.
+    pub(crate) barriers: u64,
+    /// Cross-partition messages merged and delivered at barriers.
+    pub(crate) xmsgs_merged: u64,
+    /// Barrier buffer reuses with retained capacity (allocations avoided).
+    pub(crate) merge_reuses: u64,
 }
 
 impl std::fmt::Debug for NumaGpuSystem {
@@ -504,6 +521,10 @@ impl NumaGpuSystem {
             fault_state: None,
             watchdog,
             obs,
+            merge_buf: Vec::new(),
+            barriers: 0,
+            xmsgs_merged: 0,
+            merge_reuses: 0,
         })
     }
 
@@ -662,6 +683,14 @@ impl NumaGpuSystem {
             reg.gauge("engine.events_dispatched").set(pops);
             reg.gauge("engine.queue_max_len").set(max_len as u64);
         }
+        // The profile is assembled from counters the simulator maintains
+        // regardless of the flag, so enabling it cannot change any other
+        // report field. When metrics are also on, the profile rides along
+        // in the snapshot as `profile.*` counters.
+        let profile = self.cfg.obs.profile.then(|| self.build_profile());
+        if let (Some(p), Some(reg)) = (&profile, &mut self.obs.registry) {
+            p.publish(reg);
+        }
         let metrics = self.obs.registry.as_ref().map(|r| r.snapshot());
         let trace_events = self.obs.take_trace();
         let resilience = self.fault_state.as_ref().map(|fs| {
@@ -702,7 +731,122 @@ impl NumaGpuSystem {
             metrics,
             trace_events,
             resilience,
+            profile,
         }
+    }
+
+    /// Assembles the self-profile: every subsystem's monotonic work
+    /// counters, attributed to fixed scopes in a fixed order (so the JSON
+    /// encoding is byte-stable). Pure read of state that exists whether or
+    /// not profiling is enabled — see `numa_gpu_obs::profiler` for the
+    /// timing-invariance argument.
+    fn build_profile(&self) -> ProfileReport {
+        let mut p = ProfileReport::new();
+
+        // Engine: event-queue traffic (split by calendar-queue path),
+        // window barriers, and the cross-partition merge plane.
+        let mut q = self.control.stats();
+        for shard in &self.shards {
+            let s = shard.queue.stats();
+            q.pushes += s.pushes;
+            q.pops += s.pops;
+            q.max_len = q.max_len.max(s.max_len);
+            q.bucket_pushes += s.bucket_pushes;
+            q.sorted_pushes += s.sorted_pushes;
+            q.overflow_pushes += s.overflow_pushes;
+            q.promotions += s.promotions;
+            q.rebases += s.rebases;
+            q.rebuilds += s.rebuilds;
+        }
+        p.scope("engine")
+            .count("events_scheduled", q.pushes)
+            .count("events_popped", q.pops)
+            .count("queue_peak_len", q.max_len as u64)
+            .count("queue_bucket_pushes", q.bucket_pushes)
+            .count("queue_sorted_pushes", q.sorted_pushes)
+            .count("queue_overflow_pushes", q.overflow_pushes)
+            .count("queue_promotions", q.promotions)
+            .count("queue_rebases", q.rebases)
+            .count("queue_rebuilds", q.rebuilds)
+            .count("window_barriers", self.barriers)
+            .count("cross_msgs_merged", self.xmsgs_merged)
+            .count("allocations_avoided", self.merge_reuses);
+
+        // SM: warp issue volume and the dispatch/fill recycling plane.
+        let (mut ops, mut ctas, mut stalls, mut recycled) = (0u64, 0u64, 0u64, 0u64);
+        for shard in &self.shards {
+            recycled += shard.buf_reuses;
+            for sm in &shard.sms {
+                let s = sm.stats();
+                ops += s.ops_issued.get();
+                ctas += s.ctas_completed.get();
+                stalls += s.mshr_stalls.get();
+                recycled += sm.recycled_allocations();
+            }
+        }
+        p.scope("sm")
+            .count("warp_ops_issued", ops)
+            .count("ctas_completed", ctas)
+            .count("mshr_stall_parks", stalls)
+            .count("allocations_avoided", recycled);
+
+        // Cache: access volumes at both levels.
+        let (mut l1a, mut l1f, mut l2a, mut l2f, mut l2e) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for shard in &self.shards {
+            for sm in &shard.sms {
+                let s = sm.l1_stats();
+                l1a += s.local_hits.get()
+                    + s.local_misses.get()
+                    + s.remote_hits.get()
+                    + s.remote_misses.get();
+                l1f += s.fills.get();
+            }
+            let s = shard.l2.stats();
+            l2a += s.local_hits.get()
+                + s.local_misses.get()
+                + s.remote_hits.get()
+                + s.remote_misses.get();
+            l2f += s.fills.get();
+            l2e += s.evictions.get();
+        }
+        p.scope("cache")
+            .count("l1_accesses", l1a)
+            .count("l1_fills", l1f)
+            .count("l2_accesses", l2a)
+            .count("l2_fills", l2f)
+            .count("l2_evictions", l2e);
+
+        // Mem: DRAM transfer volume and page-home resolution.
+        let (mut reads, mut writes, mut bytes) = (0u64, 0u64, 0u64);
+        for shard in &self.shards {
+            let s = shard.dram.stats();
+            reads += s.reads.get();
+            writes += s.writes.get();
+            bytes += s.bytes.get();
+        }
+        let pt = self.pages.stats();
+        p.scope("mem")
+            .count("dram_reads", reads)
+            .count("dram_writes", writes)
+            .count("dram_bytes", bytes)
+            .count("page_lookups", pt.lookups.get())
+            .count("pages_placed", pt.pages_placed.get());
+
+        // Interconnect: NoC service requests and switch-link traffic.
+        let (mut noc, mut egress, mut ingress, mut turns) = (0u64, 0u64, 0u64, 0u64);
+        for shard in &self.shards {
+            noc += shard.noc_req.total_requests() + shard.noc_resp.total_requests();
+            let s = shard.link.stats();
+            egress += s.egress_bytes.get();
+            ingress += s.ingress_bytes.get();
+            turns += s.lane_turns.get();
+        }
+        p.scope("interconnect")
+            .count("noc_requests", noc)
+            .count("link_egress_bytes", egress)
+            .count("link_ingress_bytes", ingress)
+            .count("lane_turns", turns);
+        p
     }
 
     fn kernel_cycles(&self) -> Vec<u64> {

@@ -1,0 +1,118 @@
+//! Timing invariance of the self-profiler: enabling `obs.profile` must
+//! change exactly one thing — the report's `profile` field — and nothing
+//! else, at any `sim_threads` setting. The profile is assembled at report
+//! time from counters the simulation maintains unconditionally, so these
+//! tests pin the "cannot perturb timing" contract end to end.
+
+use numa_gpu_core::run_workload;
+use numa_gpu_types::SystemConfig;
+use numa_gpu_workloads::{by_name, Scale};
+
+fn cfg(profile: bool, sim_threads: u16) -> SystemConfig {
+    let mut cfg = SystemConfig::numa_aware_sockets(4);
+    cfg.obs.profile = profile;
+    cfg.sim_threads = sim_threads;
+    cfg
+}
+
+#[test]
+fn profile_on_changes_only_the_profile_field() {
+    for name in ["Rodinia-Euler3D", "Other-Stream-Triad"] {
+        let wl = by_name(name, &Scale::quick()).unwrap();
+        let off = run_workload(cfg(false, 1), &wl).unwrap();
+        let on = run_workload(cfg(true, 1), &wl).unwrap();
+
+        assert!(off.profile.is_none(), "{name}: profiling defaults off");
+        assert!(on.profile.is_some(), "{name}: profile requested but absent");
+
+        // Field-for-field identity once the profile itself is removed.
+        let mut stripped = on.clone();
+        stripped.profile = None;
+        assert_eq!(off, stripped, "{name}: profiling perturbed the report");
+
+        // Same invariant at the byte level: the encodings differ only in
+        // the `profile` value, which is `null` when profiling is off.
+        let off_json = off.to_json().to_string();
+        let on_json = on.to_json().to_string();
+        let profile_json = on.profile.as_ref().unwrap().to_json().to_string();
+        assert_eq!(
+            off_json.replace("\"profile\":null", &format!("\"profile\":{profile_json}")),
+            on_json,
+            "{name}: encodings diverge outside the profile field"
+        );
+    }
+}
+
+#[test]
+fn profile_is_byte_identical_across_sim_threads() {
+    let wl = by_name("Rodinia-Euler3D", &Scale::quick()).unwrap();
+    let serial = run_workload(cfg(true, 1), &wl).unwrap();
+    for threads in [2, 4] {
+        let parallel = run_workload(cfg(true, threads), &wl).unwrap();
+        assert_eq!(
+            serial, parallel,
+            "profiled report differs at sim_threads={threads}"
+        );
+        assert_eq!(
+            serial.to_json().to_string(),
+            parallel.to_json().to_string(),
+            "profiled JSON differs at sim_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn profile_counters_reconcile_with_the_report() {
+    let wl = by_name("Rodinia-Euler3D", &Scale::quick()).unwrap();
+    let report = run_workload(cfg(true, 1), &wl).unwrap();
+    let p = report.profile.as_ref().unwrap();
+
+    // The attribution is drawn from the same counters the report itself
+    // aggregates, so the two views must agree where they overlap.
+    let scheduled = p.get("engine", "events_scheduled").unwrap();
+    let popped = p.get("engine", "events_popped").unwrap();
+    assert!(popped > 0, "a real run pops events");
+    assert!(popped <= scheduled, "cannot pop more than was scheduled");
+
+    let l1 = p.get("cache", "l1_accesses").unwrap();
+    assert_eq!(
+        l1,
+        report.l1.local_hits.get()
+            + report.l1.local_misses.get()
+            + report.l1.remote_hits.get()
+            + report.l1.remote_misses.get(),
+        "L1 attribution disagrees with the report's own stats"
+    );
+
+    let dram_bytes = p.get("mem", "dram_bytes").unwrap();
+    assert_eq!(
+        dram_bytes,
+        report.dram_bytes(),
+        "DRAM attribution disagrees"
+    );
+
+    // Work-conservation sanity on the queue-path split: every scheduled
+    // event took exactly one push path.
+    let bucket = p.get("engine", "queue_bucket_pushes").unwrap();
+    let sorted = p.get("engine", "queue_sorted_pushes").unwrap();
+    let overflow = p.get("engine", "queue_overflow_pushes").unwrap();
+    assert!(
+        bucket + sorted + overflow <= scheduled,
+        "push-path split exceeds total pushes"
+    );
+}
+
+#[test]
+fn profile_rides_along_in_metrics_when_both_are_on() {
+    let wl = by_name("Other-Stream-Triad", &Scale::quick()).unwrap();
+    let mut with_both = cfg(true, 1);
+    with_both.obs.metrics = true;
+    let report = run_workload(with_both, &wl).unwrap();
+    let snap = report.metrics.as_ref().unwrap();
+    let p = report.profile.as_ref().unwrap();
+    assert_eq!(
+        snap.counter("profile.engine.events_popped"),
+        p.get("engine", "events_popped"),
+        "published metric and profile counter must agree"
+    );
+}

@@ -1,14 +1,54 @@
-//! Deterministic event queue.
+//! Deterministic event queue: a bucketed calendar queue.
 
-use numa_gpu_types::Tick;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use numa_gpu_types::{Tick, TICKS_PER_CYCLE};
 
-/// A min-heap of timestamped events with FIFO ordering among events
-/// scheduled for the same tick.
+/// Buckets in the calendar window (one simulated cycle per bucket).
+///
+/// 512 cycles comfortably covers the simulator's event horizon — lookahead
+/// windows are ~64 cycles and DRAM round trips ~100 — so almost every push
+/// is an O(1) bucket append. Power of two so the ring index is a mask.
+const NUM_BUCKETS: usize = 512;
+const BUCKET_MASK: u64 = NUM_BUCKETS as u64 - 1;
+const OCC_WORDS: usize = NUM_BUCKETS / 64;
+
+/// A timestamped event queue with FIFO ordering among events scheduled for
+/// the same tick, implemented as a bucketed calendar queue.
 ///
 /// Determinism matters: the simulator's results must be bit-identical run to
 /// run, so ties are broken by insertion sequence rather than payload order.
+/// The pop order is exactly that of a min-heap ordered by `(tick, seq)` —
+/// equivalently, a stable sort of all pushes by tick.
+///
+/// # Design
+///
+/// The calendar is a ring of 512 (`NUM_BUCKETS`) buckets, one simulated
+/// cycle ([`TICKS_PER_CYCLE`] ticks) wide each, covering the window
+/// `[base_cycle, base_cycle + NUM_BUCKETS)`:
+///
+/// - The **active** bucket (cycle `base_cycle`, always the earliest
+///   non-empty one) is kept sorted in descending `(tick, seq)` order, so
+///   the next event pops from its back in O(1).
+/// - Pushes into later window cycles are O(1) unsorted appends; a bucket is
+///   sorted once, when the window front reaches it.
+/// - Pushes into the current cycle insert in sorted position — an append
+///   when the event is not earlier than everything pending in the cycle
+///   (the common same-cycle wakeup), a short memmove otherwise.
+/// - Events beyond the window go to a sorted **overflow** vector (ascending,
+///   so the far future is appended and the near future drains from the
+///   front as the window advances). Only samplers and deeply backlogged
+///   resources schedule that far out.
+/// - A push *before* the window **rebases** in O(1) when every pending
+///   cycle still fits one window span anchored at the new minimum: bucket
+///   indices are `cycle & BUCKET_MASK` regardless of `base_cycle`, so only
+///   the base moves. The simulator hits this when a partition's queue fully
+///   drains at a window barrier and then refills out of order. Only when
+///   pending cycles span more than the window does the push fall back to a
+///   full calendar rebuild (an O(n log n) sort), which is rare.
+///
+/// Pop order is unchanged from a binary heap because the active bucket is
+/// always the earliest non-empty cycle (overflow cycles are strictly later
+/// than every bucketed cycle), and within a cycle events are ordered by the
+/// full `(tick, seq)` key.
 ///
 /// # Examples
 ///
@@ -26,13 +66,37 @@ use std::collections::BinaryHeap;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Ring of per-cycle buckets, indexed by `cycle & BUCKET_MASK`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Bitmap of non-empty buckets (bit `i` covers `buckets[i]`).
+    occupied: [u64; OCC_WORDS],
+    /// Cycle of the active (earliest non-empty) bucket.
+    base_cycle: u64,
+    /// Upper bound on the latest bucketed cycle (never lowered by pops, so
+    /// it may be stale-high; reset when the queue empties). Gates the O(1)
+    /// window **rebase** on a below-window push: bucket indices are
+    /// `cycle & BUCKET_MASK` regardless of `base_cycle`, so as long as
+    /// every pending cycle fits one window span the base can simply move
+    /// back without touching a single bucket.
+    max_bucket_cycle: u64,
+    /// Events beyond the bucket window, ascending `(tick, seq)`.
+    overflow: Vec<Entry<E>>,
+    /// Cached tick of the earliest pending event.
+    next_at: Option<Tick>,
+    len: usize,
     seq: u64,
     pops: u64,
     max_len: usize,
+    bucket_pushes: u64,
+    sorted_pushes: u64,
+    overflow_pushes: u64,
+    promotions: u64,
+    rebases: u64,
+    rebuilds: u64,
 }
 
-/// Lifetime statistics of an [`EventQueue`], for observability snapshots.
+/// Lifetime statistics of an [`EventQueue`], for observability snapshots
+/// and the self-profiler's engine attribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EventQueueStats {
     /// Events ever scheduled.
@@ -41,6 +105,23 @@ pub struct EventQueueStats {
     pub pops: u64,
     /// High-water mark of pending events.
     pub max_len: usize,
+    /// Pushes appended unsorted to a later window bucket (the O(1) path).
+    pub bucket_pushes: u64,
+    /// Pushes inserted in sorted position in the active cycle.
+    pub sorted_pushes: u64,
+    /// Pushes beyond the calendar window, into the sorted overflow.
+    pub overflow_pushes: u64,
+    /// Overflow events promoted into buckets as the window advanced.
+    pub promotions: u64,
+    /// O(1) window rebases on a below-window push (the common shape after
+    /// a full drain refills out of order): every pending cycle still fit
+    /// one window span, so only the base moved.
+    pub rebases: u64,
+    /// Full calendar rebuilds on a below-window push that could not
+    /// rebase — pending cycles spanned more than the window. Rare: it
+    /// needs a drain-and-refill interleaved with events scheduled
+    /// hundreds of cycles out.
+    pub rebuilds: u64,
 }
 
 #[derive(Debug)]
@@ -50,32 +131,57 @@ struct Entry<E> {
     payload: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl<E> Entry<E> {
+    /// The total order popped: tick first, insertion sequence second.
+    #[inline]
+    fn key(&self) -> (Tick, u64) {
+        (self.at, self.seq)
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// Cycle a tick falls in (bucket granularity).
+#[inline]
+fn cycle_of(at: Tick) -> u64 {
+    at / TICKS_PER_CYCLE
 }
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+
+/// Ring index of a cycle's bucket.
+#[inline]
+fn bucket_index(cycle: u64) -> usize {
+    (cycle & BUCKET_MASK) as usize
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; OCC_WORDS],
+            base_cycle: 0,
+            max_bucket_cycle: 0,
+            overflow: Vec::new(),
+            next_at: None,
+            len: 0,
             seq: 0,
             pops: 0,
             max_len: 0,
+            bucket_pushes: 0,
+            sorted_pushes: 0,
+            overflow_pushes: 0,
+            promotions: 0,
+            rebases: 0,
+            rebuilds: 0,
         }
+    }
+
+    #[inline]
+    fn set_occupied(&mut self, idx: usize) {
+        self.occupied[idx / 64] |= 1u64 << (idx % 64);
+    }
+
+    #[inline]
+    fn clear_occupied(&mut self, idx: usize) {
+        self.occupied[idx / 64] &= !(1u64 << (idx % 64));
     }
 
     /// Schedules `payload` at tick `at`.
@@ -83,45 +189,248 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: Tick, payload: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, payload }));
-        self.max_len = self.max_len.max(self.heap.len());
+        let entry = Entry { at, seq, payload };
+        let cycle = cycle_of(at);
+        if self.len == 0 {
+            self.base_cycle = cycle;
+            self.max_bucket_cycle = cycle;
+            let idx = bucket_index(cycle);
+            self.buckets[idx].push(entry);
+            self.set_occupied(idx);
+        } else if cycle < self.base_cycle {
+            if self.max_bucket_cycle < cycle + NUM_BUCKETS as u64 {
+                // Every pending cycle still fits the window anchored at
+                // `cycle`, so rebase in O(1): the target bucket cannot
+                // alias a pending cycle (that would need a cycle ≥
+                // `cycle + NUM_BUCKETS`), hence it is empty and becomes
+                // the new, trivially sorted active bucket. This is the
+                // common shape after a full drain refills out of order.
+                self.rebases += 1;
+                self.base_cycle = cycle;
+                let idx = bucket_index(cycle);
+                debug_assert!(self.buckets[idx].is_empty(), "rebase target aliased");
+                self.buckets[idx].push(entry);
+                self.set_occupied(idx);
+            } else {
+                self.rebuilds += 1;
+                self.rebuild_with(entry);
+            }
+        } else if cycle == self.base_cycle {
+            self.sorted_pushes += 1;
+            self.insert_active(entry);
+        } else if cycle < self.base_cycle + NUM_BUCKETS as u64 {
+            self.bucket_pushes += 1;
+            self.max_bucket_cycle = self.max_bucket_cycle.max(cycle);
+            let idx = bucket_index(cycle);
+            self.buckets[idx].push(entry);
+            self.set_occupied(idx);
+        } else {
+            self.overflow_pushes += 1;
+            let key = entry.key();
+            let pos = self.overflow.partition_point(|e| e.key() < key);
+            self.overflow.insert(pos, entry);
+        }
+        self.len += 1;
+        self.max_len = self.max_len.max(self.len);
+        self.next_at = Some(match self.next_at {
+            Some(t) => t.min(at),
+            None => at,
+        });
     }
 
     /// Removes and returns the earliest event, if any.
     #[inline]
     pub fn pop(&mut self) -> Option<(Tick, E)> {
-        let e = self.heap.pop().map(|Reverse(e)| (e.at, e.payload));
-        if e.is_some() {
-            self.pops += 1;
+        let idx = bucket_index(self.base_cycle);
+        let entry = self.buckets[idx].pop()?;
+        debug_assert_eq!(
+            Some(entry.at),
+            self.next_at,
+            "active bucket held the minimum"
+        );
+        self.len -= 1;
+        self.pops += 1;
+        if self.buckets[idx].is_empty() {
+            self.clear_occupied(idx);
+            self.advance();
+        } else {
+            self.next_at = self.buckets[idx].last().map(|e| e.at);
         }
-        e
+        Some((entry.at, entry.payload))
+    }
+
+    /// Removes and returns the earliest event only if its tick is strictly
+    /// before `bound` — the hot-path form of "peek, compare, pop" the
+    /// windowed executor runs per event.
+    #[inline]
+    pub fn pop_if_before(&mut self, bound: Tick) -> Option<(Tick, E)> {
+        if self.next_at? < bound {
+            self.pop()
+        } else {
+            None
+        }
     }
 
     /// Tick of the earliest pending event.
     #[inline]
     pub fn peek_tick(&self) -> Option<Tick> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        self.next_at
     }
 
     /// Number of pending events.
     #[inline]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
-    /// Lifetime scheduling statistics (pushes, pops, high-water mark).
+    /// Lifetime scheduling statistics (pushes, pops, high-water mark, and
+    /// calendar path counters).
     pub fn stats(&self) -> EventQueueStats {
         EventQueueStats {
             pushes: self.seq,
             pops: self.pops,
             max_len: self.max_len,
+            bucket_pushes: self.bucket_pushes,
+            sorted_pushes: self.sorted_pushes,
+            overflow_pushes: self.overflow_pushes,
+            promotions: self.promotions,
+            rebases: self.rebases,
+            rebuilds: self.rebuilds,
         }
+    }
+
+    /// Inserts into the active bucket, which is sorted descending by
+    /// `(tick, seq)` so the minimum pops from the back.
+    fn insert_active(&mut self, entry: Entry<E>) {
+        let idx = bucket_index(self.base_cycle);
+        let bucket = &mut self.buckets[idx];
+        let key = entry.key();
+        match bucket.last() {
+            // Earlier than everything pending in this cycle (the common
+            // same-cycle wakeup: a fresh seq at the cycle's current front).
+            Some(last) if key < last.key() => bucket.push(entry),
+            Some(_) => {
+                let pos = bucket.partition_point(|e| e.key() > key);
+                bucket.insert(pos, entry);
+            }
+            None => {
+                bucket.push(entry);
+                self.set_occupied(idx);
+            }
+        }
+    }
+
+    /// Moves the window front to the next non-empty cycle after the active
+    /// bucket drained, pulling newly in-window overflow along.
+    fn advance(&mut self) {
+        if self.len == 0 {
+            self.next_at = None;
+            return;
+        }
+        match self.next_occupied_cycle() {
+            Some(cycle) => self.base_cycle = cycle,
+            None => {
+                // Everything pending sits in the overflow; jump the window
+                // to its earliest cycle. Overflow is ascending, so index 0
+                // is the minimum.
+                if let Some(first) = self.overflow.first() {
+                    self.base_cycle = cycle_of(first.at);
+                }
+            }
+        }
+        self.promote();
+        self.activate();
+    }
+
+    /// Drains overflow events that now fall inside the bucket window.
+    fn promote(&mut self) {
+        let limit = self.base_cycle + NUM_BUCKETS as u64;
+        let k = self.overflow.partition_point(|e| cycle_of(e.at) < limit);
+        if k == 0 {
+            return;
+        }
+        self.promotions += k as u64;
+        for entry in self.overflow.drain(..k) {
+            let cycle = cycle_of(entry.at);
+            self.max_bucket_cycle = self.max_bucket_cycle.max(cycle);
+            let idx = bucket_index(cycle);
+            self.buckets[idx].push(entry);
+            self.occupied[idx / 64] |= 1u64 << (idx % 64);
+        }
+    }
+
+    /// Sorts the (new) active bucket and refreshes the cached minimum.
+    fn activate(&mut self) {
+        let idx = bucket_index(self.base_cycle);
+        let bucket = &mut self.buckets[idx];
+        // `(tick, seq)` keys are unique, so an unstable sort is a total
+        // (and therefore deterministic) order.
+        bucket.sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+        self.next_at = bucket.last().map(|e| e.at);
+        debug_assert!(self.next_at.is_some(), "advance() chose an empty bucket");
+    }
+
+    /// Rebuilds the calendar around a push earlier than the current window.
+    /// Only occupied buckets (bitmap-guided) are drained, so the cost is
+    /// proportional to the pending population, not the ring size.
+    fn rebuild_with(&mut self, entry: Entry<E>) {
+        let mut all: Vec<Entry<E>> = Vec::with_capacity(self.len + 1);
+        for (w, &word) in self.occupied.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let idx = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                all.append(&mut self.buckets[idx]);
+            }
+        }
+        all.append(&mut self.overflow);
+        all.push(entry);
+        all.sort_unstable_by_key(Entry::key);
+        self.occupied = [0; OCC_WORDS];
+        if let Some(first) = all.first() {
+            self.base_cycle = cycle_of(first.at);
+        }
+        self.max_bucket_cycle = self.base_cycle;
+        let limit = self.base_cycle + NUM_BUCKETS as u64;
+        for e in all {
+            let cycle = cycle_of(e.at);
+            if cycle < limit {
+                self.max_bucket_cycle = self.max_bucket_cycle.max(cycle);
+                let idx = bucket_index(cycle);
+                self.buckets[idx].push(e);
+                self.occupied[idx / 64] |= 1u64 << (idx % 64);
+            } else {
+                self.overflow.push(e);
+            }
+        }
+        self.activate();
+    }
+
+    /// First non-empty bucket cycle strictly after `base_cycle`, if any,
+    /// via a ring scan of the occupancy bitmap.
+    fn next_occupied_cycle(&self) -> Option<u64> {
+        let base_idx = bucket_index(self.base_cycle);
+        let mut idx = (base_idx + 1) % NUM_BUCKETS;
+        let mut remaining = NUM_BUCKETS - 1;
+        while remaining > 0 {
+            let word = self.occupied[idx / 64] >> (idx % 64);
+            if word != 0 {
+                let hit = idx + word.trailing_zeros() as usize;
+                let dist = (hit + NUM_BUCKETS - base_idx) & BUCKET_MASK as usize;
+                debug_assert_ne!(dist, 0, "active bucket bit must be cleared");
+                return Some(self.base_cycle + dist as u64);
+            }
+            let step = (64 - idx % 64).min(remaining);
+            idx = (idx + step) % NUM_BUCKETS;
+            remaining -= step;
+        }
+        None
     }
 }
 
@@ -192,9 +501,151 @@ mod tests {
         q.push(20, 1);
         assert_eq!(q.pop().unwrap().0, 10);
         q.push(15, 2);
-        q.push(5, 3);
+        q.push(5, 3); // earlier than already-popped ticks, same cycle
         assert_eq!(q.pop().unwrap(), (5, 3));
         assert_eq!(q.pop().unwrap(), (15, 2));
         assert_eq!(q.pop().unwrap(), (20, 1));
+    }
+
+    #[test]
+    fn push_before_window_rebases_in_place() {
+        let mut q = EventQueue::new();
+        q.push(10 * TICKS_PER_CYCLE, 0);
+        q.push(20 * TICKS_PER_CYCLE, 1);
+        assert_eq!(q.pop().unwrap().1, 0); // window advances to cycle 20
+
+        // Before the window, but every pending cycle fits a window
+        // anchored at 5 — an O(1) rebase, not a rebuild.
+        q.push(5 * TICKS_PER_CYCLE, 2);
+        assert_eq!(q.stats().rebases, 1);
+        assert_eq!(q.stats().rebuilds, 0);
+        assert_eq!(q.pop().unwrap(), (5 * TICKS_PER_CYCLE, 2));
+        assert_eq!(q.pop().unwrap(), (20 * TICKS_PER_CYCLE, 1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_before_window_rebuilds_when_span_exceeds_ring() {
+        let w = NUM_BUCKETS as u64;
+        let mut q = EventQueue::new();
+        q.push(0, 0);
+        q.push(400 * TICKS_PER_CYCLE, 1);
+        assert_eq!(q.pop().unwrap().1, 0); // window advances to cycle 400
+        q.push((400 + w - 10) * TICKS_PER_CYCLE, 2); // near the window's end
+
+        // Cycle 100 cannot coexist with cycle 400+w-10 in one window span,
+        // so this below-window push must take the full rebuild.
+        q.push(100 * TICKS_PER_CYCLE, 3);
+        assert_eq!(q.stats().rebuilds, 1);
+        assert_eq!(q.stats().rebases, 0);
+        assert_eq!(q.pop().unwrap(), (100 * TICKS_PER_CYCLE, 3));
+        assert_eq!(q.pop().unwrap(), (400 * TICKS_PER_CYCLE, 1));
+        assert_eq!(q.pop().unwrap(), ((400 + w - 10) * TICKS_PER_CYCLE, 2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_future_overflows_and_promotes() {
+        let mut q = EventQueue::new();
+        q.push(0, 'a');
+        let far = (NUM_BUCKETS as u64 + 100) * TICKS_PER_CYCLE;
+        q.push(far, 'f');
+        q.push(far + 1, 'g');
+        let s = q.stats();
+        assert_eq!(s.overflow_pushes, 2, "far-future pushes overflow");
+        assert_eq!(q.pop(), Some((0, 'a')));
+        assert_eq!(q.pop(), Some((far, 'f')));
+        assert_eq!(q.pop(), Some((far + 1, 'g')));
+        assert_eq!(q.stats().promotions, 2, "window advance promotes");
+    }
+
+    #[test]
+    fn same_cycle_subtick_order_is_by_tick_then_seq() {
+        let mut q = EventQueue::new();
+        // All within one cycle, pushed out of tick order.
+        q.push(900, 0);
+        q.push(100, 1);
+        q.push(100, 2);
+        q.push(500, 3);
+        assert_eq!(q.pop(), Some((100, 1)));
+        q.push(100, 4); // same tick as the current minimum
+        assert_eq!(q.pop(), Some((100, 2)));
+        assert_eq!(q.pop(), Some((100, 4)));
+        assert_eq!(q.pop(), Some((500, 3)));
+        assert_eq!(q.pop(), Some((900, 0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_if_before_respects_bound() {
+        let mut q = EventQueue::new();
+        q.push(10, 'a');
+        q.push(30, 'b');
+        assert_eq!(q.pop_if_before(10), None);
+        assert_eq!(q.pop_if_before(11), Some((10, 'a')));
+        assert_eq!(q.pop_if_before(30), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_if_before(u64::MAX), Some((30, 'b')));
+        assert_eq!(q.pop_if_before(u64::MAX), None);
+    }
+
+    #[test]
+    fn window_ring_wraps_cleanly() {
+        // Push a sparse, strictly increasing schedule several windows long
+        // and drain interleaved, crossing the ring boundary many times.
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        for i in 0..2_000u64 {
+            let at = i * 3 * TICKS_PER_CYCLE; // 3 cycles apart: wraps ring 11x
+            q.push(at, i);
+            expect.push((at, i));
+            if i % 2 == 1 {
+                assert_eq!(q.pop(), Some(expect.remove(0)));
+            }
+        }
+        while let Some(e) = q.pop() {
+            assert_eq!(e, expect.remove(0));
+        }
+        assert!(expect.is_empty());
+    }
+
+    #[test]
+    fn matches_reference_heap_on_mixed_workload() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut q = EventQueue::new();
+        let mut heap: BinaryHeap<Reverse<(Tick, u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut rng = 0x2545_f491_4f6c_dd1du64;
+        let mut now = 0u64;
+        for step in 0..20_000u64 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = rng >> 33;
+            if !r.is_multiple_of(3) || heap.is_empty() {
+                let delta = match r % 10 {
+                    0..=5 => r % (2 * TICKS_PER_CYCLE),
+                    6..=8 => r % (300 * TICKS_PER_CYCLE),
+                    _ => r % (10_000 * TICKS_PER_CYCLE),
+                };
+                q.push(now + delta, step);
+                heap.push(Reverse((now + delta, seq, step)));
+                seq += 1;
+            } else {
+                let got = q.pop();
+                let want = heap.pop().map(|Reverse((t, _, p))| (t, p));
+                assert_eq!(got, want);
+                if let Some((t, _)) = got {
+                    now = t;
+                }
+            }
+        }
+        loop {
+            let got = q.pop();
+            let want = heap.pop().map(|Reverse((t, _, p))| (t, p));
+            assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
     }
 }

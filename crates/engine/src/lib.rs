@@ -2,8 +2,11 @@
 //!
 //! Two building blocks drive the whole simulator:
 //!
-//! * [`EventQueue`] — a deterministic min-heap of `(Tick, payload)` pairs
-//!   with FIFO tie-breaking, so identical runs replay identically.
+//! * [`EventQueue`] — a deterministic timestamped queue of
+//!   `(Tick, payload)` pairs with FIFO tie-breaking, so identical runs
+//!   replay identically. Implemented as a bucketed calendar queue (one
+//!   cycle per bucket) whose pop order is exactly that of a min-heap over
+//!   `(tick, seq)`; the hot push path is an O(1) bucket append.
 //! * [`ServiceQueue`] — a bandwidth-limited FIFO resource (DRAM interface,
 //!   NoC, one link direction). Requests occupy the resource for
 //!   `bytes / rate` cycles; the queue tracks windowed busy time so the
@@ -38,6 +41,6 @@ mod service_queue;
 mod watchdog;
 
 pub use event_queue::{EventQueue, EventQueueStats};
-pub use partition::{conservative_window, merge_cross, CrossMessage};
+pub use partition::{conservative_window, merge_cross, merge_cross_into, CrossMessage};
 pub use service_queue::ServiceQueue;
 pub use watchdog::{Watchdog, WatchdogTrip};

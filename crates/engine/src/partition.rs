@@ -63,16 +63,33 @@ pub fn conservative_window(start: Tick, lookahead: Tick, barrier: Option<Tick>) 
 /// in this order gives every message a schedule-independent FIFO sequence
 /// number.
 pub fn merge_cross<M>(outboxes: Vec<Vec<(Tick, M)>>) -> Vec<CrossMessage<M>> {
-    let mut merged: Vec<CrossMessage<M>> = Vec::new();
-    for (p, outbox) in outboxes.into_iter().enumerate() {
-        merged.extend(outbox.into_iter().map(|(at, payload)| CrossMessage {
+    let mut merged = Vec::new();
+    let mut outboxes = outboxes;
+    merge_cross_into(outboxes.iter_mut(), &mut merged);
+    merged
+}
+
+/// Allocation-recycling form of [`merge_cross`]: drains each outbox in
+/// place (keeping its capacity for the next window) and merges into
+/// `merged`, which is cleared first and likewise keeps its capacity.
+///
+/// Run once per window barrier with persistent buffers, the steady state
+/// allocates nothing. The delivery order is identical to [`merge_cross`]:
+/// partition-major gather followed by a stable sort by tick yields the
+/// canonical `(tick, partition, emission sequence)` order.
+pub fn merge_cross_into<'a, M: 'a>(
+    outboxes: impl Iterator<Item = &'a mut Vec<(Tick, M)>>,
+    merged: &mut Vec<CrossMessage<M>>,
+) {
+    merged.clear();
+    for (p, outbox) in outboxes.enumerate() {
+        merged.extend(outbox.drain(..).map(|(at, payload)| CrossMessage {
             at,
             source: p as u32,
             payload,
         }));
     }
     merged.sort_by_key(|m| m.at); // stable: keeps (partition, seq) order
-    merged
 }
 
 #[cfg(test)]
@@ -124,5 +141,29 @@ mod tests {
     fn merge_of_empty_outboxes_is_empty() {
         assert!(merge_cross::<u8>(vec![vec![], vec![]]).is_empty());
         assert!(merge_cross::<u8>(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn merge_into_recycles_buffers_and_matches_merge_cross() {
+        let make = || {
+            vec![
+                vec![(20u64, "p0-a"), (10, "p0-b")],
+                vec![(10, "p1-a"), (10, "p1-b")],
+                vec![(5, "p2-a")],
+            ]
+        };
+        let expected = merge_cross(make());
+        let mut outboxes = make();
+        let mut merged = Vec::new();
+        merged.push(CrossMessage {
+            at: 0,
+            source: 0,
+            payload: "stale", // cleared by the merge
+        });
+        merge_cross_into(outboxes.iter_mut(), &mut merged);
+        assert_eq!(merged, expected);
+        // Outboxes are drained in place and keep their capacity.
+        assert!(outboxes.iter().all(Vec::is_empty));
+        assert!(outboxes[0].capacity() >= 2);
     }
 }

@@ -47,6 +47,75 @@ prop_check! {
         }
     }
 
+    /// Under arbitrary push/pop interleavings — same-cycle ties, far-future
+    /// overflow, and pushes before the calendar window — the queue pops in
+    /// exactly the order of a reference min-heap keyed by `(tick, seq)`.
+    fn event_queue_matches_heap_under_interleaving(
+        ops in vecs(pairs(ints(0u64..3), ints(0u64..2000)), 1..300)
+    ) {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut q = EventQueue::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (i, (op, x)) in ops.iter().enumerate() {
+            if *op == 0 {
+                // Pop from both; results must agree exactly.
+                let got = q.pop();
+                let want = heap.pop().map(|Reverse((t, _, p))| (t, p));
+                prop_assert_eq!(got, want);
+            } else {
+                // Spread ticks across same-cycle ties (op == 1) and a wide
+                // range reaching far past the 512-cycle bucket window and
+                // below any already-advanced window front (op == 2).
+                let at = if *op == 1 {
+                    (x % 4) * TICKS_PER_CYCLE + x % 16
+                } else {
+                    x * TICKS_PER_CYCLE
+                };
+                q.push(at, i);
+                heap.push(Reverse((at, seq, i)));
+                seq += 1;
+            }
+        }
+        loop {
+            let got = q.pop();
+            let want = heap.pop().map(|Reverse((t, _, p))| (t, p));
+            let done = got.is_none();
+            prop_assert_eq!(got, want);
+            if done {
+                break;
+            }
+        }
+    }
+
+    /// `pop_if_before(bound)` pops exactly when the head tick is strictly
+    /// below the bound, and never disturbs the queue otherwise.
+    fn event_queue_pop_if_before_agrees_with_peek(
+        events in vecs(ints(0u64..5000), 1..100),
+        bounds in vecs(ints(0u64..5000), 1..100)
+    ) {
+        let mut q = EventQueue::new();
+        for (i, t) in events.iter().enumerate() {
+            q.push(*t, i);
+        }
+        for b in bounds {
+            let head = q.peek_tick();
+            let len_before = q.len();
+            match q.pop_if_before(b) {
+                Some((t, _)) => {
+                    prop_assert_eq!(Some(t), head);
+                    prop_assert!(t < b);
+                    prop_assert_eq!(q.len(), len_before - 1);
+                }
+                None => {
+                    prop_assert!(head.is_none_or(|t| t >= b));
+                    prop_assert_eq!(q.len(), len_before);
+                }
+            }
+        }
+    }
+
     /// Total busy time equals the sum of per-request occupancies, and the
     /// total bytes equal the sum of request sizes.
     fn service_queue_conserves_work(

@@ -17,6 +17,10 @@
 //!   [`RingBufferSink`] and a newline-delimited-JSON [`JsonLinesSink`].
 //! - [`chrome_trace`]: export to Chrome `trace_event` JSON, loadable in
 //!   `chrome://tracing` or Perfetto (1 viewer µs = 1 simulated cycle).
+//! - [`ProfileReport`]: per-subsystem attribution of simulation work,
+//!   assembled at report time from the simulator's own monotonic counters
+//!   (the `--profile` plane). Timing-invariant by construction: it reads
+//!   values that exist whether or not profiling is on.
 //!
 //! # Determinism
 //!
@@ -48,6 +52,7 @@
 
 pub mod chrome;
 pub mod metrics;
+pub mod profiler;
 pub mod trace;
 
 pub use chrome::{chrome_event_json, chrome_trace, TRACE_PID};
@@ -55,6 +60,7 @@ pub use metrics::{
     CounterHandle, GaugeHandle, HistogramHandle, HistogramSummary, MetricKind, MetricValue,
     MetricsRegistry, MetricsSnapshot,
 };
+pub use profiler::{ProfileReport, ProfileScope};
 pub use trace::{
     event_to_json, JsonLinesSink, RingBufferSink, TraceEvent, TracePhase, TraceSink, TraceValue,
     Tracer,

@@ -197,14 +197,33 @@ pub struct RingBufferSink {
     dropped: u64,
 }
 
+/// Largest event count [`RingBufferSink::new`] pre-allocates for. Callers
+/// request "unbounded" retention as `usize::MAX`, so the pre-allocation
+/// must be capped — reserving the requested capacity verbatim would abort
+/// on allocation failure before the first event.
+const RING_PREALLOC_MAX: usize = 4096;
+
 impl RingBufferSink {
     /// A sink retaining at most `capacity` events (0 drops everything).
+    ///
+    /// Pre-allocates `min(capacity, 4096)` slots: a bounded ring reaches
+    /// its steady state without reallocating on the record path, while an
+    /// effectively unbounded request (`usize::MAX`) still starts small and
+    /// grows with use.
     pub fn new(capacity: usize) -> Self {
         RingBufferSink {
             capacity,
-            events: std::collections::VecDeque::new(),
+            events: std::collections::VecDeque::with_capacity(capacity.min(RING_PREALLOC_MAX)),
             dropped: 0,
         }
+    }
+
+    /// Slots currently allocated by the backing buffer (≥ [`Self::len`]).
+    /// Exposed so tests can pin the peak-allocation invariant: a bounded
+    /// sink's backing storage must never grow past its initial
+    /// pre-allocation, however many events stream through it.
+    pub fn buffer_capacity(&self) -> usize {
+        self.events.capacity()
     }
 
     /// Retained events, oldest first.
@@ -389,6 +408,42 @@ mod tests {
         let cycles: Vec<u64> = sink.events().map(|e| e.cycle).collect();
         assert_eq!(cycles, [2, 3, 4]);
         assert_eq!(sink.into_events().len(), 3);
+    }
+
+    /// Regression: the backing buffer of a bounded ring must hit its peak
+    /// at construction time and stay there — recording must never grow it
+    /// (the retained length never exceeds `capacity`, so steady-state
+    /// record/evict cycles are allocation-free).
+    #[test]
+    fn ring_buffer_backing_storage_never_grows_past_prealloc() {
+        let mut sink = RingBufferSink::new(100);
+        let initial = sink.buffer_capacity();
+        assert!(initial >= 100, "bounded ring pre-allocates its capacity");
+        for c in 0..1_000 {
+            sink.record(ev(c));
+        }
+        assert_eq!(sink.len(), 100);
+        assert_eq!(sink.dropped(), 900);
+        assert_eq!(
+            sink.buffer_capacity(),
+            initial,
+            "recording must not reallocate a bounded ring"
+        );
+    }
+
+    /// Regression: an "unbounded" sink is requested as `usize::MAX`
+    /// capacity; pre-allocating that verbatim would abort immediately, so
+    /// the pre-allocation must be capped and growth left to use.
+    #[test]
+    fn ring_buffer_unbounded_request_starts_small() {
+        let sink = RingBufferSink::new(usize::MAX);
+        assert!(sink.buffer_capacity() <= 8192);
+        let mut sink = sink;
+        for c in 0..10_000 {
+            sink.record(ev(c));
+        }
+        assert_eq!(sink.len(), 10_000, "unbounded sink retains everything");
+        assert_eq!(sink.dropped(), 0);
     }
 
     #[test]

@@ -62,11 +62,10 @@ impl std::fmt::Debug for CtaRuntime {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct WarpContext {
-    cta_slot: u16,
-    warp_in_cta: u32,
-}
+/// Sentinel in `warp_cta_slot` marking a free warp slot. Valid CTA slots
+/// are bounded by `SmConfig::max_ctas` (a `u16` count), so the maximum
+/// value is never a real slot.
+const NO_CTA: u16 = u16::MAX;
 
 /// One streaming multiprocessor: warp slots, resident CTAs, private L1 and
 /// MSHRs, plus a single-issue port.
@@ -103,7 +102,16 @@ pub struct Sm {
     l1: SetAssocCache,
     l1_hit_latency: Tick,
     mshrs: MshrFile<WarpSlot>,
-    warps: Vec<Option<WarpContext>>,
+    // Hot warp state in structure-of-arrays form: the per-event lookups
+    // (`next_op`, `retire_warp`) index two dense flat arrays instead of
+    // unwrapping an array of option-structs, and [`NO_CTA`] marks free
+    // slots without an `Option` discriminant.
+    /// CTA slot owning each warp slot; [`NO_CTA`] when the slot is free.
+    warp_cta_slot: Vec<u16>,
+    /// Warp index within its CTA's program (valid only for resident slots).
+    warp_in_cta: Vec<u32>,
+    /// Resident warp count, kept so `active_warps` is O(1).
+    active_warp_count: u32,
     free_warp_slots: Vec<u16>,
     ctas: Vec<Option<CtaRuntime>>,
     free_cta_slots: Vec<u16>,
@@ -132,7 +140,9 @@ impl Sm {
             l1: SetAssocCache::new(l1, l1_partition),
             l1_hit_latency: sm.l1_hit_latency_cycles as Tick * TICKS_PER_CYCLE,
             mshrs: MshrFile::new(sm.mshrs as usize),
-            warps: (0..sm.max_warps).map(|_| None).collect(),
+            warp_cta_slot: vec![NO_CTA; sm.max_warps as usize],
+            warp_in_cta: vec![0; sm.max_warps as usize],
+            active_warp_count: 0,
             free_warp_slots: (0..sm.max_warps).rev().collect(),
             ctas: (0..sm.max_ctas).map(|_| None).collect(),
             free_cta_slots: (0..sm.max_ctas).rev().collect(),
@@ -180,11 +190,13 @@ impl Sm {
                 self.free_cta_slots.push(i as u16);
             }
         }
-        for (i, w) in self.warps.iter_mut().enumerate() {
-            if w.take().is_some() {
+        for (i, w) in self.warp_cta_slot.iter_mut().enumerate() {
+            if *w != NO_CTA {
+                *w = NO_CTA;
                 self.free_warp_slots.push(i as u16);
             }
         }
+        self.active_warp_count = 0;
         self.resident_ctas = 0;
         self.retry_queue.clear();
         evicted
@@ -192,7 +204,7 @@ impl Sm {
 
     /// Number of resident warps.
     pub fn active_warps(&self) -> usize {
-        self.warps.iter().filter(|w| w.is_some()).count()
+        self.active_warp_count as usize
     }
 
     /// Number of resident CTAs.
@@ -208,6 +220,25 @@ impl Sm {
     /// Panics if the SM cannot accept the CTA — check
     /// [`Self::can_accept_cta`] first.
     pub fn dispatch_cta(&mut self, cta: CtaId, program: Box<dyn CtaProgram>) -> Vec<WarpSlot> {
+        let mut slots = Vec::new();
+        self.dispatch_cta_into(cta, program, &mut slots);
+        slots
+    }
+
+    /// Allocation-recycling form of [`Self::dispatch_cta`]: appends the
+    /// allocated warp slots to `slots` so a caller-owned scratch buffer
+    /// absorbs every dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the SM cannot accept the CTA — check
+    /// [`Self::can_accept_cta`] first.
+    pub fn dispatch_cta_into(
+        &mut self,
+        cta: CtaId,
+        program: Box<dyn CtaProgram>,
+        slots: &mut Vec<WarpSlot>,
+    ) {
         let warps = program.num_warps();
         assert!(
             self.can_accept_cta(warps),
@@ -221,17 +252,14 @@ impl Sm {
             warps_outstanding: warps,
         });
         self.resident_ctas += 1;
-        (0..warps)
-            .map(|warp_in_cta| {
-                // simlint: allow(A001, reason = "can_accept_cta assert above guarantees free slots")
-                let slot = self.free_warp_slots.pop().expect("checked above");
-                self.warps[slot as usize] = Some(WarpContext {
-                    cta_slot,
-                    warp_in_cta,
-                });
-                WarpSlot::new(slot)
-            })
-            .collect()
+        self.active_warp_count += warps;
+        for warp_in_cta in 0..warps {
+            // simlint: allow(A001, reason = "can_accept_cta assert above guarantees free slots")
+            let slot = self.free_warp_slots.pop().expect("checked above");
+            self.warp_cta_slot[slot as usize] = cta_slot;
+            self.warp_in_cta[slot as usize] = warp_in_cta;
+            slots.push(WarpSlot::new(slot));
+        }
     }
 
     /// Pulls the next operation for the warp in `slot`. `None` means the
@@ -242,13 +270,13 @@ impl Sm {
     ///
     /// Panics if `slot` holds no warp.
     pub fn next_op(&mut self, slot: WarpSlot) -> Option<WarpOp> {
-        // simlint: allow(A001, reason = "documented # Panics contract: caller passes a live slot")
-        let ctx = self.warps[slot.index()].expect("next_op on empty warp slot");
-        let rt = self.ctas[ctx.cta_slot as usize]
+        let cta_slot = self.warp_cta_slot[slot.index()];
+        assert!(cta_slot != NO_CTA, "next_op on empty warp slot");
+        let rt = self.ctas[cta_slot as usize]
             .as_mut()
             // simlint: allow(A001, reason = "a resident warp always points at its live CTA slot")
             .expect("warp points at live CTA");
-        let op = rt.program.next_op(ctx.warp_in_cta);
+        let op = rt.program.next_op(self.warp_in_cta[slot.index()]);
         if op.is_some() {
             self.stats.ops_issued.inc();
         }
@@ -263,20 +291,20 @@ impl Sm {
     ///
     /// Panics if `slot` holds no warp.
     pub fn retire_warp(&mut self, slot: WarpSlot) -> Option<CtaId> {
-        let ctx = self.warps[slot.index()]
-            .take()
-            // simlint: allow(A001, reason = "documented # Panics contract: caller passes a live slot")
-            .expect("retire_warp on empty warp slot");
+        let cta_slot = self.warp_cta_slot[slot.index()];
+        assert!(cta_slot != NO_CTA, "retire_warp on empty warp slot");
+        self.warp_cta_slot[slot.index()] = NO_CTA;
+        self.active_warp_count -= 1;
         self.free_warp_slots.push(slot.index() as u16);
-        let rt = self.ctas[ctx.cta_slot as usize]
+        let rt = self.ctas[cta_slot as usize]
             .as_mut()
             // simlint: allow(A001, reason = "a resident warp always points at its live CTA slot")
             .expect("warp points at live CTA");
         rt.warps_outstanding -= 1;
         if rt.warps_outstanding == 0 {
             let cta = rt.cta;
-            self.ctas[ctx.cta_slot as usize] = None;
-            self.free_cta_slots.push(ctx.cta_slot);
+            self.ctas[cta_slot as usize] = None;
+            self.free_cta_slots.push(cta_slot);
             self.resident_ctas -= 1;
             self.stats.ctas_completed.inc();
             Some(cta)
@@ -326,10 +354,25 @@ impl Sm {
 
     /// Completes a fill: installs the line and returns the warps to wake.
     pub fn l1_fill(&mut self, line: LineAddr, class: LineClass) -> Vec<WarpSlot> {
+        let mut woken = Vec::new();
+        self.l1_fill_into(line, class, &mut woken);
+        woken
+    }
+
+    /// Allocation-recycling form of [`Self::l1_fill`]: appends the warps to
+    /// wake to `woken`, and recycles the MSHR waiter storage internally, so
+    /// the steady-state fill path allocates nothing.
+    pub fn l1_fill_into(&mut self, line: LineAddr, class: LineClass, woken: &mut Vec<WarpSlot>) {
         // Write-through L1: fills are always clean, evictions need no
         // writeback.
         let _ = self.l1.fill(line, class, false);
-        self.mshrs.complete(line)
+        self.mshrs.complete_into(line, woken);
+    }
+
+    /// Waiter-vector allocations the MSHR file has avoided through pool
+    /// reuse (feeds the self-profiler).
+    pub fn recycled_allocations(&self) -> u64 {
+        self.mshrs.recycled_allocations()
     }
 
     /// Whether a fill for `line` is already outstanding.

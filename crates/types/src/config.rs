@@ -205,6 +205,11 @@ pub struct ObsConfig {
     /// Cap on retained trace events; `0` means unbounded. When the cap is
     /// hit the oldest events are dropped (ring-buffer semantics).
     pub trace_capacity: u32,
+    /// Fold a self-profile (per-subsystem work attribution assembled from
+    /// the simulator's own monotonic counters) into the report. Purely a
+    /// report-time summary: it reads counters the simulator maintains
+    /// anyway, so it cannot perturb simulated timing or determinism.
+    pub profile: bool,
 }
 
 impl ObsConfig {
@@ -214,22 +219,24 @@ impl ObsConfig {
             metrics: false,
             trace: false,
             trace_capacity: 0,
+            profile: false,
         }
     }
 
-    /// Metrics and tracing both on, unbounded trace retention.
+    /// Metrics, tracing, and profiling all on, unbounded trace retention.
     pub const fn full() -> Self {
         ObsConfig {
             metrics: true,
             trace: true,
             trace_capacity: 0,
+            profile: true,
         }
     }
 
     /// Whether any observability feature is on.
     #[inline]
     pub const fn any(&self) -> bool {
-        self.metrics || self.trace
+        self.metrics || self.trace || self.profile
     }
 }
 

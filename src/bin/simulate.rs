@@ -13,6 +13,8 @@
 //!                                  # one sim (0 = auto); byte-identical at every setting
 //!          [--timeline]            # print the link utilization timeline
 //!          [--metrics]             # collect counters and print the metrics snapshot JSON
+//!          [--profile]             # print the self-profile work-attribution table
+//!                                  # (report-time summary; cannot perturb timing)
 //!          [--trace-out FILE]      # write a Chrome trace_event JSON (chrome://tracing)
 //!          [--dump-trace FILE]     # record the workload's kernels as text traces
 //!          [--from-trace FILE]     # run a recorded trace instead of a catalog workload
@@ -41,7 +43,7 @@ fn usage(msg: &str) -> ! {
         "usage: simulate --workload NAME [--sockets N] [--quick|--full] \
          [--cache memside|static|shared|numa-aware] [--link static|dynamic|2x] \
          [--placement fine|page|first-touch] [--cta interleave|contiguous] \
-         [--baseline] [--jobs N] [--sim-threads N] [--timeline] [--metrics] \
+         [--baseline] [--jobs N] [--sim-threads N] [--timeline] [--metrics] [--profile] \
          [--trace-out FILE] [--faults SPEC] [--fault-seed N] [--max-cycles N]"
     );
     eprintln!("\nworkloads:");
@@ -76,6 +78,7 @@ fn main() {
     let mut sim_threads: u16 = 1;
     let mut timeline = false;
     let mut metrics = false;
+    let mut profile = false;
     let mut trace_out: Option<String> = None;
     let mut dump_trace: Option<String> = None;
     let mut from_trace: Option<String> = None;
@@ -145,6 +148,7 @@ fn main() {
             }
             "--timeline" => timeline = true,
             "--metrics" => metrics = true,
+            "--profile" => profile = true,
             "--trace-out" => trace_out = Some(value("--trace-out")),
             "--dump-trace" => dump_trace = Some(value("--dump-trace")),
             "--from-trace" => from_trace = Some(value("--from-trace")),
@@ -214,6 +218,7 @@ fn main() {
     cfg.placement = placement;
     cfg.cta_policy = cta;
     cfg.obs.metrics = metrics;
+    cfg.obs.profile = profile;
     cfg.obs.trace = trace_out.is_some();
     cfg.watchdog.max_cycles = max_cycles;
     cfg.sim_threads = sim_threads;
@@ -336,6 +341,10 @@ fn main() {
     if metrics {
         let snap = report.metrics.as_ref().expect("metrics enabled before run");
         println!("\nmetrics {}", snap.to_json());
+    }
+    if profile {
+        let p = report.profile.as_ref().expect("profile enabled before run");
+        println!("\n{}", p.render_table());
     }
 
     if baseline {
