@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! figures [--quick] [--jobs N] [--sim-threads N] [--profile] [--out DIR]
-//!         [artifact...]
+//!         [--topology star|ring|mesh|fattree] [artifact...]
 //!
 //! artifacts: table1 table2 fig2 fig3 fig5 fig6 fig6-sens fig8 fig9
 //!            fig9-wb fig10 fig11 power ablations resilience
+//!            scaling collective
 //!            (default: all)
 //! ```
 //!
@@ -19,7 +20,10 @@
 //! `--profile` prints a work-attribution table summed over every
 //! simulation at the end; it never changes the artifacts themselves (the
 //! profile is assembled at report time from counters the simulator
-//! maintains unconditionally).
+//! maintains unconditionally). `--topology` reruns the paper figures on a
+//! different fabric (default star, the paper's switch); the `scaling` and
+//! `collective` artifacts pin their own per-curve topologies and ignore
+//! the flag.
 
 use numa_gpu_bench::{experiments, Runner};
 use numa_gpu_exec::ThreadPool;
@@ -27,7 +31,7 @@ use numa_gpu_workloads::Scale;
 use std::io::Write;
 use std::time::Instant;
 
-const ALL: [&str; 15] = [
+const ALL: [&str; 17] = [
     "table1",
     "table2",
     "fig2",
@@ -43,6 +47,8 @@ const ALL: [&str; 15] = [
     "power",
     "ablations",
     "resilience",
+    "scaling",
+    "collective",
 ];
 
 fn main() {
@@ -71,12 +77,20 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let topology_arg = flag_value("--topology");
+    let topology = topology_arg.as_ref().map(|v| {
+        numa_gpu_types::TopologyKind::from_flag(v).unwrap_or_else(|| {
+            eprintln!("--topology expects star|ring|mesh|fattree, got `{v}`");
+            std::process::exit(2);
+        })
+    });
     let selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .filter(|a| Some(a.as_str()) != out_dir.as_deref())
         .filter(|a| Some(a.as_str()) != jobs_arg.as_deref())
         .filter(|a| Some(a.as_str()) != sim_threads_arg.as_deref())
+        .filter(|a| Some(a.as_str()) != topology_arg.as_deref())
         .cloned()
         .collect();
     let selected: Vec<&str> = if selected.is_empty() {
@@ -95,6 +109,9 @@ fn main() {
     let mut runner = Runner::new(scale).verbose().jobs(jobs);
     if let Some(threads) = sim_threads {
         runner = runner.sim_threads(threads);
+    }
+    if let Some(kind) = topology {
+        runner = runner.topology(kind);
     }
     if profile {
         runner = runner.profile();
@@ -123,6 +140,8 @@ fn main() {
             "power" => experiments::power(&mut runner).to_string(),
             "ablations" => experiments::ablations(&mut runner).to_string(),
             "resilience" => experiments::resilience(&mut runner).to_string(),
+            "scaling" => experiments::topology_scaling(&mut runner).to_string(),
+            "collective" => experiments::collective_balance(&mut runner).to_string(),
             _ => unreachable!("validated above"),
         };
         println!("{text}");

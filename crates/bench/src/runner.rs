@@ -14,7 +14,7 @@ use crate::plan::{JobKey, SimJob, SimPlan};
 use numa_gpu_core::{ProfileReport, SimReport};
 use numa_gpu_exec::Reporter;
 use numa_gpu_runtime::Workload;
-use numa_gpu_types::SystemConfig;
+use numa_gpu_types::{SystemConfig, TopologyKind};
 use numa_gpu_workloads::Scale;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -29,6 +29,7 @@ pub struct Runner {
     runs: u64,
     jobs: usize,
     sim_threads: Option<u16>,
+    topology: Option<TopologyKind>,
     profile: bool,
     reporter: Arc<Reporter>,
 }
@@ -54,6 +55,7 @@ impl Runner {
             runs: 0,
             jobs: 1,
             sim_threads: None,
+            topology: None,
             profile: false,
             reporter: Arc::new(Reporter::stderr(false)),
         }
@@ -80,6 +82,17 @@ impl Runner {
     /// the override is not part of the cache key by design.
     pub fn sim_threads(mut self, threads: u16) -> Self {
         self.sim_threads = Some(threads);
+        self
+    }
+
+    /// Overrides the fabric topology on every simulation this runner
+    /// executes, *except* jobs that pin their own topology (the sweep
+    /// experiments — see [`SimPlan::topology_job`]). Unlike `sim_threads`
+    /// this changes results, so it must be set once for the whole process
+    /// (the `figures --topology` flag) — every non-pinned job then runs on
+    /// the same fabric and the memo stays internally consistent.
+    pub fn topology(mut self, kind: TopologyKind) -> Self {
+        self.topology = Some(kind);
         self
     }
 
@@ -129,6 +142,9 @@ impl Runner {
         }
         if let Some(threads) = self.sim_threads {
             plan.override_sim_threads(threads);
+        }
+        if let Some(kind) = self.topology {
+            plan.override_topology(kind);
         }
         if self.profile {
             plan.override_profile(true);
@@ -224,6 +240,12 @@ impl Runner {
         if let Some(threads) = self.sim_threads {
             cfg.sim_threads = threads;
         }
+        if let Some(kind) = self.topology {
+            // The shim cannot know about pinning, but the topology-sweep
+            // experiments always pre-execute their plans, so their shim
+            // reads are pure cache hits and never reach this override.
+            cfg.topology = kind;
+        }
         if self.profile {
             cfg.obs.profile = true;
         }
@@ -233,6 +255,7 @@ impl Runner {
             cfg,
             workload: workload.clone(),
             faults: None,
+            topology_pinned: false,
         };
         let report = Arc::new(job.run());
         self.runs += 1;

@@ -14,13 +14,19 @@
 //! (samplers, fault stamps) run serially between windows, after same-tick
 //! shard events — the control partition sorts last.
 //!
-//! The lookahead is sound because no shard can affect another sooner than
-//! half the one-way link latency ([`switch_hop_latency`]): every
-//! cross-socket message pays at least that before reaching the switch, so
-//! events inside a window can only schedule cross-partition work at or
-//! after the window's end. Control events are excluded from windows the
-//! same way — a control event at tick `c` bounds `w_end` to `c + 1`, and
-//! everything it schedules lands at least the dispatch latency later.
+//! The lookahead is the fabric's minimum adjacent-hop latency
+//! (`Topology::min_hop_latency`). It is sound because the first hop out
+//! of any socket is its access edge, which costs at least the minimum
+//! hop: every cross-socket message pays at least the lookahead before
+//! reaching the switch, so events inside a window can only schedule
+//! cross-partition work at or after the window's end. Interior
+//! switch↔switch hops are charged at the barrier itself, in canonical
+//! merge order — they only ever *delay* deliveries beyond the stamped
+//! switch-boundary tick, so they cannot violate the window bound, and on
+//! the star fabric (no interior edges) the traversal is the identity.
+//! Control events are excluded from windows the same way — a control
+//! event at tick `c` bounds `w_end` to `c + 1`, and everything it
+//! schedules lands at least the dispatch latency later.
 //!
 //! Identical state evolution at every `sim_threads` value follows from
 //! shard isolation: inside a window a shard touches only its own state
@@ -192,13 +198,19 @@ impl NumaGpuSystem {
             + u64::from(self.merge_buf.capacity() > 0);
         let shards = &mut self.shards;
         let merge_buf = &mut self.merge_buf;
+        let fabric = &mut self.fabric;
         merge_cross_into(shards.iter_mut().map(|s| &mut s.outbox), merge_buf);
         self.xmsgs_merged += merge_buf.len() as u64;
         for m in merge_buf.iter() {
             let (dest, msg) = m.payload;
-            // In-flight accounting happened at emission (`send_cross`);
-            // the XArrive pop decrements it.
-            shards[dest.index()].queue.push(m.at, Ev::XArrive { msg });
+            // Interior fabric hops are charged here, in canonical merge
+            // order — deterministic at every thread count, and the
+            // identity on the star (no interior edges). In-flight
+            // accounting happened at emission (`send_cross`); the XArrive
+            // pop decrements it.
+            let at =
+                fabric.interior_traverse(SocketId::new(m.source as u8), dest, m.at, msg.bytes());
+            shards[dest.index()].queue.push(at, Ev::XArrive { msg });
         }
 
         // First-touch claims: the earliest (tick, partition) touch wins,
@@ -285,32 +297,46 @@ impl NumaGpuSystem {
         let cycle = ticks_to_cycles(now);
         match spec.kind {
             FaultKind::LinkLanes {
-                socket,
+                edge,
                 healthy_lanes,
             } => {
-                let link = &mut self.shards[socket as usize].link;
-                let nominal = link.nominal_lanes();
-                let healthy = link.set_lane_health(now, healthy_lanes);
-                if let Some(fs) = &mut self.fault_state {
-                    let s = socket as usize;
-                    if healthy < nominal {
-                        if fs.degraded_at[s].is_none() {
-                            fs.degraded_at[s] = Some(cycle);
+                // Edge ids below the socket count hit the access links in
+                // the shards; higher ids hit the fabric's interior links.
+                let e = edge as usize;
+                let link = if e < self.shards.len() {
+                    Some(&mut self.shards[e].link)
+                } else {
+                    self.fabric.link_mut(e)
+                };
+                if let Some(link) = link {
+                    let nominal = link.nominal_lanes();
+                    let healthy = link.set_lane_health(now, healthy_lanes);
+                    if let Some(fs) = &mut self.fault_state {
+                        if healthy < nominal {
+                            if fs.degraded_at[e].is_none() {
+                                fs.degraded_at[e] = Some(cycle);
+                            }
+                        } else {
+                            // Fully restored: a later degradation starts a
+                            // fresh recovery measurement.
+                            fs.degraded_at[e] = None;
                         }
-                    } else {
-                        // Fully restored: a later degradation starts a
-                        // fresh recovery measurement.
-                        fs.degraded_at[s] = None;
                     }
                 }
             }
             FaultKind::LinkRetrain {
-                socket,
+                edge,
                 window_cycles,
             } => {
-                self.shards[socket as usize]
-                    .link
-                    .retrain(now, cycles_to_ticks(window_cycles as u64));
+                let e = edge as usize;
+                let link = if e < self.shards.len() {
+                    Some(&mut self.shards[e].link)
+                } else {
+                    self.fabric.link_mut(e)
+                };
+                if let Some(link) = link {
+                    link.retrain(now, cycles_to_ticks(window_cycles as u64));
+                }
             }
             FaultKind::DramStall {
                 socket,
@@ -403,24 +429,40 @@ impl NumaGpuSystem {
         } else {
             Vec::new()
         };
+        let interior_samples: Vec<(usize, numa_gpu_interconnect::LinkSample)> = if observing {
+            self.fabric.interior_sample_points(t)
+        } else {
+            Vec::new()
+        };
         let actions: Vec<BalanceAction> = self
             .shards
             .iter_mut()
             .map(|s| s.link.sample_and_rebalance(t, SATURATION_THRESHOLD))
             .collect();
+        // Interior fabric edges run the same balancer, serially in edge
+        // order on the control plane (empty on the star fabric).
+        let interior_actions: Vec<(usize, BalanceAction)> = self
+            .fabric
+            .interior_sample_and_rebalance(t, SATURATION_THRESHOLD);
         // Resilience: the first non-Hold rebalance after a lane degradation
-        // is the balancer's recovery response; record its latency.
+        // is the balancer's recovery response; record its latency. Access
+        // edges (edge == socket) and interior edges share the bookkeeping.
         let mut recoveries: Vec<(usize, u64)> = Vec::new();
         if let Some(fs) = &mut self.fault_state {
             let cycle = ticks_to_cycles(t);
-            for (s, action) in actions.iter().enumerate() {
-                if *action == BalanceAction::Hold {
+            let all_actions = actions
+                .iter()
+                .enumerate()
+                .map(|(s, a)| (s, *a))
+                .chain(interior_actions.iter().copied());
+            for (e, action) in all_actions {
+                if action == BalanceAction::Hold {
                     continue;
                 }
-                if let (Some(degraded), None) = (fs.degraded_at[s], fs.recovery[s]) {
+                if let (Some(degraded), None) = (fs.degraded_at[e], fs.recovery[e]) {
                     let latency = cycle.saturating_sub(degraded);
-                    fs.recovery[s] = Some(latency);
-                    recoveries.push((s, latency));
+                    fs.recovery[e] = Some(latency);
+                    recoveries.push((e, latency));
                 }
             }
         }
@@ -443,6 +485,18 @@ impl NumaGpuSystem {
                         .arg("ingress", sample.ingress_lanes as u64),
                 );
             }
+            for (e, sample) in &interior_samples {
+                self.obs.emit(
+                    TraceEvent::counter(format!("link.e{e}.util"), "link", cycle, *e as u32)
+                        .arg("egress", sample.egress_util)
+                        .arg("ingress", sample.ingress_util),
+                );
+                self.obs.emit(
+                    TraceEvent::counter(format!("link.e{e}.lanes"), "link", cycle, *e as u32)
+                        .arg("egress", sample.egress_lanes as u64)
+                        .arg("ingress", sample.ingress_lanes as u64),
+                );
+            }
             for (s, action) in actions.iter().enumerate() {
                 if *action != BalanceAction::Hold {
                     self.obs.emit(
@@ -457,9 +511,30 @@ impl NumaGpuSystem {
                     );
                 }
             }
-            for (s, latency) in &recoveries {
+            for (e, action) in &interior_actions {
+                if *action != BalanceAction::Hold {
+                    let mut ev = TraceEvent::instant(
+                        format!("link.e{e}.{action:?}"),
+                        "rebalance",
+                        cycle,
+                        *e as u32,
+                    );
+                    if let Some((_, sample)) = interior_samples.iter().find(|(ie, _)| ie == e) {
+                        ev = ev
+                            .arg("egress_util", sample.egress_util)
+                            .arg("ingress_util", sample.ingress_util);
+                    }
+                    self.obs.emit(ev);
+                }
+            }
+            for (e, latency) in &recoveries {
+                let label = if *e < self.shards.len() {
+                    format!("link.s{e}.recovered")
+                } else {
+                    format!("link.e{e}.recovered")
+                };
                 self.obs.emit(
-                    TraceEvent::instant(format!("link.s{s}.recovered"), "fault", cycle, *s as u32)
+                    TraceEvent::instant(label, "fault", cycle, *e as u32)
                         .arg("recovery_cycles", *latency),
                 );
             }

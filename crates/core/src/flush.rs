@@ -67,9 +67,12 @@ impl NumaGpuSystem {
                         let done = self.shards[s].dram.write_line(t, line, LINE_BYTES);
                         self.write_drain = self.write_drain.max(done);
                     } else {
-                        // Both message legs applied here, serially: egress
-                        // at the flushing socket, ingress at the home, half
-                        // the wire latency each side. The home-side
+                        // Every message leg applied here, serially: egress
+                        // plus the access hop at the flushing socket, any
+                        // interior fabric hops, then ingress plus the final
+                        // access hop at the home. Note `hop_latency`, not
+                        // the executor's `lookahead` — the two values
+                        // coincide only in the star fabric. The home-side
                         // absorption is still an event, processed by the
                         // next kernel's loop (in-flight count keeps the
                         // loop alive until it drains).
@@ -77,12 +80,18 @@ impl NumaGpuSystem {
                             self.shards[s]
                                 .link
                                 .send(t, LinkDirection::Egress, DATA_PACKET_BYTES);
-                        let at_switch = egress_clear + self.lookahead;
-                        let arrive = self.shards[home.index()].link.send(
+                        let at_switch = egress_clear + self.hop_latency;
+                        let at_home_switch = self.fabric.interior_traverse(
+                            socket,
+                            home,
                             at_switch,
+                            DATA_PACKET_BYTES,
+                        );
+                        let arrive = self.shards[home.index()].link.send(
+                            at_home_switch,
                             LinkDirection::Ingress,
                             DATA_PACKET_BYTES,
-                        ) + self.lookahead;
+                        ) + self.hop_latency;
                         self.shards[home.index()].queue.push(
                             arrive,
                             Ev::WriteAtHome {
@@ -106,6 +115,7 @@ impl NumaGpuSystem {
         for shard in &mut self.shards {
             shard.link.reset_symmetric(ready);
         }
+        self.fabric.reset_interior_symmetric(ready);
         ready
     }
 }

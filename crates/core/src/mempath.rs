@@ -226,12 +226,12 @@ impl SocketShard {
         match msg {
             XMsg::ReadReq { sm, line, home } => {
                 let arrive =
-                    self.link.send(t, LinkDirection::Ingress, REQ_BYTES) + self.half_latency;
+                    self.link.send(t, LinkDirection::Ingress, REQ_BYTES) + self.hop_latency;
                 self.push_mem(arrive, Ev::ReadAtHome { sm, line, home });
             }
             XMsg::ReadResp { sm, line } => {
-                let arrive = self.link.send(t, LinkDirection::Ingress, DATA_PACKET_BYTES)
-                    + self.half_latency;
+                let arrive =
+                    self.link.send(t, LinkDirection::Ingress, DATA_PACKET_BYTES) + self.hop_latency;
                 self.push_mem(
                     arrive,
                     Ev::DataToSm {
@@ -243,13 +243,13 @@ impl SocketShard {
                 );
             }
             XMsg::WriteData { from, line, home } => {
-                let arrive = self.link.send(t, LinkDirection::Ingress, DATA_PACKET_BYTES)
-                    + self.half_latency;
+                let arrive =
+                    self.link.send(t, LinkDirection::Ingress, DATA_PACKET_BYTES) + self.hop_latency;
                 self.push_mem(arrive, Ev::WriteAtHome { from, line, home });
             }
             XMsg::WriteAck => {
                 let arrive =
-                    self.link.send(t, LinkDirection::Ingress, REQ_BYTES) + self.half_latency;
+                    self.link.send(t, LinkDirection::Ingress, REQ_BYTES) + self.hop_latency;
                 self.write_drain = self.write_drain.max(arrive);
             }
         }
@@ -301,7 +301,7 @@ impl SocketShard {
                 XMsg::WriteData { from, line, home },
                 DATA_PACKET_BYTES,
             );
-            egress_clear + self.half_latency
+            egress_clear + self.hop_latency
         }
     }
 }

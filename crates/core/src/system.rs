@@ -22,7 +22,7 @@ use numa_gpu_cache::{CacheStats, PartitionController, SetAssocCache, WayPartitio
 use numa_gpu_engine::{CrossMessage, EventQueue, ServiceQueue, Watchdog};
 use numa_gpu_exec::ThreadPool;
 use numa_gpu_faults::{AppliedFault, FaultPlan, LinkResilience, ResilienceReport};
-use numa_gpu_interconnect::{switch_hop_latency, GpuLink};
+use numa_gpu_interconnect::{switch_hop_latency, GpuLink, Topology};
 use numa_gpu_mem::{Dram, PageTable};
 use numa_gpu_obs::{ProfileReport, TraceEvent};
 use numa_gpu_runtime::{Kernel, Workload};
@@ -114,11 +114,12 @@ impl Ev {
 }
 
 /// A cross-partition message: one leg of socket-to-socket traffic. The
-/// emitting shard pays its egress lanes and half the wire latency, stamps
+/// emitting shard pays its egress lanes and the access-hop latency, stamps
 /// the switch-boundary arrival tick, and appends the message to its window
-/// outbox; the destination shard pays ingress and the second latency half
-/// on delivery — reproducing the monolithic switch's transfer timing
-/// leg for leg.
+/// outbox; the barrier charges any interior switch↔switch hops of the
+/// fabric (a no-op on the star), and the destination shard pays ingress
+/// plus the final access hop on delivery — reproducing the monolithic
+/// switch's transfer timing leg for leg on the star topology.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum XMsg {
     /// Read request travelling to the home socket (header-sized).
@@ -140,6 +141,16 @@ pub(crate) enum XMsg {
     WriteAck,
 }
 
+impl XMsg {
+    /// Wire size of this message, charged on every hop it traverses.
+    pub(crate) fn bytes(&self) -> u32 {
+        match self {
+            XMsg::ReadReq { .. } | XMsg::WriteAck => crate::mempath::REQ_BYTES,
+            XMsg::ReadResp { .. } | XMsg::WriteData { .. } => crate::mempath::DATA_PACKET_BYTES,
+        }
+    }
+}
+
 /// Fault-injection bookkeeping: the installed plan plus what actually
 /// happened. Present only when a *non-empty* [`FaultPlan`] was installed, so
 /// a zero-fault run is bit-identical to a run with no plan at all.
@@ -153,22 +164,24 @@ pub(crate) struct FaultState {
     pub disabled_sms: u32,
     /// Resident CTAs evicted from disabled SMs and requeued.
     pub requeued_ctas: u32,
-    /// Per-socket cycle of the earliest still-unanswered lane degradation.
+    /// Per-edge cycle of the earliest still-unanswered lane degradation
+    /// (indexed by fabric edge id; access edges first, so index == socket
+    /// on the star fabric).
     pub degraded_at: Vec<Option<u64>>,
-    /// Per-socket balancer recovery latency in cycles (first non-Hold
+    /// Per-edge balancer recovery latency in cycles (first non-Hold
     /// rebalance after the degradation).
     pub recovery: Vec<Option<u64>>,
 }
 
 impl FaultState {
-    fn new(plan: FaultPlan, sockets: usize) -> Self {
+    fn new(plan: FaultPlan, edges: usize) -> Self {
         FaultState {
             plan,
             applied: Vec::new(),
             disabled_sms: 0,
             requeued_ctas: 0,
-            degraded_at: vec![None; sockets],
-            recovery: vec![None; sockets],
+            degraded_at: vec![None; edges],
+            recovery: vec![None; edges],
         }
     }
 }
@@ -228,7 +241,9 @@ pub(crate) struct SocketShard {
     pub noc_req: ServiceQueue,
     /// Response-direction crossbar (L2/switch -> SM).
     pub noc_resp: ServiceQueue,
-    /// This socket's switch link (egress and ingress lanes).
+    /// This socket's fabric access link (egress and ingress lanes),
+    /// detached from the topology's edge table at construction so the
+    /// shard can drive it without synchronization.
     pub link: GpuLink,
     pub ctl: PartitionController,
     /// This partition's event queue.
@@ -266,9 +281,9 @@ pub(crate) struct SocketShard {
     // Derived constants.
     pub noc_latency: Tick,
     pub l2_hit_latency: Tick,
-    /// Half the one-way link latency: the switch-hop cost each message leg
-    /// pays, and the source of the executor's conservative lookahead.
-    pub half_latency: Tick,
+    /// The access-hop latency (half the one-way link latency): the cost
+    /// each message leg pays to cross between this socket and its switch.
+    pub hop_latency: Tick,
 }
 
 // Shards move onto pool worker threads inside windows; this fails to
@@ -330,7 +345,7 @@ impl SocketShard {
             buf_reuses: 0,
             noc_latency: cycles_to_ticks(cfg.noc.latency_cycles as u64),
             l2_hit_latency: cycles_to_ticks(cfg.l2.hit_latency_cycles as u64),
-            half_latency: switch_hop_latency(&cfg.link),
+            hop_latency: switch_hop_latency(&cfg.link),
             cfg: Arc::clone(cfg),
         }
     }
@@ -368,14 +383,15 @@ impl SocketShard {
     }
 
     /// Emits a cross-partition message: pays this socket's egress lanes and
-    /// the first latency half, then parks the message in the outbox for the
-    /// barrier merge. The message is in flight until its final stage pops.
+    /// the access hop, then parks the message in the outbox for the barrier
+    /// merge (which charges any interior fabric hops). The message is in
+    /// flight until its final stage pops.
     pub(crate) fn send_cross(&mut self, t: Tick, to: SocketId, msg: XMsg, bytes: u32) -> Tick {
         debug_assert_ne!(to, self.socket, "local traffic must not cross the switch");
         let egress_clear = self
             .link
             .send(t, numa_gpu_interconnect::LinkDirection::Egress, bytes);
-        let at_switch = egress_clear + self.half_latency;
+        let at_switch = egress_clear + self.hop_latency;
         self.inflight_delta += 1;
         self.outbox.push((at_switch, (to, msg)));
         egress_clear
@@ -403,6 +419,12 @@ pub struct NumaGpuSystem {
     pub(crate) cfg: Arc<SystemConfig>,
     /// One event-loop partition per socket.
     pub(crate) shards: Vec<SocketShard>,
+    /// The interconnect fabric. Its per-socket access links are detached
+    /// into the shards at construction; the interior switch↔switch links
+    /// stay here and are only ever charged at serial points (the barrier
+    /// merge, the boundary flush, the control plane), so richer topologies
+    /// keep the byte-identical determinism argument of the star.
+    pub(crate) fabric: Topology,
     pub(crate) pages: PageTable,
     /// The shared control partition: balancer/cache sampling and fault
     /// stamps. Always handled serially, after same-tick shard events (the
@@ -410,9 +432,16 @@ pub struct NumaGpuSystem {
     pub(crate) control: EventQueue<Ev>,
     /// Worker pool for intra-window shard execution (`sim_threads`).
     pub(crate) pool: ThreadPool,
-    /// Conservative lookahead: the minimum cross-socket message latency
-    /// (half the one-way link latency), bounding window width.
+    /// Conservative lookahead: the minimum adjacent-hop latency over the
+    /// fabric, bounding window width. Sound because the first hop out of
+    /// any socket costs at least this much; equal to `hop_latency` on the
+    /// star fabric and strictly smaller on shapes with cheaper interior
+    /// hops.
     pub(crate) lookahead: Tick,
+    /// The access-hop latency each socket↔switch message leg pays (half
+    /// the one-way link latency). Distinct from `lookahead`: the two
+    /// values coincide only in the star fabric.
+    pub(crate) hop_latency: Tick,
     pub(crate) now: Tick,
     pub(crate) outstanding_ctas: u32,
     /// In-flight staged memory events (the kernel loop drains these).
@@ -469,6 +498,16 @@ impl NumaGpuSystem {
             .map(|s| SocketShard::new(&cfg, SocketId::new(s as u8)))
             .collect();
 
+        // The fabric owns every link at construction; each socket's access
+        // link is detached into its shard so windowed execution can drive
+        // it without synchronization. Interior links stay with the fabric.
+        let mut fabric = Topology::new(cfg.topology, &cfg.link, cfg.num_sockets)?;
+        for shard in &mut shards {
+            if let Some(link) = fabric.detach_access_link(shard.socket) {
+                shard.link = link;
+            }
+        }
+
         // Observability: registration happens once here, in socket order, so
         // snapshots are byte-stable across runs. All SMs of a socket share
         // clones of the same handles (socket-level cardinality).
@@ -504,10 +543,12 @@ impl NumaGpuSystem {
         let pool = ThreadPool::new(requested.min(sockets).max(1));
 
         Ok(NumaGpuSystem {
-            lookahead: switch_hop_latency(&cfg.link),
+            lookahead: fabric.min_hop_latency(),
+            hop_latency: fabric.access_hop_latency(),
             sms_per_socket,
             cfg,
             shards,
+            fabric,
             pages,
             control: EventQueue::new(),
             pool,
@@ -547,15 +588,16 @@ impl NumaGpuSystem {
     /// # Errors
     ///
     /// Returns [`SimError::InvalidFaultPlan`] if the plan references
-    /// sockets, lanes, or SMs outside this system's shape.
+    /// sockets, fabric edges, lanes, or SMs outside this system's shape.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), SimError> {
         let lanes_total = self.cfg.link.lanes_per_direction.saturating_mul(2);
         let total_sms = self.shards.len() as u32 * self.sms_per_socket;
-        plan.validate(self.cfg.num_sockets, lanes_total, total_sms)?;
+        let num_edges = self.fabric.num_edges().min(u8::MAX as usize) as u8;
+        plan.validate(self.cfg.num_sockets, num_edges, lanes_total, total_sms)?;
         self.fault_state = if plan.is_empty() {
             None
         } else {
-            Some(FaultState::new(plan, self.cfg.num_sockets as usize))
+            Some(FaultState::new(plan, self.fabric.num_edges()))
         };
         Ok(())
     }
@@ -652,7 +694,11 @@ impl NumaGpuSystem {
                     .map(|p| (p.local_ways(), p.remote_ways())),
             })
             .collect();
-        let interconnect_bytes: u64 = sockets.iter().map(|s| s.egress_bytes).sum();
+        // Access-link egress counts each cross-socket transfer once;
+        // interior links charge exactly one direction per traversal, so
+        // their byte totals add without double counting (zero on the star).
+        let interconnect_bytes: u64 =
+            sockets.iter().map(|s| s.egress_bytes).sum::<u64>() + self.fabric.interior_bytes();
         let mut l1 = CacheStats::default();
         for sm in self.shards.iter().flat_map(|shard| shard.sms.iter()) {
             let s = sm.l1_stats();
@@ -694,18 +740,32 @@ impl NumaGpuSystem {
         let metrics = self.obs.registry.as_ref().map(|r| r.snapshot());
         let trace_events = self.obs.take_trace();
         let resilience = self.fault_state.as_ref().map(|fs| {
-            let links = self
+            // Access edges first (edge id == socket), then the fabric's
+            // interior edges — absent on the star, so star reports are
+            // byte-identical to the pre-topology format.
+            let mut links: Vec<LinkResilience> = self
                 .shards
                 .iter()
                 .enumerate()
                 .map(|(s, shard)| LinkResilience {
-                    socket: s as u8,
+                    edge: s as u8,
                     nominal_lane_cycles: total_cycles * shard.link.nominal_lanes() as u64,
                     available_lane_cycles: shard.link.available_lane_ticks(self.now)
                         / TICKS_PER_CYCLE,
                     recovery_cycles: fs.recovery[s],
                 })
                 .collect();
+            for e in self.fabric.interior_edge_ids() {
+                if let Some(link) = self.fabric.link(e) {
+                    links.push(LinkResilience {
+                        edge: e as u8,
+                        nominal_lane_cycles: total_cycles * link.nominal_lanes() as u64,
+                        available_lane_cycles: link.available_lane_ticks(self.now)
+                            / TICKS_PER_CYCLE,
+                        recovery_cycles: fs.recovery[e],
+                    });
+                }
+            }
             ResilienceReport {
                 applied: fs.applied.clone(),
                 links,
@@ -832,7 +892,8 @@ impl NumaGpuSystem {
             .count("page_lookups", pt.lookups.get())
             .count("pages_placed", pt.pages_placed.get());
 
-        // Interconnect: NoC service requests and switch-link traffic.
+        // Interconnect: NoC service requests and fabric-link traffic
+        // (access links in the shards plus any interior fabric edges).
         let (mut noc, mut egress, mut ingress, mut turns) = (0u64, 0u64, 0u64, 0u64);
         for shard in &self.shards {
             noc += shard.noc_req.total_requests() + shard.noc_resp.total_requests();
@@ -840,6 +901,14 @@ impl NumaGpuSystem {
             egress += s.egress_bytes.get();
             ingress += s.ingress_bytes.get();
             turns += s.lane_turns.get();
+        }
+        for e in self.fabric.interior_edge_ids() {
+            if let Some(link) = self.fabric.link(e) {
+                let s = link.stats();
+                egress += s.egress_bytes.get();
+                ingress += s.ingress_bytes.get();
+                turns += s.lane_turns.get();
+            }
         }
         p.scope("interconnect")
             .count("noc_requests", noc)
@@ -863,5 +932,68 @@ impl NumaGpuSystem {
             cycles.push(end.saturating_sub(start));
         }
         cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_gpu_types::TopologyKind;
+
+    /// Satellite of the topology refactor: the executor's conservative
+    /// lookahead and the flush path's access-hop latency are distinct
+    /// quantities that coincide only in the star fabric, where the
+    /// cheapest adjacent hop *is* the access hop. Off-star fabrics have
+    /// interior switch-to-switch hops cheaper than the access hop, so the
+    /// lookahead (a lower bound over every adjacent hop) must drop below
+    /// the access-hop latency — if these were still one aliased value,
+    /// either the parallel windows would be unsound or flush timing would
+    /// change on the star fabric.
+    #[test]
+    fn lookahead_and_hop_latency_coincide_only_on_star() {
+        let star = NumaGpuSystem::new(SystemConfig::numa_sockets(4)).unwrap();
+        assert_eq!(star.lookahead, star.hop_latency);
+        for kind in [
+            TopologyKind::Ring,
+            TopologyKind::Mesh2d,
+            TopologyKind::FatTree,
+        ] {
+            let mut cfg = SystemConfig::numa_sockets(8);
+            cfg.topology = kind;
+            let sys = NumaGpuSystem::new(cfg).unwrap();
+            assert!(
+                sys.lookahead < sys.hop_latency,
+                "{kind:?}: lookahead {} must undercut the access hop {}",
+                sys.lookahead,
+                sys.hop_latency
+            );
+            assert!(sys.lookahead > 0, "{kind:?}: lookahead must stay positive");
+        }
+    }
+
+    /// The 1..=32 socket range (relaxed from the old 8-socket cap) builds
+    /// on every topology; edge counts grow past `num_sockets` only when
+    /// interior fabric links exist.
+    #[test]
+    fn fabrics_build_across_the_full_socket_range() {
+        for kind in [
+            TopologyKind::Star,
+            TopologyKind::Ring,
+            TopologyKind::Mesh2d,
+            TopologyKind::FatTree,
+        ] {
+            for n in [1u8, 2, 4, 8, 16, 32] {
+                let mut cfg = SystemConfig::numa_sockets(n);
+                cfg.topology = kind;
+                let sys = NumaGpuSystem::new(cfg).unwrap();
+                assert!(
+                    sys.fabric.num_edges() >= n as usize,
+                    "{kind:?}/{n}: every socket needs its access edge"
+                );
+                if kind == TopologyKind::Star {
+                    assert_eq!(sys.fabric.num_edges(), n as usize);
+                }
+            }
+        }
     }
 }

@@ -24,7 +24,9 @@
 mod balancer;
 mod link;
 mod switch;
+mod topology;
 
 pub use balancer::{BalanceAction, LinkBalancer};
 pub use link::{GpuLink, LinkDirection, LinkObs, LinkSample, LinkStats};
 pub use switch::{switch_hop_latency, Switch};
+pub use topology::{EdgeSpec, Hop, Node, Topology};

@@ -2,7 +2,7 @@
 
 use crate::link::{GpuLink, LinkDirection};
 use crate::BalanceAction;
-use numa_gpu_types::{cycles_to_ticks, LinkConfig, SocketId, Tick};
+use numa_gpu_types::{cycles_to_ticks, ConfigError, LinkConfig, SimError, SocketId, Tick};
 
 /// The high-bandwidth switch connecting every GPU socket (Figure 1).
 ///
@@ -25,8 +25,8 @@ use numa_gpu_types::{cycles_to_ticks, LinkConfig, SocketId, Tick};
 ///     sample_time_cycles: 5000,
 ///     mode: LinkMode::StaticSymmetric,
 /// };
-/// let mut sw = Switch::new(&cfg, 4);
-/// let arrive = sw.transfer(0, SocketId::new(1), SocketId::new(0), 128);
+/// let mut sw = Switch::new(&cfg, 4).unwrap();
+/// let arrive = sw.transfer(0, SocketId::new(1), SocketId::new(0), 128).unwrap();
 /// assert!(ticks_to_cycles(arrive) >= 128); // at least the wire latency
 /// ```
 #[derive(Debug, Clone)]
@@ -46,16 +46,18 @@ pub fn switch_hop_latency(config: &LinkConfig) -> Tick {
 impl Switch {
     /// Builds a switch with one link per socket.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `num_sockets` is zero or the link configuration is
-    /// degenerate.
-    pub fn new(config: &LinkConfig, num_sockets: u8) -> Self {
-        assert!(num_sockets > 0, "switch needs at least one socket");
-        Switch {
+    /// Returns a [`ConfigError`] when `num_sockets` is zero — a fabric with
+    /// no endpoints cannot route anything.
+    pub fn new(config: &LinkConfig, num_sockets: u8) -> Result<Self, ConfigError> {
+        if num_sockets == 0 {
+            return Err(ConfigError::new("switch needs at least one socket"));
+        }
+        Ok(Switch {
             links: (0..num_sockets).map(|_| GpuLink::new(config)).collect(),
             half_latency: cycles_to_ticks(config.latency_cycles as u64) / 2,
-        }
+        })
     }
 
     /// Number of attached sockets.
@@ -73,33 +75,56 @@ impl Switch {
     /// Transfers `bytes` from `from` to `to`; returns the arrival tick at
     /// the destination socket.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `from == to` (local traffic never crosses the switch) or a
-    /// socket index is out of range.
-    pub fn transfer(&mut self, now: Tick, from: SocketId, to: SocketId, bytes: u32) -> Tick {
-        self.transfer_timed(now, from, to, bytes).1
+    /// Returns [`SimError::InvalidRoute`] when `from == to` (local traffic
+    /// never crosses the switch) or a socket index is out of range.
+    pub fn transfer(
+        &mut self,
+        now: Tick,
+        from: SocketId,
+        to: SocketId,
+        bytes: u32,
+    ) -> Result<Tick, SimError> {
+        Ok(self.transfer_timed(now, from, to, bytes)?.1)
     }
 
     /// Like [`Self::transfer`] but also returns the tick at which the packet
     /// clears the source's egress lanes (used for store backpressure).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `from == to` or a socket index is out of range.
+    /// Returns [`SimError::InvalidRoute`] when `from == to` or a socket
+    /// index is out of range.
     pub fn transfer_timed(
         &mut self,
         now: Tick,
         from: SocketId,
         to: SocketId,
         bytes: u32,
-    ) -> (Tick, Tick) {
-        assert_ne!(from, to, "local traffic must not cross the switch");
-        let egress_clear = self.links[from.index()].send(now, LinkDirection::Egress, bytes);
+    ) -> Result<(Tick, Tick), SimError> {
+        if from == to {
+            return Err(SimError::InvalidRoute {
+                message: format!("local transfer {from}->{to} must not cross the switch"),
+            });
+        }
+        let n = self.links.len();
+        let out_of_range = |which: &str, s: SocketId| SimError::InvalidRoute {
+            message: format!("{which} socket {s} out of range ({n} sockets)"),
+        };
+        let egress_clear = self
+            .links
+            .get_mut(from.index())
+            .ok_or_else(|| out_of_range("source", from))?
+            .send(now, LinkDirection::Egress, bytes);
         let at_switch = egress_clear + self.half_latency;
-        let arrival = self.links[to.index()].send(at_switch, LinkDirection::Ingress, bytes)
+        let arrival = self
+            .links
+            .get_mut(to.index())
+            .ok_or_else(|| out_of_range("destination", to))?
+            .send(at_switch, LinkDirection::Ingress, bytes)
             + self.half_latency;
-        (egress_clear, arrival)
+        Ok((egress_clear, arrival))
     }
 
     /// Immutable access to one socket's link.
@@ -165,16 +190,19 @@ mod tests {
 
     #[test]
     fn transfer_pays_latency_and_occupancy() {
-        let mut sw = Switch::new(&cfg(), 4);
-        let arrive = sw.transfer(0, SocketId::new(0), SocketId::new(1), 128);
+        let mut sw = Switch::new(&cfg(), 4).unwrap();
+        let arrive = sw
+            .transfer(0, SocketId::new(0), SocketId::new(1), 128)
+            .unwrap();
         // 2 cycles egress + 64 + 2 cycles ingress + 64 = 132 cycles.
         assert_eq!(ticks_to_cycles(arrive), 132);
     }
 
     #[test]
     fn transfer_loads_both_endpoint_links() {
-        let mut sw = Switch::new(&cfg(), 2);
-        sw.transfer(0, SocketId::new(0), SocketId::new(1), 128);
+        let mut sw = Switch::new(&cfg(), 2).unwrap();
+        sw.transfer(0, SocketId::new(0), SocketId::new(1), 128)
+            .unwrap();
         assert_eq!(sw.link(SocketId::new(0)).stats().egress_bytes.get(), 128);
         assert_eq!(sw.link(SocketId::new(1)).stats().ingress_bytes.get(), 128);
         assert_eq!(sw.link(SocketId::new(0)).stats().ingress_bytes.get(), 0);
@@ -183,38 +211,64 @@ mod tests {
 
     #[test]
     fn independent_links_do_not_contend() {
-        let mut sw = Switch::new(&cfg(), 4);
-        let a = sw.transfer(0, SocketId::new(0), SocketId::new(1), 640);
-        let b = sw.transfer(0, SocketId::new(2), SocketId::new(3), 640);
+        let mut sw = Switch::new(&cfg(), 4).unwrap();
+        let a = sw
+            .transfer(0, SocketId::new(0), SocketId::new(1), 640)
+            .unwrap();
+        let b = sw
+            .transfer(0, SocketId::new(2), SocketId::new(3), 640)
+            .unwrap();
         assert_eq!(a, b); // disjoint socket pairs, identical timing
     }
 
     #[test]
     fn same_source_transfers_serialize_on_egress() {
-        let mut sw = Switch::new(&cfg(), 4);
-        let a = sw.transfer(0, SocketId::new(0), SocketId::new(1), 6400);
-        let b = sw.transfer(0, SocketId::new(0), SocketId::new(2), 6400);
+        let mut sw = Switch::new(&cfg(), 4).unwrap();
+        let a = sw
+            .transfer(0, SocketId::new(0), SocketId::new(1), 6400)
+            .unwrap();
+        let b = sw
+            .transfer(0, SocketId::new(0), SocketId::new(2), 6400)
+            .unwrap();
         assert!(b > a);
         assert!(b - a >= 100 * TICKS_PER_CYCLE); // 6400 B / 64 B-per-cycle
     }
 
     #[test]
-    #[should_panic(expected = "local traffic")]
-    fn local_transfer_panics() {
-        let mut sw = Switch::new(&cfg(), 2);
-        sw.transfer(0, SocketId::new(1), SocketId::new(1), 128);
+    fn local_transfer_is_an_invalid_route() {
+        let mut sw = Switch::new(&cfg(), 2).unwrap();
+        let err = sw
+            .transfer(0, SocketId::new(1), SocketId::new(1), 128)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidRoute { .. }));
+        assert!(err.to_string().contains("local transfer"));
+    }
+
+    #[test]
+    fn out_of_range_socket_is_an_invalid_route() {
+        let mut sw = Switch::new(&cfg(), 2).unwrap();
+        let err = sw
+            .transfer(0, SocketId::new(0), SocketId::new(5), 128)
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidRoute { .. }));
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn zero_socket_switch_is_a_config_error() {
+        assert!(Switch::new(&cfg(), 0).is_err());
     }
 
     #[test]
     fn rebalance_all_touches_every_link() {
-        let mut sw = Switch::new(&cfg(), 4);
+        let mut sw = Switch::new(&cfg(), 4).unwrap();
         let actions = sw.sample_and_rebalance_all(cycles_to_ticks(5_000), 0.99);
         assert_eq!(actions.len(), 4);
     }
 
     #[test]
     fn reset_all_is_symmetric() {
-        let mut sw = Switch::new(&cfg(), 2);
+        let mut sw = Switch::new(&cfg(), 2).unwrap();
         sw.reset_symmetric_all(0);
         for s in 0..2 {
             assert_eq!(sw.link(SocketId::new(s)).lanes(LinkDirection::Egress), 8);

@@ -77,8 +77,10 @@ prop_check! {
         to in ints(0u8..4)
     ) {
         prop_assume!(from != to);
-        let mut sw = Switch::new(&cfg(LinkMode::StaticSymmetric), 4);
-        let arrive = sw.transfer(0, SocketId::new(from), SocketId::new(to), bytes);
+        let mut sw = Switch::new(&cfg(LinkMode::StaticSymmetric), 4).unwrap();
+        let arrive = sw
+            .transfer(0, SocketId::new(from), SocketId::new(to), bytes)
+            .unwrap();
         let min_occ = (bytes as u64 * 1024).div_ceil(64);
         prop_assert!(arrive >= cycles_to_ticks(128) + 2 * min_occ);
         prop_assert_eq!(sw.link(SocketId::new(from)).stats().egress_bytes.get(), bytes as u64);

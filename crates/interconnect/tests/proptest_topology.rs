@@ -1,0 +1,117 @@
+//! Property tests for the composable fabric topologies.
+
+use numa_gpu_interconnect::{Switch, Topology};
+use numa_gpu_testkit::gen::{ints, triples, vecs};
+use numa_gpu_testkit::{prop_assert, prop_assert_eq, prop_check};
+use numa_gpu_types::{LinkConfig, LinkMode, SocketId, TopologyKind};
+
+fn cfg() -> LinkConfig {
+    LinkConfig {
+        lanes_per_direction: 8,
+        lane_bytes_per_cycle: 8,
+        latency_cycles: 128,
+        switch_time_cycles: 100,
+        sample_time_cycles: 5_000,
+        mode: LinkMode::StaticSymmetric,
+    }
+}
+
+const KINDS: [TopologyKind; 4] = [
+    TopologyKind::Star,
+    TopologyKind::Ring,
+    TopologyKind::Mesh2d,
+    TopologyKind::FatTree,
+];
+
+fn kind_for(sel: u8) -> TopologyKind {
+    KINDS[(sel as usize) % KINDS.len()]
+}
+
+prop_check! {
+    /// Route tables are a pure function of (kind, sockets): two
+    /// independently built fabrics agree on every path, hop for hop.
+    fn route_tables_are_deterministic(
+        sel in ints(0u8..4),
+        sockets in ints(1u8..32)
+    ) {
+        let kind = kind_for(sel);
+        let a = Topology::new(kind, &cfg(), sockets).unwrap();
+        let b = Topology::new(kind, &cfg(), sockets).unwrap();
+        prop_assert_eq!(a.num_edges(), b.num_edges());
+        prop_assert_eq!(a.edges(), b.edges());
+        for from in 0..sockets {
+            for to in 0..sockets {
+                prop_assert_eq!(
+                    a.path(SocketId::new(from), SocketId::new(to)),
+                    b.path(SocketId::new(from), SocketId::new(to)),
+                    "path {}->{} diverged", from, to
+                );
+            }
+        }
+    }
+
+    /// Every provided shape is symmetric-cost: the hop count from a to b
+    /// equals the hop count from b to a (routes may differ — the ring
+    /// breaks distance ties clockwise from both ends — but never in
+    /// length), and every route is loop-free on edges.
+    fn symmetric_topologies_have_symmetric_cost(
+        sel in ints(0u8..4),
+        sockets in ints(2u8..32)
+    ) {
+        let kind = kind_for(sel);
+        let t = Topology::new(kind, &cfg(), sockets).unwrap();
+        for from in 0..sockets {
+            for to in 0..sockets {
+                let fwd = t.path(SocketId::new(from), SocketId::new(to));
+                let rev = t.path(SocketId::new(to), SocketId::new(from));
+                prop_assert_eq!(
+                    fwd.len(), rev.len(),
+                    "asymmetric cost {}->{} on {}", from, to, kind
+                );
+                let mut edges: Vec<u16> = fwd.iter().map(|h| h.edge).collect();
+                edges.sort_unstable();
+                edges.dedup();
+                prop_assert_eq!(edges.len(), fwd.len(), "route revisits an edge");
+            }
+        }
+    }
+
+    /// Differential test: under any transfer schedule, the star topology
+    /// reproduces the old `Switch` egress-clear and arrival ticks exactly,
+    /// including cross-transfer queueing state.
+    fn star_matches_switch_under_any_schedule(
+        sockets in ints(2u8..16),
+        sends in vecs(triples(ints(0u64..10_000), ints(0u16..4096), ints(1u32..100_000)), 1..100)
+    ) {
+        let c = cfg();
+        let mut sw = Switch::new(&c, sockets).unwrap();
+        let mut topo = Topology::new(TopologyKind::Star, &c, sockets).unwrap();
+        let mut now = 0u64;
+        for (dt, pair_sel, bytes) in sends {
+            now += dt;
+            let from = (pair_sel % sockets as u16) as u8;
+            let to = ((pair_sel / sockets as u16) % sockets as u16) as u8;
+            if from == to {
+                continue;
+            }
+            let want = sw
+                .transfer_timed(now, SocketId::new(from), SocketId::new(to), bytes)
+                .unwrap();
+            let got = topo
+                .route(now, SocketId::new(from), SocketId::new(to), bytes)
+                .unwrap();
+            prop_assert_eq!(got, want, "diverged at t={} {}->{}", now, from, to);
+        }
+    }
+
+    /// The executor's window size never exceeds the access hop: lookahead
+    /// soundness holds on every shape and socket count.
+    fn lookahead_never_exceeds_access_hop(
+        sel in ints(0u8..4),
+        sockets in ints(1u8..32)
+    ) {
+        let t = Topology::new(kind_for(sel), &cfg(), sockets).unwrap();
+        prop_assert!(t.min_hop_latency() >= 1);
+        prop_assert!(t.min_hop_latency() <= t.access_hop_latency());
+    }
+}

@@ -70,6 +70,56 @@ impl CacheMode {
     }
 }
 
+/// Shape of the inter-socket fabric connecting the GPU sockets.
+///
+/// The paper evaluates the single-switch star of Figure 1; the other
+/// variants generalize it to composable multi-hop fabrics built from the
+/// same [`LinkConfig`]-described hops. `Star` is the default and is
+/// byte-identical to the pre-topology model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TopologyKind {
+    /// Every socket attaches to one central switch (the paper's fabric).
+    #[default]
+    Star,
+    /// Sockets arranged on a bidirectional ring of per-socket switches;
+    /// traffic takes the shorter arc (ties break clockwise).
+    Ring,
+    /// Sockets on a 2D switch grid with deterministic X-then-Y routing.
+    Mesh2d,
+    /// Two-level NVSwitch-style fat-tree: leaf switches host up to four
+    /// sockets each and share one root switch.
+    FatTree,
+}
+
+impl TopologyKind {
+    /// Parses the CLI flag spelling (`star|ring|mesh|fattree`).
+    pub fn from_flag(s: &str) -> Option<Self> {
+        match s {
+            "star" => Some(TopologyKind::Star),
+            "ring" => Some(TopologyKind::Ring),
+            "mesh" => Some(TopologyKind::Mesh2d),
+            "fattree" => Some(TopologyKind::FatTree),
+            _ => None,
+        }
+    }
+
+    /// The CLI flag spelling (inverse of [`TopologyKind::from_flag`]).
+    pub const fn flag_name(self) -> &'static str {
+        match self {
+            TopologyKind::Star => "star",
+            TopologyKind::Ring => "ring",
+            TopologyKind::Mesh2d => "mesh",
+            TopologyKind::FatTree => "fattree",
+        }
+    }
+}
+
+impl std::fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.flag_name())
+    }
+}
+
 /// Inter-socket link management policy (paper §4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkMode {
@@ -311,6 +361,8 @@ pub struct SystemConfig {
     pub noc: NocConfig,
     /// Per-socket switch link.
     pub link: LinkConfig,
+    /// Shape of the inter-socket fabric built from `link`-described hops.
+    pub topology: TopologyKind,
     /// L2 organization (Figure 7 variants).
     pub cache_mode: CacheMode,
     /// Page placement policy.
@@ -387,6 +439,7 @@ impl SystemConfig {
                 sample_time_cycles: 5_000,
                 mode: LinkMode::StaticSymmetric,
             },
+            topology: TopologyKind::Star,
             cache_mode: CacheMode::MemSideLocalOnly,
             placement: PagePlacement::FineInterleave,
             cta_policy: CtaSchedulingPolicy::Interleave,
@@ -459,9 +512,9 @@ impl SystemConfig {
     /// degenerate (zero sockets, non-power-of-two sets, fewer than two lanes
     /// per link, etc.).
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.num_sockets == 0 || self.num_sockets > 16 {
+        if self.num_sockets == 0 || self.num_sockets > 32 {
             return Err(ConfigError::new(format!(
-                "num_sockets must be in 1..=16, got {}",
+                "num_sockets must be in 1..=32, got {}",
                 self.num_sockets
             )));
         }
@@ -563,6 +616,32 @@ mod tests {
         let mut c = SystemConfig::pascal_single();
         c.num_sockets = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn socket_cap_is_32() {
+        let mut c = SystemConfig::pascal_single();
+        c.num_sockets = 32;
+        c.validate().unwrap();
+        c.num_sockets = 33;
+        let err = c.validate().unwrap_err();
+        assert!(err.message().contains("1..=32"), "stale cap: {err}");
+    }
+
+    #[test]
+    fn topology_defaults_to_star_and_round_trips_flags() {
+        assert_eq!(SystemConfig::pascal_single().topology, TopologyKind::Star);
+        assert_eq!(TopologyKind::default(), TopologyKind::Star);
+        for kind in [
+            TopologyKind::Star,
+            TopologyKind::Ring,
+            TopologyKind::Mesh2d,
+            TopologyKind::FatTree,
+        ] {
+            assert_eq!(TopologyKind::from_flag(kind.flag_name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.flag_name());
+        }
+        assert_eq!(TopologyKind::from_flag("torus"), None);
     }
 
     #[test]

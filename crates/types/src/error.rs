@@ -88,6 +88,13 @@ pub enum SimError {
         /// What was wrong with the plan.
         message: String,
     },
+    /// A fabric transfer was requested between endpoints the topology
+    /// cannot route (socket out of range, or a self-transfer that must
+    /// never reach the fabric).
+    InvalidRoute {
+        /// What was wrong with the requested route.
+        message: String,
+    },
 }
 
 impl From<ConfigError> for SimError {
@@ -118,6 +125,9 @@ impl fmt::Display for SimError {
             ),
             SimError::InvalidFaultPlan { message } => {
                 write!(f, "invalid fault plan: {message}")
+            }
+            SimError::InvalidRoute { message } => {
+                write!(f, "invalid route: {message}")
             }
         }
     }
@@ -171,6 +181,13 @@ mod tests {
             message: "socket 9 out of range".into(),
         };
         assert!(p.to_string().contains("socket 9"));
+
+        let r = SimError::InvalidRoute {
+            message: "source socket 7 out of range (4 sockets)".into(),
+        };
+        let s = r.to_string();
+        assert!(s.contains("invalid route"));
+        assert!(s.contains("socket 7"));
     }
 
     #[test]

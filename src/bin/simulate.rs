@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! simulate --workload Rodinia-Euler3D [--sockets N] [--quick|--full]
+//!          [--topology star|ring|mesh|fattree]
 //!          [--cache memside|static|shared|numa-aware]
 //!          [--link static|dynamic|2x]
 //!          [--placement fine|page|first-touch]
@@ -30,9 +31,9 @@ use numa_gpu::core::{NumaGpuSystem, SimReport};
 use numa_gpu::faults::FaultPlan;
 use numa_gpu::runtime::Kernel as _;
 use numa_gpu::types::{
-    CacheMode, CtaSchedulingPolicy, LinkMode, PagePlacement, SimError, SystemConfig,
+    CacheMode, CtaSchedulingPolicy, LinkMode, PagePlacement, SimError, SystemConfig, TopologyKind,
 };
-use numa_gpu::workloads::{by_name, Scale, WORKLOAD_NAMES};
+use numa_gpu::workloads::{by_name, collective_by_name, Scale, COLLECTIVE_NAMES, WORKLOAD_NAMES};
 
 /// Time horizon (in cycles) over which `--fault-seed` scatters its faults.
 const FAULT_HORIZON_CYCLES: u64 = 100_000;
@@ -41,6 +42,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}\n");
     eprintln!(
         "usage: simulate --workload NAME [--sockets N] [--quick|--full] \
+         [--topology star|ring|mesh|fattree] \
          [--cache memside|static|shared|numa-aware] [--link static|dynamic|2x] \
          [--placement fine|page|first-touch] [--cta interleave|contiguous] \
          [--baseline] [--jobs N] [--sim-threads N] [--timeline] [--metrics] [--profile] \
@@ -48,6 +50,10 @@ fn usage(msg: &str) -> ! {
     );
     eprintln!("\nworkloads:");
     for n in WORKLOAD_NAMES {
+        eprintln!("  {n}");
+    }
+    eprintln!("\ncollective-traffic workloads (scale with --sockets):");
+    for n in COLLECTIVE_NAMES {
         eprintln!("  {n}");
     }
     std::process::exit(2);
@@ -68,6 +74,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut workload_name = None;
     let mut sockets: u8 = 4;
+    let mut topology = TopologyKind::Star;
     let mut scale = Scale::full();
     let mut cache = CacheMode::NumaAwareDynamic;
     let mut link = LinkMode::DynamicAsymmetric;
@@ -98,7 +105,12 @@ fn main() {
             "--sockets" => {
                 sockets = value("--sockets")
                     .parse()
-                    .unwrap_or_else(|_| usage("--sockets must be 1..=16"));
+                    .unwrap_or_else(|_| usage("--sockets must be 1..=32"));
+            }
+            "--topology" => {
+                let v = value("--topology");
+                topology = TopologyKind::from_flag(&v)
+                    .unwrap_or_else(|| usage(&format!("unknown topology `{v}`")));
             }
             "--quick" => scale = Scale::quick(),
             "--full" => scale = Scale::full(),
@@ -196,7 +208,9 @@ fn main() {
         let Some(name) = workload_name else {
             usage("--workload or --from-trace is required");
         };
-        let Some(workload) = by_name(&name, &scale) else {
+        let Some(workload) =
+            by_name(&name, &scale).or_else(|| collective_by_name(&name, sockets, &scale))
+        else {
             usage(&format!("unknown workload `{name}`"));
         };
         workload
@@ -213,6 +227,7 @@ fn main() {
     }
 
     let mut cfg = SystemConfig::numa_sockets(sockets);
+    cfg.topology = topology;
     cfg.cache_mode = cache;
     cfg.link.mode = link;
     cfg.placement = placement;
@@ -312,9 +327,15 @@ fn main() {
             println!("  cycle {:>10}: {}", f.cycle, f.description);
         }
         for l in &res.links {
+            // Edge ids below the socket count are the per-socket access
+            // links; any interior fabric edges follow.
+            let who = if (l.edge as usize) < report.sockets.len() {
+                format!("GPU{}", l.edge)
+            } else {
+                format!("edge {}", l.edge)
+            };
             println!(
-                "  GPU{}: link lane availability {:.1}%{}",
-                l.socket,
+                "  {who}: link lane availability {:.1}%{}",
                 100.0 * l.availability(),
                 match l.recovery_cycles {
                     Some(c) => format!(", balancer re-allocated after {c} cycles"),
