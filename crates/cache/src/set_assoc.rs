@@ -425,7 +425,7 @@ impl SetAssocCache {
                 range
                     .clone()
                     .min_by_key(|&w| self.array[base + w].stamp)
-                    // simlint: allow(A001, reason = "partition ranges are validated non-empty at construction")
+                    // simlint: allow(S004, reason = "partition ranges are validated non-empty at construction")
                     .expect("way range is never empty")
             });
         let victim = self.array[base + victim_way];

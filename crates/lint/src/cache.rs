@@ -1,0 +1,645 @@
+//! On-disk incremental cache for the per-file analysis phase.
+//!
+//! [`analyze_file`](crate::rules::analyze_file) is pure in the file's
+//! bytes, so its [`FileAnalysis`] can be keyed by a content hash and
+//! reused across runs: a warm `cargo test` gate re-lexes only the files
+//! that changed. The cross-file isolation pass is *not* cached — it is
+//! cheap (in-memory graph walks) and depends on every file, so caching it
+//! per file would be unsound.
+//!
+//! Entries are keyed by `(FNV-1a 64 content hash, RULE_PACK_VERSION)`;
+//! bumping the pack version on any rule-behavior change invalidates the
+//! whole cache at once. The store is a single JSON document written
+//! atomically (temp file + rename), and *any* read problem — missing
+//! file, torn write, unknown rule ID, schema drift — degrades to a cold
+//! entry, never to a wrong result. Files that vanished from the workspace
+//! age out on the next store: only entries touched by the current run are
+//! written back.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use numa_gpu_testkit::json::Json;
+
+use crate::findings::{rule_id, Finding};
+use crate::items::{
+    CallRef, FieldDef, FileItems, FnDef, PanicSite, StaticDef, TypeDef, TypeKind, TypeRef, Vis,
+};
+use crate::pragma::Pragma;
+use crate::rules::FileAnalysis;
+
+/// Bump on ANY change to rule behavior, the pragma grammar, or the item
+/// parser: a stale cache must never replay old-pack findings.
+pub const RULE_PACK_VERSION: u64 = 2;
+
+/// FNV-1a 64-bit content hash (the same function testkit uses for prop
+/// seeds; reimplemented here because that one is private).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn span(line: u32, col: u32) -> Json {
+    Json::Arr(vec![Json::UInt(line as u64), Json::UInt(col as u64)])
+}
+
+fn span_of(j: &Json) -> Option<(u32, u32)> {
+    let a = j.as_array()?;
+    match a {
+        [l, c] => Some((u32_of(l)?, u32_of(c)?)),
+        _ => None,
+    }
+}
+
+fn u32_of(j: &Json) -> Option<u32> {
+    j.as_u64().and_then(|v| u32::try_from(v).ok())
+}
+
+fn bool_of(j: &Json) -> Option<bool> {
+    match j {
+        Json::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn finding_to_json(f: &Finding) -> Json {
+    Json::obj([
+        ("file", Json::Str(f.file.clone())),
+        ("at", span(f.line, f.col)),
+        ("rule", Json::Str(f.rule.to_string())),
+        ("msg", Json::Str(f.message.clone())),
+    ])
+}
+
+fn finding_of(j: &Json) -> Option<Finding> {
+    let (line, col) = span_of(j.get("at")?)?;
+    Some(Finding {
+        file: j.get("file")?.as_str()?.to_string(),
+        line,
+        col,
+        rule: rule_id(j.get("rule")?.as_str()?)?,
+        message: j.get("msg")?.as_str()?.to_string(),
+    })
+}
+
+fn pragma_to_json(p: &Pragma) -> Json {
+    Json::obj([
+        (
+            "rules",
+            Json::Arr(p.rules.iter().map(|r| Json::Str(r.to_string())).collect()),
+        ),
+        ("shared", Json::Bool(p.shared)),
+        ("reason", Json::Str(p.reason.clone())),
+        ("at", span(p.line, p.col)),
+        ("end", Json::UInt(p.cover_end as u64)),
+    ])
+}
+
+fn pragma_of(j: &Json) -> Option<Pragma> {
+    let (line, col) = span_of(j.get("at")?)?;
+    let mut rules = Vec::new();
+    for r in j.get("rules")?.as_array()? {
+        rules.push(rule_id(r.as_str()?)?);
+    }
+    Some(Pragma {
+        rules,
+        shared: bool_of(j.get("shared")?)?,
+        reason: j.get("reason")?.as_str()?.to_string(),
+        line,
+        col,
+        cover_end: u32_of(j.get("end")?)?,
+    })
+}
+
+fn type_ref_to_json(t: &TypeRef) -> Json {
+    Json::Arr(vec![
+        Json::Str(t.name.clone()),
+        Json::UInt(t.line as u64),
+        Json::UInt(t.col as u64),
+    ])
+}
+
+fn type_ref_of(j: &Json) -> Option<TypeRef> {
+    match j.as_array()? {
+        [n, l, c] => Some(TypeRef {
+            name: n.as_str()?.to_string(),
+            line: u32_of(l)?,
+            col: u32_of(c)?,
+        }),
+        _ => None,
+    }
+}
+
+fn field_to_json(f: &FieldDef) -> Json {
+    Json::obj([
+        ("r", Json::Bool(f.has_ref)),
+        (
+            "t",
+            Json::Arr(f.types.iter().map(type_ref_to_json).collect()),
+        ),
+    ])
+}
+
+fn field_of(j: &Json) -> Option<FieldDef> {
+    let mut types = Vec::new();
+    for t in j.get("t")?.as_array()? {
+        types.push(type_ref_of(t)?);
+    }
+    Some(FieldDef {
+        types,
+        has_ref: bool_of(j.get("r")?)?,
+    })
+}
+
+fn type_def_to_json(t: &TypeDef) -> Json {
+    Json::obj([
+        ("name", Json::Str(t.name.clone())),
+        ("mod", Json::Str(t.module.clone())),
+        ("at", span(t.line, t.col)),
+        (
+            "kind",
+            Json::Str(match t.kind {
+                TypeKind::Struct => "struct".to_string(),
+                TypeKind::Enum => "enum".to_string(),
+            }),
+        ),
+        ("copy", Json::Bool(t.derives_copy)),
+        (
+            "fields",
+            Json::Arr(t.fields.iter().map(field_to_json).collect()),
+        ),
+    ])
+}
+
+fn type_def_of(j: &Json) -> Option<TypeDef> {
+    let (line, col) = span_of(j.get("at")?)?;
+    let kind = match j.get("kind")?.as_str()? {
+        "struct" => TypeKind::Struct,
+        "enum" => TypeKind::Enum,
+        _ => return None,
+    };
+    let mut fields = Vec::new();
+    for f in j.get("fields")?.as_array()? {
+        fields.push(field_of(f)?);
+    }
+    Some(TypeDef {
+        name: j.get("name")?.as_str()?.to_string(),
+        module: j.get("mod")?.as_str()?.to_string(),
+        line,
+        col,
+        kind,
+        fields,
+        derives_copy: bool_of(j.get("copy")?)?,
+    })
+}
+
+fn fn_def_to_json(f: &FnDef) -> Json {
+    Json::obj([
+        ("name", Json::Str(f.name.clone())),
+        (
+            "owner",
+            match &f.owner {
+                Some(o) => Json::Str(o.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("mod", Json::Str(f.module.clone())),
+        (
+            "vis",
+            Json::Str(
+                match f.vis {
+                    Vis::Pub => "pub",
+                    Vis::Scoped => "scoped",
+                    Vis::Private => "priv",
+                }
+                .to_string(),
+            ),
+        ),
+        ("trait", Json::Bool(f.via_trait)),
+        ("at", span(f.line, f.col)),
+        ("unsafe", Json::Bool(f.is_unsafe)),
+        (
+            "calls",
+            Json::Arr(
+                f.calls
+                    .iter()
+                    .map(|c| {
+                        Json::Arr(vec![
+                            Json::Str(c.name.clone()),
+                            match &c.qual {
+                                Some(q) => Json::Str(q.clone()),
+                                None => Json::Null,
+                            },
+                            Json::Bool(c.method),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "panics",
+            Json::Arr(
+                f.panics
+                    .iter()
+                    .map(|p| {
+                        Json::Arr(vec![
+                            Json::Str(p.what.clone()),
+                            Json::UInt(p.line as u64),
+                            Json::UInt(p.col as u64),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn panic_of(j: &Json) -> Option<PanicSite> {
+    match j.as_array()? {
+        [w, l, c] => Some(PanicSite {
+            what: w.as_str()?.to_string(),
+            line: u32_of(l)?,
+            col: u32_of(c)?,
+        }),
+        _ => None,
+    }
+}
+
+fn fn_def_of(j: &Json) -> Option<FnDef> {
+    let (line, col) = span_of(j.get("at")?)?;
+    let owner = match j.get("owner")? {
+        Json::Null => None,
+        o => Some(o.as_str()?.to_string()),
+    };
+    let vis = match j.get("vis")?.as_str()? {
+        "pub" => Vis::Pub,
+        "scoped" => Vis::Scoped,
+        "priv" => Vis::Private,
+        _ => return None,
+    };
+    let mut calls = Vec::new();
+    for c in j.get("calls")?.as_array()? {
+        match c.as_array()? {
+            [n, q, m] => calls.push(CallRef {
+                name: n.as_str()?.to_string(),
+                qual: match q {
+                    Json::Null => None,
+                    q => Some(q.as_str()?.to_string()),
+                },
+                method: bool_of(m)?,
+            }),
+            _ => return None,
+        }
+    }
+    let mut panics = Vec::new();
+    for p in j.get("panics")?.as_array()? {
+        panics.push(panic_of(p)?);
+    }
+    Some(FnDef {
+        name: j.get("name")?.as_str()?.to_string(),
+        owner,
+        module: j.get("mod")?.as_str()?.to_string(),
+        vis,
+        via_trait: bool_of(j.get("trait")?)?,
+        line,
+        col,
+        calls,
+        panics,
+        is_unsafe: bool_of(j.get("unsafe")?)?,
+    })
+}
+
+fn static_to_json(s: &StaticDef) -> Json {
+    Json::obj([
+        ("name", Json::Str(s.name.clone())),
+        ("mut", Json::Bool(s.is_mut)),
+        ("at", span(s.line, s.col)),
+        (
+            "t",
+            Json::Arr(s.types.iter().map(type_ref_to_json).collect()),
+        ),
+    ])
+}
+
+fn static_of(j: &Json) -> Option<StaticDef> {
+    let (line, col) = span_of(j.get("at")?)?;
+    let mut types = Vec::new();
+    for t in j.get("t")?.as_array()? {
+        types.push(type_ref_of(t)?);
+    }
+    Some(StaticDef {
+        name: j.get("name")?.as_str()?.to_string(),
+        is_mut: bool_of(j.get("mut")?)?,
+        types,
+        line,
+        col,
+    })
+}
+
+fn items_to_json(i: &FileItems) -> Json {
+    Json::obj([
+        (
+            "types",
+            Json::Arr(i.types.iter().map(type_def_to_json).collect()),
+        ),
+        ("fns", Json::Arr(i.fns.iter().map(fn_def_to_json).collect())),
+        (
+            "statics",
+            Json::Arr(i.statics.iter().map(static_to_json).collect()),
+        ),
+        (
+            "unsafe",
+            Json::Arr(i.unsafe_sites.iter().map(|&(l, c)| span(l, c)).collect()),
+        ),
+        (
+            "payload",
+            Json::Arr(i.payload_args.iter().map(type_ref_to_json).collect()),
+        ),
+        (
+            "top_panics",
+            Json::Arr(
+                i.top_panics
+                    .iter()
+                    .map(|p| {
+                        Json::Arr(vec![
+                            Json::Str(p.what.clone()),
+                            Json::UInt(p.line as u64),
+                            Json::UInt(p.col as u64),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn items_of(j: &Json) -> Option<FileItems> {
+    let mut out = FileItems::default();
+    for t in j.get("types")?.as_array()? {
+        out.types.push(type_def_of(t)?);
+    }
+    for f in j.get("fns")?.as_array()? {
+        out.fns.push(fn_def_of(f)?);
+    }
+    for s in j.get("statics")?.as_array()? {
+        out.statics.push(static_of(s)?);
+    }
+    for u in j.get("unsafe")?.as_array()? {
+        out.unsafe_sites.push(span_of(u)?);
+    }
+    for p in j.get("payload")?.as_array()? {
+        out.payload_args.push(type_ref_of(p)?);
+    }
+    for p in j.get("top_panics")?.as_array()? {
+        out.top_panics.push(panic_of(p)?);
+    }
+    Some(out)
+}
+
+fn analysis_to_json(hash: u64, fa: &FileAnalysis) -> Json {
+    Json::obj([
+        ("hash", Json::UInt(hash)),
+        (
+            "raw",
+            Json::Arr(fa.raw.iter().map(finding_to_json).collect()),
+        ),
+        (
+            "pragmas",
+            Json::Arr(
+                fa.pragmas
+                    .iter()
+                    .map(|p| match p {
+                        Ok(p) => Json::obj([("ok", pragma_to_json(p))]),
+                        Err(f) => Json::obj([("err", finding_to_json(f))]),
+                    })
+                    .collect(),
+            ),
+        ),
+        ("items", items_to_json(&fa.items)),
+    ])
+}
+
+fn analysis_of(j: &Json) -> Option<(u64, FileAnalysis)> {
+    let hash = j.get("hash")?.as_u64()?;
+    let mut raw = Vec::new();
+    for f in j.get("raw")?.as_array()? {
+        raw.push(finding_of(f)?);
+    }
+    let mut pragmas = Vec::new();
+    for p in j.get("pragmas")?.as_array()? {
+        if let Some(ok) = p.get("ok") {
+            pragmas.push(Ok(pragma_of(ok)?));
+        } else {
+            pragmas.push(Err(finding_of(p.get("err")?)?));
+        }
+    }
+    let items = items_of(j.get("items")?)?;
+    Some((
+        hash,
+        FileAnalysis {
+            raw,
+            pragmas,
+            items,
+        },
+    ))
+}
+
+/// The cache: loaded entries from the previous run plus the entries the
+/// current run touched (only the latter are written back).
+pub struct Cache {
+    path: PathBuf,
+    loaded: BTreeMap<String, (u64, FileAnalysis)>,
+    fresh: BTreeMap<String, (u64, FileAnalysis)>,
+    /// Entries served from disk this run.
+    pub hits: usize,
+    /// Entries recomputed this run.
+    pub misses: usize,
+}
+
+impl Cache {
+    /// Loads the cache at `path`. Every failure mode — absent file, torn
+    /// write, pack-version mismatch, schema drift — yields an empty (cold)
+    /// cache.
+    pub fn load(path: &Path) -> Cache {
+        let mut cache = Cache {
+            path: path.to_path_buf(),
+            loaded: BTreeMap::new(),
+            fresh: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        };
+        let Ok(text) = fs::read_to_string(path) else {
+            return cache;
+        };
+        let Ok(doc) = Json::parse(&text) else {
+            return cache;
+        };
+        if doc.get("pack").and_then(Json::as_u64) != Some(RULE_PACK_VERSION) {
+            return cache;
+        }
+        let Some(Json::Obj(files)) = doc.get("files") else {
+            return cache;
+        };
+        for (file, entry) in files {
+            if let Some(parsed) = analysis_of(entry) {
+                cache.loaded.insert(file.clone(), parsed);
+            }
+        }
+        cache
+    }
+
+    /// Returns the cached analysis for `file` if its content hash matches.
+    pub fn get(&mut self, file: &str, hash: u64) -> Option<FileAnalysis> {
+        match self.loaded.get(file) {
+            Some((h, fa)) if *h == hash => {
+                self.hits += 1;
+                self.fresh.insert(file.to_string(), (hash, fa.clone()));
+                Some(fa.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a freshly computed analysis.
+    pub fn put(&mut self, file: &str, hash: u64, fa: &FileAnalysis) {
+        self.fresh.insert(file.to_string(), (hash, fa.clone()));
+    }
+
+    /// Writes the touched entries back atomically (temp file + rename).
+    /// Concurrent writers (parallel test binaries) each write a complete
+    /// consistent snapshot; last rename wins.
+    pub fn store(&self) -> io::Result<()> {
+        let files: Vec<(String, Json)> = self
+            .fresh
+            .iter()
+            .map(|(file, (hash, fa))| (file.clone(), analysis_to_json(*hash, fa)))
+            .collect();
+        let doc = Json::obj([
+            ("simlint_cache", Json::UInt(1)),
+            ("pack", Json::UInt(RULE_PACK_VERSION)),
+            ("files", Json::Obj(files)),
+        ]);
+        if let Some(dir) = self.path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let tmp = self
+            .path
+            .with_extension(format!("tmp.{}", std::process::id()));
+        fs::write(&tmp, doc.to_string())?;
+        fs::rename(&tmp, &self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::analyze_file;
+
+    const SRC: &str = "\
+// simlint: allow(D001, reason = \"drained sorted\")\n\
+use std::collections::HashMap;\n\
+pub struct SocketShard { q: EventQueue<Ev>, hot: RefCell<u32> }\n\
+static mut BAD: u64 = 0;\n\
+pub fn run(o: Option<u32>) -> u32 { helper(); o.unwrap() }\n\
+fn helper() {}\n";
+
+    #[test]
+    fn analysis_roundtrips_through_json() {
+        let fa = analyze_file("crates/core/src/system.rs", SRC);
+        let hash = fnv1a64(SRC.as_bytes());
+        let encoded = analysis_to_json(hash, &fa).to_string();
+        let decoded = Json::parse(&encoded).expect("reparses");
+        let (h2, fa2) = analysis_of(&decoded).expect("decodes");
+        assert_eq!(h2, hash);
+        assert_eq!(fa2.raw, fa.raw);
+        assert_eq!(fa2.items, fa.items);
+        assert_eq!(fa2.pragmas.len(), fa.pragmas.len());
+        for (a, b) in fa.pragmas.iter().zip(&fa2.pragmas) {
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.rules, b.rules);
+                    assert_eq!((a.line, a.col, a.cover_end), (b.line, b.col, b.cover_end));
+                    assert_eq!(a.shared, b.shared);
+                    assert_eq!(a.reason, b.reason);
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                _ => panic!("pragma parse status changed in roundtrip"),
+            }
+        }
+        // Same bytes, same hash: deterministic.
+        assert_eq!(encoded, analysis_to_json(hash, &fa).to_string());
+    }
+
+    #[test]
+    fn cold_warm_and_invalidation() {
+        let dir = std::env::temp_dir().join(format!("simlint-cache-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("cache.json");
+        let file = "crates/engine/src/lib.rs";
+        let fa = analyze_file(file, SRC);
+        let hash = fnv1a64(SRC.as_bytes());
+
+        // Cold: miss, then store.
+        let mut c = Cache::load(&path);
+        assert!(c.get(file, hash).is_none());
+        c.put(file, hash, &fa);
+        c.store().expect("store");
+
+        // Warm: hit with identical payload.
+        let mut c = Cache::load(&path);
+        let got = c.get(file, hash).expect("warm hit");
+        assert_eq!(got.raw, fa.raw);
+        assert_eq!(got.items, fa.items);
+        assert_eq!((c.hits, c.misses), (1, 0));
+
+        // Content change: miss.
+        let mut c = Cache::load(&path);
+        assert!(c.get(file, hash ^ 1).is_none());
+
+        // Corruption: cold, not wrong.
+        fs::write(&path, "{ torn").expect("write");
+        let mut c = Cache::load(&path);
+        assert!(c.get(file, hash).is_none());
+
+        // Pack-version mismatch: cold.
+        let doc = Json::obj([
+            ("simlint_cache", Json::UInt(1)),
+            ("pack", Json::UInt(RULE_PACK_VERSION + 1)),
+            ("files", Json::Obj(vec![])),
+        ]);
+        fs::write(&path, doc.to_string()).expect("write");
+        let c = Cache::load(&path);
+        assert!(c.loaded.is_empty());
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn untouched_entries_age_out_on_store() {
+        let dir = std::env::temp_dir().join(format!("simlint-age-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = dir.join("cache.json");
+        let fa = analyze_file("a.rs", "fn a() {}\n");
+        let mut c = Cache::load(&path);
+        c.put("a.rs", 1, &fa);
+        c.put("b.rs", 2, &fa);
+        c.store().expect("store");
+        // Next run only touches a.rs.
+        let mut c = Cache::load(&path);
+        assert!(c.get("a.rs", 1).is_some());
+        c.store().expect("store");
+        let c = Cache::load(&path);
+        assert!(c.loaded.contains_key("a.rs"));
+        assert!(!c.loaded.contains_key("b.rs"), "b.rs should age out");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,47 +1,124 @@
 //! Diagnostics: the [`Finding`] type, the rule catalogue, and the
-//! machine-readable report.
+//! machine-readable report (JSON and SARIF).
 
 use numa_gpu_testkit::json::Json;
 
-/// The rule catalogue: stable ID plus a one-line summary. IDs are
-/// append-only — a retired rule keeps its ID reserved so old pragmas and
-/// CI logs never change meaning.
-pub const RULES: &[(&str, &str)] = &[
-    (
-        "D001",
-        "no HashMap/HashSet in deterministic simulation crates (iteration-order nondeterminism)",
-    ),
-    (
-        "D002",
-        "no std::time::Instant/SystemTime outside bench/exec reporting paths",
-    ),
-    (
-        "D003",
-        "no float ==/!= comparisons and no f32/f64 Iterator::sum/product reductions",
-    ),
-    (
-        "Z001",
-        "every Cargo.toml dependency must be a workspace path dependency",
-    ),
-    (
-        "A001",
-        "no unwrap/expect/panic! in non-test library code of simulation crates",
-    ),
-    (
-        "O001",
-        "no direct println!/eprintln! in library code (use exec::Reporter or a bin)",
-    ),
-    ("P001", "malformed simlint pragma"),
-    ("P002", "unused simlint pragma"),
+/// One catalogue entry: stable ID, one-line summary, rationale, and fix
+/// guidance. The latter two feed `simlint --explain RULE` and ride along
+/// in the JSON/SARIF reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Stable rule ID (`D001`, `S002`, …). IDs are append-only — a retired
+    /// rule keeps its ID reserved so old pragmas and CI logs never change
+    /// meaning.
+    pub id: &'static str,
+    /// One-line summary for `--list-rules` and the SARIF rule table.
+    pub summary: &'static str,
+    /// Why the rule exists (one line, embedded per-finding in JSON).
+    pub rationale: &'static str,
+    /// How to fix a finding.
+    pub fix: &'static str,
+}
+
+/// The rule catalogue. IDs are append-only — a retired rule (A001,
+/// superseded by the call-graph-aware S004) keeps its ID reserved so old
+/// pragmas and CI logs never change meaning.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "D001",
+        summary: "no HashMap/HashSet in deterministic simulation crates (iteration-order nondeterminism)",
+        rationale: "hash iteration order varies per process and leaks straight into event order and reports",
+        fix: "use BTreeMap/BTreeSet, or drain through an explicitly sorted buffer",
+    },
+    Rule {
+        id: "D002",
+        summary: "no std::time::Instant/SystemTime outside bench/exec reporting paths",
+        rationale: "wall clock must never reach simulation state or a SimReport; simulated time comes from the event queue",
+        fix: "derive timing from event-queue ticks, or move the measurement into bench/exec",
+    },
+    Rule {
+        id: "D003",
+        summary: "no float ==/!= comparisons and no f32/f64 Iterator::sum/product reductions",
+        rationale: "float comparison and reduction order are representation-dependent; the optimizer may reassociate",
+        fix: "compare against an epsilon, or use an explicit left fold so the order is part of the code",
+    },
+    Rule {
+        id: "Z001",
+        summary: "every Cargo.toml dependency must be a workspace path dependency",
+        rationale: "the build is offline (CARGO_NET_OFFLINE); a registry dependency fails at the network boundary, far from the edit",
+        fix: "inherit with `workspace = true` or give an explicit `path = ...`",
+    },
+    Rule {
+        id: "A001",
+        summary: "(superseded by S004) no unwrap/expect/panic! in non-test library code of simulation crates",
+        rationale: "retired: the textual panic scan is superseded by the call-graph-aware S004 reachability analysis",
+        fix: "rename remaining `allow(A001, ...)` pragmas to S004, or delete them if S004 no longer fires",
+    },
+    Rule {
+        id: "O001",
+        summary: "no direct println!/eprintln! in library code (use exec::Reporter or a bin)",
+        rationale: "library output bypasses the Reporter's buffering and interleaves nondeterministically under --jobs N",
+        fix: "route output through exec::Reporter, or keep the print in a bin",
+    },
+    Rule {
+        id: "S001",
+        summary: "no static mut / interior-mutable static items in simulation crates",
+        rationale: "global mutable state is shared by every shard that can name it, bypassing the partition boundary",
+        fix: "move the state into SocketShard (or the serial control plane) and thread it explicitly",
+    },
+    Rule {
+        id: "S002",
+        summary: "no interior-mutability types in fields of shard-owned state (SocketShard field-type closure)",
+        rationale: "Cell/Mutex/atomic fields let concurrently running shards mutate state the window barrier never merges",
+        fix: "make the field plain data owned by the shard, or register the type with `simlint: shared(reason = ...)`",
+    },
+    Rule {
+        id: "S003",
+        summary: "no unsafe blocks or functions in simulation crates",
+        rationale: "unsafe code can smuggle aliasing and data races past the shard-isolation discipline the S-rules check",
+        fix: "rewrite safely; sim crates carry #![forbid(unsafe_code)] and simlint keeps the attribute honest",
+    },
+    Rule {
+        id: "S004",
+        summary: "no panic path (unwrap/expect/panic!-family) reachable from a public sim-crate entry point",
+        rationale: "a panic inside a shard poisons the window barrier and kills the whole partitioned run",
+        fix: "return a typed error, or pragma the audited invariant with `allow(S004, reason = ...)`",
+    },
+    Rule {
+        id: "S005",
+        summary: "cross-partition payload types must be plain data (no Rc/Arc/reference fields)",
+        rationale: "a shared pointer in an XMsg aliases shard state across the partition boundary the barrier merge cannot see",
+        fix: "send owned plain data (ids, lines, ticks); resolve shared lookups on the receiving shard",
+    },
+    Rule {
+        id: "P001",
+        summary: "malformed simlint pragma",
+        rationale: "a pragma that fails to parse would otherwise silently suppress nothing",
+        fix: "use `allow(RULE, reason = \"...\")` or `shared(reason = \"...\")` with a non-empty reason",
+    },
+    Rule {
+        id: "P002",
+        summary: "unused simlint pragma",
+        rationale: "dead pragmas rot: they document suppressions that no longer exist",
+        fix: "delete the pragma (or move it to the line it is meant to cover)",
+    },
 ];
 
 /// Rule IDs a pragma may suppress (the pragma meta-rules cannot suppress
-/// themselves).
-pub const ALLOWABLE_RULES: &[&str] = &["D001", "D002", "D003", "Z001", "A001", "O001"];
+/// themselves; A001 stays allowable so historical branches degrade to P002
+/// instead of P001).
+pub const ALLOWABLE_RULES: &[&str] = &[
+    "D001", "D002", "D003", "Z001", "A001", "O001", "S001", "S002", "S003", "S004", "S005",
+];
+
+/// Resolves a user-supplied rule name to its catalogue entry.
+pub fn rule_info(name: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == name)
+}
 
 /// Resolves a user-supplied rule name to its catalogue ID.
 pub fn rule_id(name: &str) -> Option<&'static str> {
-    RULES.iter().map(|(id, _)| *id).find(|id| *id == name)
+    rule_info(name).map(|r| r.id)
 }
 
 /// One diagnostic: a rule violation (or pragma problem) at an exact span.
@@ -68,14 +145,73 @@ impl Finding {
         )
     }
 
-    /// JSON form (field order fixed so output is byte-stable).
+    /// JSON form (field order fixed so output is byte-stable). Carries the
+    /// catalogue rationale so machine consumers need no side table.
     pub fn to_json(&self) -> Json {
+        let rationale = rule_info(self.rule).map(|r| r.rationale).unwrap_or("");
         Json::obj([
             ("file", Json::Str(self.file.clone())),
             ("line", Json::UInt(self.line as u64)),
             ("col", Json::UInt(self.col as u64)),
             ("rule", Json::Str(self.rule.to_string())),
             ("message", Json::Str(self.message.clone())),
+            ("rationale", Json::Str(rationale.to_string())),
+        ])
+    }
+
+    /// SARIF `result` object for this finding.
+    fn to_sarif(&self) -> Json {
+        Json::obj([
+            ("ruleId", Json::Str(self.rule.to_string())),
+            ("level", Json::Str("error".to_string())),
+            (
+                "message",
+                Json::obj([("text", Json::Str(self.message.clone()))]),
+            ),
+            (
+                "locations",
+                Json::Arr(vec![Json::obj([(
+                    "physicalLocation",
+                    Json::obj([
+                        (
+                            "artifactLocation",
+                            Json::obj([("uri", Json::Str(self.file.clone()))]),
+                        ),
+                        (
+                            "region",
+                            Json::obj([
+                                ("startLine", Json::UInt(self.line as u64)),
+                                ("startColumn", Json::UInt(self.col as u64)),
+                            ]),
+                        ),
+                    ]),
+                )])]),
+            ),
+        ])
+    }
+}
+
+/// One entry in the shared-state registry: a type deliberately excluded
+/// from the shard-isolation closure via `simlint: shared(reason = ...)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SharedEntry {
+    /// Type name the pragma covers.
+    pub type_name: String,
+    /// File the pragma (and type declaration) live in.
+    pub file: String,
+    /// 1-based line of the pragma comment.
+    pub line: u32,
+    /// The pragma's reason string.
+    pub reason: String,
+}
+
+impl SharedEntry {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("type", Json::Str(self.type_name.clone())),
+            ("file", Json::Str(self.file.clone())),
+            ("line", Json::UInt(self.line as u64)),
+            ("reason", Json::Str(self.reason.clone())),
         ])
     }
 }
@@ -89,6 +225,9 @@ pub struct LintReport {
     pub files_scanned: usize,
     /// Manifests scanned.
     pub manifests_scanned: usize,
+    /// The shared-state registry: every type excluded from the S002
+    /// closure, with its reviewed reason — auditable in one place.
+    pub shared_types: Vec<SharedEntry>,
 }
 
 impl LintReport {
@@ -96,6 +235,8 @@ impl LintReport {
     pub fn normalize(&mut self) {
         self.findings.sort();
         self.findings.dedup();
+        self.shared_types.sort();
+        self.shared_types.dedup();
     }
 
     /// Whether the workspace is clean.
@@ -108,7 +249,7 @@ impl LintReport {
     /// environment-dependent is recorded.
     pub fn to_json(&self) -> Json {
         Json::obj([
-            ("simlint", Json::UInt(1)),
+            ("simlint", Json::UInt(2)),
             ("files_scanned", Json::UInt(self.files_scanned as u64)),
             (
                 "manifests_scanned",
@@ -117,6 +258,57 @@ impl LintReport {
             (
                 "findings",
                 Json::Arr(self.findings.iter().map(Finding::to_json).collect()),
+            ),
+            (
+                "shared",
+                Json::Arr(self.shared_types.iter().map(SharedEntry::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// SARIF 2.1.0 report for CI annotation. Byte-stable for the same
+    /// reasons as [`Self::to_json`].
+    pub fn to_sarif(&self) -> Json {
+        let rules = RULES
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("id", Json::Str(r.id.to_string())),
+                    (
+                        "shortDescription",
+                        Json::obj([("text", Json::Str(r.summary.to_string()))]),
+                    ),
+                    (
+                        "help",
+                        Json::obj([("text", Json::Str(format!("{} Fix: {}", r.rationale, r.fix)))]),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            (
+                "$schema",
+                Json::Str("https://json.schemastore.org/sarif-2.1.0.json".to_string()),
+            ),
+            ("version", Json::Str("2.1.0".to_string())),
+            (
+                "runs",
+                Json::Arr(vec![Json::obj([
+                    (
+                        "tool",
+                        Json::obj([(
+                            "driver",
+                            Json::obj([
+                                ("name", Json::Str("simlint".to_string())),
+                                ("rules", Json::Arr(rules)),
+                            ]),
+                        )]),
+                    ),
+                    (
+                        "results",
+                        Json::Arr(self.findings.iter().map(Finding::to_sarif).collect()),
+                    ),
+                ])]),
             ),
         ])
     }
@@ -161,6 +353,7 @@ mod tests {
             findings: vec![f("b.rs", 2), f("a.rs", 9), f("b.rs", 2)],
             files_scanned: 2,
             manifests_scanned: 0,
+            shared_types: Vec::new(),
         };
         r.normalize();
         assert_eq!(r.findings.len(), 2);
@@ -179,12 +372,73 @@ mod tests {
             }],
             files_scanned: 1,
             manifests_scanned: 1,
+            shared_types: vec![SharedEntry {
+                type_name: "CounterHandle".into(),
+                file: "crates/obs/src/metrics.rs".into(),
+                line: 30,
+                reason: "metric sink".into(),
+            }],
         };
         let a = r.to_json().to_string();
         let b = r.to_json().to_string();
         assert_eq!(a, b);
         let parsed = Json::parse(&a).expect("report JSON reparses");
-        assert_eq!(parsed.get("simlint").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get("simlint").and_then(Json::as_u64), Some(2));
+        // Findings carry the catalogue rationale inline.
+        let finding = &parsed
+            .get("findings")
+            .and_then(Json::as_array)
+            .expect("arr")[0];
+        assert!(finding
+            .get("rationale")
+            .and_then(Json::as_str)
+            .is_some_and(|r| r.contains("Reporter")));
+        let shared = &parsed.get("shared").and_then(Json::as_array).expect("arr")[0];
+        assert_eq!(
+            shared.get("type").and_then(Json::as_str),
+            Some("CounterHandle")
+        );
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_span_accurate_results() {
+        let r = LintReport {
+            findings: vec![Finding {
+                file: "crates/engine/src/lib.rs".into(),
+                line: 7,
+                col: 21,
+                rule: "S002",
+                message: "interior mutability".into(),
+            }],
+            files_scanned: 1,
+            manifests_scanned: 0,
+            shared_types: Vec::new(),
+        };
+        let text = r.to_sarif().to_string();
+        assert_eq!(text, r.to_sarif().to_string(), "SARIF must be byte-stable");
+        let doc = Json::parse(&text).expect("SARIF reparses");
+        assert_eq!(doc.get("version").and_then(Json::as_str), Some("2.1.0"));
+        let run = &doc.get("runs").and_then(Json::as_array).expect("runs")[0];
+        let rules = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .and_then(|d| d.get("rules"))
+            .and_then(Json::as_array)
+            .expect("rules");
+        assert_eq!(rules.len(), RULES.len());
+        let result = &run
+            .get("results")
+            .and_then(Json::as_array)
+            .expect("results")[0];
+        assert_eq!(result.get("ruleId").and_then(Json::as_str), Some("S002"));
+        let region = result
+            .get("locations")
+            .and_then(Json::as_array)
+            .and_then(|l| l[0].get("physicalLocation"))
+            .and_then(|p| p.get("region"))
+            .expect("region");
+        assert_eq!(region.get("startLine").and_then(Json::as_u64), Some(7));
+        assert_eq!(region.get("startColumn").and_then(Json::as_u64), Some(21));
     }
 
     #[test]
@@ -193,5 +447,9 @@ mod tests {
             assert!(rule_id(r).is_some(), "{r} missing from catalogue");
         }
         assert!(rule_id("D999").is_none());
+        // Every catalogue entry has non-empty explain fields.
+        for r in RULES {
+            assert!(!r.summary.is_empty() && !r.rationale.is_empty() && !r.fix.is_empty());
+        }
     }
 }

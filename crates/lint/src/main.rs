@@ -1,27 +1,42 @@
 //! `simlint` CLI.
 //!
 //! ```text
-//! simlint [--root DIR] [--format text|json] [--list-rules]
+//! simlint [--root DIR] [--format text|json|sarif] [--list-rules]
+//!         [--explain RULE] [--no-cache]
 //! ```
 //!
-//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+//! The per-file analysis phase is served from an on-disk cache at
+//! `<root>/target/simlint-cache.json` (disable with `--no-cache`); the
+//! report is byte-identical either way. Exit codes: 0 = clean, 1 =
+//! findings, 2 = usage or I/O error.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use numa_gpu_lint::{lint_workspace, RULES};
+use numa_gpu_lint::findings::rule_info;
+use numa_gpu_lint::{default_cache_path, lint_workspace_cached, RULES};
+
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Opts {
     root: PathBuf,
-    json: bool,
+    format: Format,
     list_rules: bool,
+    explain: Option<String>,
+    no_cache: bool,
 }
 
 fn parse_args() -> Result<Opts, String> {
     let mut opts = Opts {
         root: PathBuf::from("."),
-        json: false,
+        format: Format::Text,
         list_rules: false,
+        explain: None,
+        no_cache: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -31,19 +46,27 @@ fn parse_args() -> Result<Opts, String> {
                 opts.root = PathBuf::from(v);
             }
             "--format" => match args.next().as_deref() {
-                Some("text") => opts.json = false,
-                Some("json") => opts.json = true,
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                Some("sarif") => opts.format = Format::Sarif,
                 other => {
                     return Err(format!(
-                        "--format must be `text` or `json`, got {:?}",
+                        "--format must be `text`, `json` or `sarif`, got {:?}",
                         other.unwrap_or("nothing")
                     ))
                 }
             },
             "--list-rules" => opts.list_rules = true,
+            "--explain" => {
+                let v = args.next().ok_or("--explain needs a rule ID argument")?;
+                opts.explain = Some(v);
+            }
+            "--no-cache" => opts.no_cache = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: simlint [--root DIR] [--format text|json] [--list-rules]".to_string(),
+                    "usage: simlint [--root DIR] [--format text|json|sarif] [--list-rules] \
+                     [--explain RULE] [--no-cache]"
+                        .to_string(),
                 )
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -61,9 +84,20 @@ fn main() -> ExitCode {
         }
     };
     if opts.list_rules {
-        for (id, summary) in RULES {
-            println!("{id}  {summary}");
+        for r in RULES {
+            println!("{}  {}", r.id, r.summary);
         }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(name) = &opts.explain {
+        let Some(r) = rule_info(name) else {
+            eprintln!("simlint: unknown rule `{name}`; try --list-rules for the catalogue");
+            return ExitCode::from(2);
+        };
+        println!("{}  {}", r.id, r.summary);
+        println!();
+        println!("why:  {}", r.rationale);
+        println!("fix:  {}", r.fix);
         return ExitCode::SUCCESS;
     }
     // Default to the workspace root when launched via `cargo run -p
@@ -81,23 +115,30 @@ fn main() -> ExitCode {
     } else {
         opts.root
     };
-    let report = match lint_workspace(&root) {
+    let cache = if opts.no_cache {
+        None
+    } else {
+        Some(default_cache_path(&root))
+    };
+    let report = match lint_workspace_cached(&root, cache.as_deref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("simlint: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
-    if opts.json {
-        println!("{}", report.to_json());
-    } else {
-        print!("{}", report.render_text());
-        println!(
-            "simlint: {} finding(s) across {} files and {} manifests",
-            report.findings.len(),
-            report.files_scanned,
-            report.manifests_scanned
-        );
+    match opts.format {
+        Format::Json => println!("{}", report.to_json()),
+        Format::Sarif => println!("{}", report.to_sarif()),
+        Format::Text => {
+            print!("{}", report.render_text());
+            println!(
+                "simlint: {} finding(s) across {} files and {} manifests",
+                report.findings.len(),
+                report.files_scanned,
+                report.manifests_scanned
+            );
+        }
     }
     if report.is_clean() {
         ExitCode::SUCCESS

@@ -159,7 +159,8 @@ pub fn analyze_manifest(path: &str, src: &str) -> Vec<Finding> {
         }
     }
     close_sub(&mut open_sub, &mut raw);
-    let mut out = apply_pragmas(path, pragmas, raw);
+    // Manifests have no item graph: no shared pragmas can be consumed.
+    let mut out = apply_pragmas(path, pragmas, raw, &[]);
     out.sort();
     out.dedup();
     out

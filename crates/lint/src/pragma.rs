@@ -1,4 +1,5 @@
-//! The `simlint:` allow-pragma system.
+//! The `simlint:` pragma system: site-local `allow` suppressions and the
+//! `shared` type registry.
 //!
 //! A violation is suppressed *at the site*, with a reason, by a comment of
 //! the form (shown here split so this file does not pragma itself):
@@ -7,47 +8,71 @@
 //! <comment-start> simlint: allow(D001, reason = "waiters drain in insertion order")
 //! ```
 //!
+//! A type is registered as deliberately shared (excluded from the S002
+//! shard-isolation closure) the same way:
+//!
+//! ```text
+//! <comment-start> simlint: shared(reason = "metric sink; snapshot order is canonical")
+//! ```
+//!
 //! Grammar, after the `simlint:` marker:
 //!
 //! ```text
-//! pragma  := allow+
+//! pragma  := clause+
+//! clause  := allow | shared
 //! allow   := "allow" "(" rule ("," rule)* "," "reason" "=" string ")"
-//! rule    := one of the allowable rule IDs (D001, D002, D003, Z001, A001, O001)
+//! shared  := "shared" "(" "reason" "=" string ")"
+//! rule    := one of the allowable rule IDs (see findings::ALLOWABLE_RULES)
 //! string  := '"' non-empty text '"'
 //! ```
 //!
-//! A pragma covers findings on **its own line and the line directly below
-//! it**, so it can sit at the end of the offending line or on its own line
-//! above. Anything else is an error:
+//! An `allow` pragma covers findings on **its own line through the end of
+//! the statement that starts on its line or the line directly below** —
+//! the statement extends to its terminating `;`, a field-list `,`, or the
+//! close of the block it opens, so a rustfmt-split multi-line `use` or a
+//! whole attributed `fn` is covered by one pragma above it. A `shared`
+//! pragma attaches to the type declaration inside the same coverage
+//! window. Anything else is an error:
 //!
 //! * malformed grammar, unknown rule, empty reason → **P001**
-//! * a pragma that suppresses nothing → **P002** (dead pragmas rot)
+//! * a pragma that suppresses nothing / registers nothing → **P002**
 //!
 //! There is deliberately no file-level or baseline suppression: every
-//! allow is local and carries its justification.
+//! pragma is local and carries its justification.
 
 use crate::findings::{rule_id, Finding, ALLOWABLE_RULES};
 
 /// The marker that starts a pragma inside a comment.
 pub const MARKER: &str = "simlint:";
 
-/// One parsed allow-pragma.
+/// One parsed pragma: `allow` clauses and/or a `shared` registration.
 #[derive(Debug, Clone)]
 pub struct Pragma {
-    /// Rule IDs this pragma suppresses.
+    /// Rule IDs the `allow` clauses suppress (empty for a pure `shared`
+    /// pragma).
     pub rules: Vec<&'static str>,
+    /// Whether a `shared(...)` clause registers the covered type.
+    pub shared: bool,
+    /// The (last) reason string, kept for the shared-type registry.
+    pub reason: String,
     /// 1-based line of the pragma comment.
     pub line: u32,
     /// 1-based column of the pragma comment.
     pub col: u32,
+    /// Last line the pragma covers: the end of the statement starting on
+    /// `line` or `line + 1`. Defaults to `line + 1` (the historical
+    /// two-line window) until the rule engine widens it from the token
+    /// stream.
+    pub cover_end: u32,
 }
 
 impl Pragma {
-    /// Whether this pragma covers `finding` (same rule, same line or the
-    /// line directly below the pragma).
+    /// Whether this pragma's `allow` clauses cover `finding` (same rule,
+    /// within the covered statement).
     pub fn covers(&self, finding: &Finding) -> bool {
         self.rules.contains(&finding.rule)
-            && (finding.line == self.line || finding.line == self.line + 1)
+            && finding.line >= self.line
+            && finding.line <= self.cover_end
     }
 }
 
@@ -61,6 +86,27 @@ fn p001(file: &str, line: u32, col: u32, message: String) -> Finding {
     }
 }
 
+/// Splits a `reason = "..."` suffix off a clause body, validating the
+/// quoting. Returns (text before `reason`, reason contents).
+fn split_reason(inner: &str) -> Result<(&str, &str), String> {
+    let Some(pos) = inner.find("reason") else {
+        return Err(format!(
+            "clause is missing `reason = \"...\"` (every suppression must \
+             carry its justification); clause body was `{inner}`"
+        ));
+    };
+    let tail = inner[pos + "reason".len()..].trim_start();
+    let Some(tail) = tail.strip_prefix('=') else {
+        return Err("expected `=` after `reason`".to_string());
+    };
+    let tail = tail.trim();
+    if tail.len() > 2 && tail.starts_with('"') && tail.ends_with('"') {
+        Ok((&inner[..pos], &tail[1..tail.len() - 1]))
+    } else {
+        Err("reason must be a non-empty double-quoted string".to_string())
+    }
+}
+
 /// Parses the pragma text that follows the marker inside one comment.
 /// Returns the pragma or a P001 finding.
 pub fn parse_pragma(
@@ -71,26 +117,32 @@ pub fn parse_pragma(
 ) -> Result<Pragma, Finding> {
     let bad = |msg: String| p001(file, line, col, msg);
     let mut rules: Vec<&'static str> = Vec::new();
+    let mut shared = false;
+    let mut reason = String::new();
     let mut rest = after_marker.trim();
     if rest.is_empty() {
         return Err(bad(format!(
-            "pragma has no allow clause; expected `allow(RULE, reason = \"...\")` \
-             with RULE one of {ALLOWABLE_RULES:?}"
+            "pragma has no clause; expected `allow(RULE, reason = \"...\")` \
+             with RULE one of {ALLOWABLE_RULES:?}, or `shared(reason = \"...\")`"
         )));
     }
     while !rest.is_empty() {
-        let Some(tail) = rest.strip_prefix("allow") else {
+        let (is_shared, tail) = if let Some(t) = rest.strip_prefix("allow") {
+            (false, t)
+        } else if let Some(t) = rest.strip_prefix("shared") {
+            (true, t)
+        } else {
             return Err(bad(format!(
-                "expected `allow(...)`, found `{}`",
+                "expected `allow(...)` or `shared(...)`, found `{}`",
                 rest.chars().take(30).collect::<String>()
             )));
         };
         let tail = tail.trim_start();
         let Some(tail) = tail.strip_prefix('(') else {
-            return Err(bad("expected `(` after `allow`".to_string()));
+            return Err(bad("expected `(` after the clause keyword".to_string()));
         };
         let Some(close) = tail.find(')') else {
-            return Err(bad("unclosed `allow(`".to_string()));
+            return Err(bad("unclosed clause".to_string()));
         };
         let inner = &tail[..close];
         rest = tail[close + 1..]
@@ -101,24 +153,21 @@ pub fn parse_pragma(
         // `RULE, RULE, reason = "..."` — the reason is the trailing quoted
         // string and may itself contain commas, so split it off before
         // splitting the rule list.
-        let Some(pos) = inner.find("reason") else {
-            return Err(bad(format!(
-                "allow clause is missing `reason = \"...\"` (every suppression \
-                 must carry its justification); clause was `allow({inner})`"
-            )));
-        };
-        let reason = inner[pos + "reason".len()..].trim_start();
-        let Some(reason) = reason.strip_prefix('=') else {
-            return Err(bad("expected `=` after `reason`".to_string()));
-        };
-        let reason = reason.trim();
-        let quoted = reason.len() > 2 && reason.starts_with('"') && reason.ends_with('"');
-        if !quoted {
-            return Err(bad(
-                "reason must be a non-empty double-quoted string".to_string()
-            ));
+        let (head, r) = split_reason(inner).map_err(&bad)?;
+        reason = r.to_string();
+        if is_shared {
+            let head = head.trim().trim_end_matches(',').trim();
+            if !head.is_empty() {
+                return Err(bad(format!(
+                    "`shared(...)` takes only a reason (it registers the \
+                     covered type declaration), found `{head}`"
+                )));
+            }
+            shared = true;
+            continue;
         }
-        for part in inner[..pos].split(',') {
+        let mut named = 0usize;
+        for part in head.split(',') {
             let part = part.trim();
             if part.is_empty() {
                 continue;
@@ -128,29 +177,42 @@ pub fn parse_pragma(
                     "unknown or non-allowable rule `{part}`; allowable: {ALLOWABLE_RULES:?}"
                 )));
             }
-            let id = rule_id(part).unwrap_or("P001");
-            rules.push(id);
+            rules.push(rule_id(part).unwrap_or("P001"));
+            named += 1;
+        }
+        if named == 0 {
+            return Err(bad("allow clause names no rule".to_string()));
         }
     }
-    if rules.is_empty() {
-        return Err(bad("allow clause names no rule".to_string()));
-    }
-    Ok(Pragma { rules, line, col })
+    Ok(Pragma {
+        rules,
+        shared,
+        reason,
+        line,
+        col,
+        cover_end: line + 1,
+    })
 }
 
 /// Applies pragmas to raw rule findings: suppressed findings are removed,
 /// pragmas that suppress nothing become P002 findings, and parse failures
-/// surface as P001. Returns the surviving findings.
+/// surface as P001. `used_shared` holds `(line, col)` positions of shared
+/// pragmas the isolation pass consumed (a shared clause that registered
+/// nothing rots like a dead allow). Returns the surviving findings.
 pub fn apply_pragmas(
     file: &str,
     pragmas: Vec<Result<Pragma, Finding>>,
     raw: Vec<Finding>,
+    used_shared: &[(u32, u32)],
 ) -> Vec<Finding> {
     let mut out = Vec::new();
     let mut parsed = Vec::new();
     for p in pragmas {
         match p {
-            Ok(p) => parsed.push((p, false)),
+            Ok(p) => {
+                let used = p.shared && used_shared.contains(&(p.line, p.col));
+                parsed.push((p, used));
+            }
             Err(f) => out.push(f),
         }
     }
@@ -168,16 +230,20 @@ pub fn apply_pragmas(
     }
     for (p, used) in parsed {
         if !used {
+            let what = if p.shared && p.rules.is_empty() {
+                "registers no type declaration in its covered statement".to_string()
+            } else {
+                format!(
+                    "allows {:?} but suppresses nothing in its covered statement",
+                    p.rules
+                )
+            };
             out.push(Finding {
                 file: file.to_string(),
                 line: p.line,
                 col: p.col,
                 rule: "P002",
-                message: format!(
-                    "pragma allows {:?} but suppresses nothing on this or the next line; \
-                     remove it",
-                    p.rules
-                ),
+                message: format!("pragma {what}; remove it"),
             });
         }
     }
@@ -203,6 +269,8 @@ mod tests {
         let p =
             parse_pragma("allow(D001, reason = \"ok here\")", "f.rs", 3, 9).expect("valid pragma");
         assert_eq!(p.rules, vec!["D001"]);
+        assert_eq!(p.reason, "ok here");
+        assert!(!p.shared);
         assert!(p.covers(&finding("D001", 3)));
         assert!(p.covers(&finding("D001", 4)));
         assert!(!p.covers(&finding("D001", 5)));
@@ -210,15 +278,46 @@ mod tests {
     }
 
     #[test]
+    fn widened_cover_end_extends_statement_coverage() {
+        let mut p =
+            parse_pragma("allow(D001, reason = \"split use\")", "f.rs", 3, 1).expect("valid");
+        p.cover_end = 7; // the rule engine widened it to the statement end
+        assert!(p.covers(&finding("D001", 6)));
+        assert!(p.covers(&finding("D001", 7)));
+        assert!(!p.covers(&finding("D001", 8)));
+        assert!(!p.covers(&finding("D001", 2)));
+    }
+
+    #[test]
     fn parses_multi_rule_and_multi_clause() {
         let p = parse_pragma(
-            "allow(D001, A001, reason = \"x\") allow(O001, reason = \"y\")",
+            "allow(D001, S004, reason = \"x\") allow(O001, reason = \"y\")",
             "f.rs",
             1,
             1,
         )
         .expect("valid pragma");
-        assert_eq!(p.rules, vec!["D001", "A001", "O001"]);
+        assert_eq!(p.rules, vec!["D001", "S004", "O001"]);
+    }
+
+    #[test]
+    fn parses_shared_clause() {
+        let p = parse_pragma(
+            "shared(reason = \"metric sink, snapshot order canonical\")",
+            "f.rs",
+            4,
+            1,
+        )
+        .expect("valid shared pragma");
+        assert!(p.shared);
+        assert!(p.rules.is_empty());
+        assert_eq!(p.reason, "metric sink, snapshot order canonical");
+        // A shared clause naming a rule is malformed.
+        let err = parse_pragma("shared(S002, reason = \"x\")", "f.rs", 4, 1).expect_err("bad");
+        assert_eq!(err.rule, "P001");
+        // Missing reason is malformed.
+        let err = parse_pragma("shared()", "f.rs", 4, 1).expect_err("bad");
+        assert_eq!(err.rule, "P001");
     }
 
     #[test]
@@ -261,15 +360,26 @@ mod tests {
     #[test]
     fn apply_suppresses_and_reports_unused() {
         let p1 = parse_pragma("allow(D001, reason = \"x\")", "f.rs", 3, 1);
-        let p2 = parse_pragma("allow(A001, reason = \"x\")", "f.rs", 90, 1);
+        let p2 = parse_pragma("allow(S004, reason = \"x\")", "f.rs", 90, 1);
         let out = apply_pragmas(
             "f.rs",
             vec![p1, p2],
             vec![finding("D001", 4), finding("O001", 7)],
+            &[],
         );
         // D001@4 suppressed; O001@7 survives; pragma@90 unused → P002.
         assert_eq!(out.len(), 2);
         assert!(out.iter().any(|f| f.rule == "O001" && f.line == 7));
         assert!(out.iter().any(|f| f.rule == "P002" && f.line == 90));
+    }
+
+    #[test]
+    fn shared_pragmas_rot_unless_consumed() {
+        let used = parse_pragma("shared(reason = \"x\")", "f.rs", 3, 9);
+        let dead = parse_pragma("shared(reason = \"y\")", "f.rs", 40, 1);
+        let out = apply_pragmas("f.rs", vec![used, dead], vec![], &[(3, 9)]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].rule == "P002" && out[0].line == 40);
+        assert!(out[0].message.contains("registers no type"));
     }
 }

@@ -7,10 +7,10 @@
 //!
 //! | Scope | Crates | Rules |
 //! |---|---|---|
-//! | simulation | engine, sm, cache, mem, interconnect, core, runtime, workloads | D001, D003, A001 |
+//! | simulation | engine, sm, cache, mem, interconnect, faults, core, runtime, workloads | D001, D003, S001–S005 |
 //! | artifact plane | bench (tables/figures flow through it) | D001, D003 |
 //! | wall-clock-allowed | bench, exec (the only legitimate timing paths) | exempt from D002 |
-//! | bins (`src/bin/**`, `src/main.rs`) | any | exempt from O001 and A001 |
+//! | bins (`src/bin/**`, `src/main.rs`) | any | exempt from O001 and the S-rules |
 //! | everything else | all crates incl. the root facade | D002, O001 |
 //!
 //! Test code is exempt from every source rule: integration tests,
@@ -18,8 +18,21 @@
 //! `#[test]`-gated items inside `src/` are skipped token-exactly (an
 //! attribute whose argument list mentions `test` — but not `not(test)` —
 //! skips the item it is attached to).
+//!
+//! ## Two passes
+//!
+//! [`analyze_file`] runs the per-file phase: token-stream rules (D/O),
+//! pragma collection with statement-range widening, and the
+//! [`items`](crate::items) parse. Its [`FileAnalysis`] output is pure in
+//! the file contents, which is what makes the on-disk cache sound. The
+//! cross-file [`isolation`](crate::isolation) pass then runs over all
+//! item sets, and [`pragma::apply_pragmas`](crate::pragma::apply_pragmas)
+//! settles suppressions per file. [`analyze_source`] bundles all of that
+//! for a single standalone file.
 
 use crate::findings::Finding;
+use crate::isolation::{run_isolation, SimFile};
+use crate::items::{parse_items, FileItems};
 use crate::lexer::{lex, TokKind, Token};
 use crate::pragma::{apply_pragmas, parse_pragma, Pragma, MARKER};
 
@@ -36,6 +49,16 @@ pub const SIM_CRATES: &[&str] = &[
     "workloads",
 ];
 
+/// Crate a workspace-relative path belongs to (the root facade package is
+/// reported as `numa-gpu`).
+pub fn crate_of(path: &str) -> &str {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("")
+    } else {
+        "numa-gpu"
+    }
+}
+
 /// Where a file sits in the workspace, and therefore which rules apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FileScope {
@@ -45,29 +68,41 @@ pub struct FileScope {
     pub d002: bool,
     /// D003 (float determinism) applies.
     pub d003: bool,
-    /// A001 (panic paths) applies.
-    pub a001: bool,
     /// O001 (direct output) applies.
     pub o001: bool,
+    /// The shard-isolation pack S001–S005 applies (sim-crate library
+    /// code). Files outside this scope still contribute *items* to the
+    /// type graph — the closure can reach types declared anywhere.
+    pub sim_lib: bool,
 }
 
 impl FileScope {
     /// Classifies a workspace-relative, `/`-separated path.
     pub fn classify(path: &str) -> FileScope {
-        let crate_name = if let Some(rest) = path.strip_prefix("crates/") {
-            rest.split('/').next().unwrap_or("")
-        } else {
-            // The root `numa-gpu` facade package (`src/**`).
-            "numa-gpu"
-        };
+        // `tests/`, `benches/` and `examples/` trees are exempt from
+        // everything (the walker skips them; classify agrees for callers
+        // that hand in such a path directly).
+        let exempt = path
+            .split('/')
+            .any(|seg| matches!(seg, "tests" | "benches" | "examples"));
+        if exempt {
+            return FileScope {
+                d001: false,
+                d002: false,
+                d003: false,
+                o001: false,
+                sim_lib: false,
+            };
+        }
+        let crate_name = crate_of(path);
         let is_bin = path.contains("/bin/") || path.ends_with("src/main.rs");
         let sim = SIM_CRATES.contains(&crate_name);
         FileScope {
             d001: sim || crate_name == "bench",
             d002: crate_name != "bench" && crate_name != "exec",
             d003: sim || crate_name == "bench",
-            a001: sim && !is_bin,
             o001: !is_bin,
+            sim_lib: sim && !is_bin,
         }
     }
 }
@@ -177,6 +212,69 @@ fn collect_pragmas(toks: &[Token], skip: &[bool], file: &str) -> Vec<Result<Prag
         out.push(parse_pragma(after.trim_start(), file, t.line, t.col));
     }
     out
+}
+
+/// Widens each pragma's coverage from the historical two-line window to
+/// the full statement that *starts* on the pragma's line or the line
+/// directly below: through the terminating `;`, a field-list `,`, or the
+/// close of the block the statement opens. A pragma with no statement
+/// starting in its window keeps the two-line default (and most likely rots
+/// to P002).
+fn widen_pragmas(toks: &[Token], skip: &[bool], pragmas: &mut [Result<Pragma, Finding>]) {
+    let delta = |t: &Token| -> i32 {
+        if t.kind != TokKind::Punct {
+            return 0;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" | "<" => 1,
+            ")" | "]" | "}" | ">" => -1,
+            "<<" => 2,
+            ">>" => -2,
+            _ => 0,
+        }
+    };
+    for p in pragmas.iter_mut().filter_map(|p| p.as_mut().ok()) {
+        let Some(start) = toks.iter().enumerate().position(|(i, t)| {
+            !t.kind.is_comment()
+                && !skip.get(i).copied().unwrap_or(false)
+                && (t.line == p.line || t.line == p.line + 1)
+        }) else {
+            continue;
+        };
+        let mut depth = 0i32;
+        let mut braces = 0i32;
+        let mut prev_line = p.line + 1;
+        let mut end = None;
+        for t in toks[start..].iter().filter(|t| !t.kind.is_comment()) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    ";" | "," if depth <= 0 => {
+                        end = Some(t.line);
+                        break;
+                    }
+                    "{" => braces += 1,
+                    "}" => {
+                        braces -= 1;
+                        if braces == 0 {
+                            // Closed the block the statement opened.
+                            end = Some(t.line);
+                            break;
+                        }
+                        if braces < 0 {
+                            // Closed the *enclosing* block: the statement
+                            // was a trailing expression / last field.
+                            end = Some(prev_line);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            depth += delta(t);
+            prev_line = t.line;
+        }
+        p.cover_end = end.unwrap_or(prev_line).max(p.line + 1);
+    }
 }
 
 struct Ctx<'a> {
@@ -339,46 +437,6 @@ fn rule_d003(c: &mut Ctx<'_>) {
     }
 }
 
-fn rule_a001(c: &mut Ctx<'_>) {
-    for si in 0..c.sig.len() {
-        if !c.active(si) {
-            continue;
-        }
-        let Some(t) = c.tok(si) else { continue };
-        if is_punct(t, ".")
-            && (c.sig_is_ident(si + 1, "unwrap") || c.sig_is_ident(si + 1, "expect"))
-            && c.sig_is_punct(si + 2, "(")
-        {
-            let method = c.tok(si + 1).map(|t| t.text.clone()).unwrap_or_default();
-            c.push(
-                "A001",
-                si + 1,
-                format!(
-                    "`.{method}()` in simulator library code; return a typed error \
-                     or encode the invariant as a documented `debug_assert!`"
-                ),
-            );
-        }
-        if t.kind == TokKind::Ident
-            && matches!(
-                t.text.as_str(),
-                "panic" | "unreachable" | "todo" | "unimplemented"
-            )
-            && c.sig_is_punct(si + 1, "!")
-        {
-            let mac = t.text.clone();
-            c.push(
-                "A001",
-                si,
-                format!(
-                    "`{mac}!` in simulator library code; return a typed error or \
-                     encode the invariant as a documented `debug_assert!`"
-                ),
-            );
-        }
-    }
-}
-
 fn rule_o001(c: &mut Ctx<'_>) {
     for si in 0..c.sig.len() {
         if !c.active(si) {
@@ -405,10 +463,23 @@ fn rule_o001(c: &mut Ctx<'_>) {
     }
 }
 
-/// Lints one Rust source file. `path` is workspace-relative and decides
-/// which rules apply; pragma suppression and the pragma meta-rules run
-/// last.
-pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
+/// The per-file analysis phase: everything derivable from one file's bytes
+/// alone. This is the unit the on-disk cache stores — the cross-file
+/// isolation pass and pragma settlement always recompute from these.
+#[derive(Debug, Clone)]
+pub struct FileAnalysis {
+    /// Raw token-rule findings (pre-pragma).
+    pub raw: Vec<Finding>,
+    /// Parsed pragmas (parse failures carried as P001 findings), with
+    /// statement-widened coverage.
+    pub pragmas: Vec<Result<Pragma, Finding>>,
+    /// The file's item set for the graph pass.
+    pub items: FileItems,
+}
+
+/// Runs the per-file phase on one source file. `path` is workspace-relative
+/// and decides which token rules apply.
+pub fn analyze_file(path: &str, src: &str) -> FileAnalysis {
     let toks = lex(src);
     let skip = mark_test_skipped(&toks);
     let scope = FileScope::classify(path);
@@ -434,15 +505,43 @@ pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
     if scope.d003 {
         rule_d003(&mut ctx);
     }
-    if scope.a001 {
-        rule_a001(&mut ctx);
-    }
     if scope.o001 {
         rule_o001(&mut ctx);
     }
     let raw = std::mem::take(&mut ctx.raw);
-    let pragmas = collect_pragmas(&toks, &skip, path);
-    let mut out = apply_pragmas(path, pragmas, raw);
+    let mut pragmas = collect_pragmas(&toks, &skip, path);
+    widen_pragmas(&toks, &skip, &mut pragmas);
+    let items = parse_items(&toks, &skip);
+    FileAnalysis {
+        raw,
+        pragmas,
+        items,
+    }
+}
+
+/// Lints one Rust source file standalone: per-file phase, a single-file
+/// isolation pass, then pragma settlement. The workspace walker composes
+/// the same pieces across files instead.
+pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
+    let fa = analyze_file(path, src);
+    let parsed: Vec<Pragma> = fa
+        .pragmas
+        .iter()
+        .filter_map(|p| p.as_ref().ok().cloned())
+        .collect();
+    let scope = FileScope::classify(path);
+    let sim = SimFile {
+        path,
+        crate_name: crate_of(path),
+        sim_lib: scope.sim_lib,
+        items: &fa.items,
+        pragmas: &parsed,
+    };
+    let iso = run_isolation(&[sim]);
+    let mut raw = fa.raw;
+    raw.extend(iso.findings);
+    let used = iso.used_shared.get(path).cloned().unwrap_or_default();
+    let mut out = apply_pragmas(path, fa.pragmas, raw, &used);
     out.sort();
     out.dedup();
     out
@@ -471,9 +570,9 @@ mod tests {
         assert!(!FileScope::classify("crates/exec/src/reporter.rs").d002);
         assert!(FileScope::classify("crates/engine/src/lib.rs").d002);
         assert!(FileScope::classify("src/lib.rs").d002);
-        assert!(FileScope::classify("crates/cache/src/mshr.rs").a001);
-        assert!(!FileScope::classify("crates/bench/src/lib.rs").a001);
-        assert!(!FileScope::classify("crates/sm/src/bin/tool.rs").a001);
+        assert!(FileScope::classify("crates/cache/src/mshr.rs").sim_lib);
+        assert!(!FileScope::classify("crates/bench/src/lib.rs").sim_lib);
+        assert!(!FileScope::classify("crates/sm/src/bin/tool.rs").sim_lib);
         assert!(FileScope::classify("crates/obs/src/lib.rs").o001);
         assert!(!FileScope::classify("crates/bench/src/main.rs").o001);
         assert!(!FileScope::classify("src/bin/sweep.rs").o001);
@@ -533,30 +632,26 @@ mod tests {
     }
 
     #[test]
-    fn a001_positive_and_negative() {
+    fn s004_fires_on_reachable_panics_only() {
+        // Public fn: its panics are reachable by definition.
         assert_eq!(
-            rules_at(SIM, "let v = o.unwrap();\n"),
-            vec![("A001", 1, 11)]
+            rules_at(SIM, "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n"),
+            vec![("S004", 1, 37)]
         );
         assert_eq!(
-            rules_at(SIM, "let v = o.expect(\"msg\");\n"),
-            vec![("A001", 1, 11)]
+            rules_at(SIM, "pub fn f() { panic!(\"boom\"); }\n"),
+            vec![("S004", 1, 14)]
         );
-        assert_eq!(
-            rules_at(SIM, "fn f() { panic!(\"boom\"); }\n"),
-            vec![("A001", 1, 10)]
-        );
-        assert_eq!(
-            rules_at(SIM, "fn f() { unreachable!(); }\n"),
-            vec![("A001", 1, 10)]
-        );
+        // Private fn reached from a public one: flagged, with the path.
+        let src = "pub fn entry() { helper(); }\nfn helper() { todo!(); }\n";
+        assert_eq!(rules_at(SIM, src), vec![("S004", 2, 15)]);
+        // Private fn nothing public reaches: not a finding.
+        assert!(rules_at(SIM, "fn dead() { panic!(); }\n").is_empty());
         // Negative: non-sim crates, test code, non-panicking cousins.
-        assert!(rules_at(PLAIN, "let v = o.unwrap();\n").is_empty());
+        assert!(rules_at(PLAIN, "pub fn f(o: Option<u32>) -> u32 { o.unwrap() }\n").is_empty());
         assert!(rules_at(SIM, "#[test]\nfn t() { o.unwrap(); }\n").is_empty());
-        assert!(rules_at(SIM, "let v = o.unwrap_or_default();\n").is_empty());
-        assert!(rules_at(SIM, "let v = o.unwrap_or(3);\n").is_empty());
-        assert!(rules_at(SIM, "debug_assert!(x < 4);\n").is_empty());
-        assert!(rules_at(SIM, "let g = std::panic::catch_unwind(f);\n").is_empty());
+        assert!(rules_at(SIM, "pub fn f(o: Option<u32>) -> u32 { o.unwrap_or(3) }\n").is_empty());
+        assert!(rules_at(SIM, "pub fn f() { debug_assert!(true); }\n").is_empty());
     }
 
     #[test]
@@ -604,16 +699,35 @@ mod tests {
     }
 
     #[test]
+    fn pragma_covers_the_full_following_statement() {
+        // A rustfmt-split multi-line `use`: the finding sits three lines
+        // below the pragma but inside the same statement.
+        let src = "// simlint: allow(D001, reason = \"drained through sorted buffer\")\n\
+                   use std::collections::{\n    BTreeMap,\n    HashMap,\n};\n";
+        assert!(rules_at(SIM, src).is_empty(), "statement coverage");
+        // A pragma above an attributed fn covers panics through the fn body.
+        let src = "// simlint: allow(S004, reason = \"table checked at startup\")\n\
+                   #[inline]\npub fn pick(i: usize) -> u32 {\n    TABLE.get(i).copied().unwrap()\n}\n";
+        assert!(rules_at(SIM, src).is_empty(), "fn body coverage");
+        // Coverage stops at the statement end: a finding *after* it still
+        // fires.
+        let src = "// simlint: allow(D001, reason = \"first only\")\n\
+                   use std::collections::{\n    HashMap,\n};\nuse std::collections::HashSet;\n";
+        assert_eq!(rules_at(SIM, src), vec![("D001", 5, 23)]);
+    }
+
+    #[test]
     fn test_skip_handles_inner_attribute_and_items() {
-        let src = "#![cfg(test)]\nuse std::collections::HashMap;\nfn f() { o.unwrap(); }\n";
+        let src = "#![cfg(test)]\nuse std::collections::HashMap;\npub fn f() { o.unwrap(); }\n";
         assert!(rules_at(SIM, src).is_empty());
         // An attributed fn with nested braces is skipped exactly.
-        let src = "#[test]\nfn t() {\n    if x { o.unwrap(); }\n}\nfn real() { o.unwrap(); }\n";
+        let src = "#[test]\nfn t() {\n    if x { o.unwrap(); }\n}\npub fn real() { o.unwrap(); }\n";
         let hits = rules_at(SIM, src);
-        assert_eq!(hits, vec![("A001", 5, 15)]);
+        assert_eq!(hits, vec![("S004", 5, 19)]);
         // `#[cfg(test)] mod` skips the whole module body.
-        let src = "#[cfg(test)]\nmod tests {\n    fn t() { panic!(); }\n}\npanic!();\n";
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { panic!(); }\n}\npub fn f() { panic!(); }\n";
         let hits = rules_at(SIM, src);
-        assert_eq!(hits, vec![("A001", 5, 1)]);
+        assert_eq!(hits, vec![("S004", 5, 14)]);
     }
 }

@@ -1,4 +1,4 @@
-//! Deterministic workspace walker.
+//! Deterministic workspace walker and two-pass orchestration.
 //!
 //! Scans, in sorted order:
 //!
@@ -10,17 +10,31 @@
 //! test and example code is exempt from every rule by design, exactly like
 //! `#[cfg(test)]` items inside `src/`.
 //!
+//! Analysis runs in two passes. First the per-file phase
+//! ([`rules::analyze_file`](crate::rules::analyze_file)) — token rules,
+//! pragma collection, item parse — optionally served from the on-disk
+//! [`cache`](crate::cache). Then the cross-file
+//! [`isolation`](crate::isolation) pass runs over *all* item sets
+//! (S001–S005 need the whole type and call graph), and pragma settlement
+//! closes out each file. The isolation pass is recomputed on every run —
+//! caching it per file would be unsound, since it reads every file's
+//! items.
+//!
 //! Paths are reported workspace-relative with `/` separators and the file
 //! list is sorted before analysis, so the report is byte-identical across
-//! runs and platforms.
+//! runs, platforms, and cache temperatures.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::findings::LintReport;
+use crate::cache::{fnv1a64, Cache};
+use crate::findings::{Finding, LintReport};
+use crate::isolation::{run_isolation, SimFile};
 use crate::manifest::analyze_manifest;
-use crate::rules::analyze_source;
+use crate::pragma::{apply_pragmas, Pragma};
+use crate::rules::{analyze_file, crate_of, FileAnalysis, FileScope};
 
 fn rel(root: &Path, path: &Path) -> String {
     let r = path.strip_prefix(root).unwrap_or(path);
@@ -69,8 +83,21 @@ fn crate_dirs(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(dirs)
 }
 
-/// Lints the workspace rooted at `root` and returns the normalized report.
+/// Default cache location for a workspace root.
+pub fn default_cache_path(root: &Path) -> PathBuf {
+    root.join("target").join("simlint-cache.json")
+}
+
+/// Lints the workspace rooted at `root` without touching any cache.
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    lint_workspace_cached(root, None)
+}
+
+/// Lints the workspace rooted at `root`, serving the per-file phase from
+/// the cache at `cache_path` when given (and writing it back after the
+/// run). The report is byte-identical whether the cache is cold, warm, or
+/// absent.
+pub fn lint_workspace_cached(root: &Path, cache_path: Option<&Path>) -> io::Result<LintReport> {
     let mut report = LintReport::default();
 
     let mut manifests = Vec::new();
@@ -93,10 +120,74 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     for dir in crate_dirs(root)? {
         rust_files(&dir.join("src"), &mut sources)?;
     }
+
+    // Pass 1: per-file analysis, cache-served where possible.
+    let mut cache = cache_path.map(Cache::load);
+    let mut analyses: Vec<(String, FileAnalysis)> = Vec::new();
     for s in sources {
+        let path = rel(root, &s);
         let src = fs::read_to_string(&s)?;
-        report.findings.extend(analyze_source(&rel(root, &s), &src));
+        let hash = fnv1a64(src.as_bytes());
+        let fa = match cache.as_mut().and_then(|c| c.get(&path, hash)) {
+            Some(fa) => fa,
+            None => {
+                let fa = analyze_file(&path, &src);
+                if let Some(c) = cache.as_mut() {
+                    c.put(&path, hash, &fa);
+                }
+                fa
+            }
+        };
+        analyses.push((path, fa));
         report.files_scanned += 1;
+    }
+    if let Some(c) = &cache {
+        // A failed write only costs the next run its warm start.
+        let _ = c.store();
+    }
+
+    // Pass 2: the cross-file isolation rules over the merged item graph.
+    let parsed_pragmas: Vec<Vec<Pragma>> = analyses
+        .iter()
+        .map(|(_, fa)| {
+            fa.pragmas
+                .iter()
+                .filter_map(|p| p.as_ref().ok().cloned())
+                .collect()
+        })
+        .collect();
+    let sim_files: Vec<SimFile<'_>> = analyses
+        .iter()
+        .zip(&parsed_pragmas)
+        .map(|((path, fa), pragmas)| SimFile {
+            path,
+            crate_name: crate_of(path),
+            sim_lib: FileScope::classify(path).sim_lib,
+            items: &fa.items,
+            pragmas,
+        })
+        .collect();
+    let iso = run_isolation(&sim_files);
+    let mut iso_by_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in iso.findings {
+        iso_by_file.entry(f.file.clone()).or_default().push(f);
+    }
+    report.shared_types = iso.shared_types;
+
+    // Pragma settlement per file.
+    for (path, fa) in analyses.iter() {
+        let mut raw = fa.raw.clone();
+        if let Some(extra) = iso_by_file.remove(path.as_str()) {
+            raw.extend(extra);
+        }
+        let used = iso
+            .used_shared
+            .get(path.as_str())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        report
+            .findings
+            .extend(apply_pragmas(path, fa.pragmas.clone(), raw, used));
     }
 
     report.normalize();
@@ -160,12 +251,93 @@ mod tests {
         );
         write(
             &root.join("crates/sm/src/lib.rs"),
-            "fn f() { panic!(); }\nuse std::collections::HashSet;\n",
+            "pub fn f() { panic!(); }\nuse std::collections::HashSet;\n",
         );
         let a = lint_workspace(&root).expect("lint").to_json().to_string();
         let b = lint_workspace(&root).expect("lint").to_json().to_string();
         assert_eq!(a, b);
-        assert!(a.contains("\"Z001\"") && a.contains("\"A001\"") && a.contains("\"D001\""));
+        assert!(a.contains("\"Z001\"") && a.contains("\"S004\"") && a.contains("\"D001\""));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn isolation_rules_cross_crate_boundaries() {
+        let root = temp_root("xcrate");
+        write(&root.join("Cargo.toml"), "[workspace]\n");
+        write(&root.join("crates/core/Cargo.toml"), "[package]\n");
+        write(&root.join("crates/obs/Cargo.toml"), "[package]\n");
+        write(
+            &root.join("crates/core/src/lib.rs"),
+            "pub struct SocketShard { h: Handle }\n",
+        );
+        // The interior-mutable field lives in a non-sim crate but is
+        // reachable from SocketShard — S002 must still see it.
+        write(
+            &root.join("crates/obs/src/lib.rs"),
+            "pub struct Handle { m: Mutex<u32> }\n",
+        );
+        let report = lint_workspace(&root).expect("lint");
+        let s002: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "S002")
+            .collect();
+        assert_eq!(s002.len(), 1);
+        assert_eq!(s002[0].file, "crates/obs/src/lib.rs");
+        assert_eq!((s002[0].line, s002[0].col), (1, 24));
+
+        // Registering the type shared clears the finding and fills the
+        // report registry.
+        write(
+            &root.join("crates/obs/src/lib.rs"),
+            "// simlint: shared(reason = \"snapshot order is canonical\")\n\
+             pub struct Handle { m: Mutex<u32> }\n",
+        );
+        let report = lint_workspace(&root).expect("lint");
+        assert!(report.findings.iter().all(|f| f.rule != "S002"));
+        assert!(report.findings.iter().all(|f| f.rule != "P002"));
+        assert_eq!(report.shared_types.len(), 1);
+        assert_eq!(report.shared_types[0].type_name, "Handle");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cold_and_warm_cache_reports_are_byte_identical() {
+        let root = temp_root("cachecmp");
+        write(&root.join("Cargo.toml"), "[workspace]\n");
+        write(&root.join("crates/engine/Cargo.toml"), "[package]\n");
+        write(
+            &root.join("crates/engine/src/lib.rs"),
+            "// simlint: allow(D001, reason = \"sorted drain\")\n\
+             use std::collections::HashMap;\n\
+             pub fn f() { g(); }\nfn g() { panic!(\"x\"); }\n\
+             pub struct SocketShard { c: RefCell<u32> }\n",
+        );
+        let cache = root.join("target/simlint-cache.json");
+        let no_cache = lint_workspace(&root).expect("lint").to_json().to_string();
+        let cold = lint_workspace_cached(&root, Some(&cache))
+            .expect("lint")
+            .to_json()
+            .to_string();
+        assert!(cache.is_file(), "cache file written");
+        let warm = lint_workspace_cached(&root, Some(&cache))
+            .expect("lint")
+            .to_json()
+            .to_string();
+        assert_eq!(no_cache, cold, "cold cache must not change the report");
+        assert_eq!(cold, warm, "warm cache must not change the report");
+        // The findings are real: S004 through the call graph, S002 on the
+        // shard field, and the pragma suppressed D001.
+        assert!(warm.contains("\"S004\"") && warm.contains("\"S002\""));
+        assert!(!warm.contains("\"D001\""));
+
+        // Editing the file invalidates its entry and updates the report.
+        write(&root.join("crates/engine/src/lib.rs"), "pub fn f() {}\n");
+        let edited = lint_workspace_cached(&root, Some(&cache))
+            .expect("lint")
+            .to_json()
+            .to_string();
+        assert!(!edited.contains("\"S004\""));
         let _ = fs::remove_dir_all(&root);
     }
 }

@@ -1,0 +1,165 @@
+//! Property + pinned-unit suite for the item-graph pass and file
+//! scoping. The isolation rules are only as good as the graph the item
+//! parser recovers, so the parser must stay total (never panic) and must
+//! keep type/fn structure exact on the shapes the workspace actually
+//! uses: nested generics, trait impls, cfg-gated test modules.
+
+use numa_gpu_lint::items::{parse_items, FileItems, TypeKind, Vis};
+use numa_gpu_lint::lexer::lex;
+use numa_gpu_lint::rules::{mark_test_skipped, FileScope};
+use numa_gpu_testkit::gen::{ints, pairs, select, strings, vecs};
+use numa_gpu_testkit::{prop_assert, prop_assert_eq, prop_check};
+
+fn items_of(src: &str) -> FileItems {
+    let toks = lex(src);
+    let skip = mark_test_skipped(&toks);
+    parse_items(&toks, &skip)
+}
+
+// ---------------------------------------------------------------------
+// FileScope::classify pinned units — the walker hands in every path shape
+// below, and a misclassification either mutes a rule pack or fires it on
+// exempt code.
+// ---------------------------------------------------------------------
+
+#[test]
+fn classify_nested_bin_under_a_sim_crate() {
+    // Determinism rules still apply to sim-crate binaries, but they are
+    // not shard library code (O001 and the S pack are off).
+    let s = FileScope::classify("crates/core/src/bin/partition_probe.rs");
+    assert!(s.d001 && s.d002 && s.d003);
+    assert!(!s.o001 && !s.sim_lib);
+}
+
+#[test]
+fn classify_tests_tree_under_a_crate_is_exempt() {
+    for p in [
+        "crates/engine/tests/determinism.rs",
+        "crates/core/src/tests/helpers.rs",
+        "crates/mem/benches/hbm.rs",
+        "crates/sm/examples/demo.rs",
+    ] {
+        let s = FileScope::classify(p);
+        assert!(
+            !s.d001 && !s.d002 && !s.d003 && !s.o001 && !s.sim_lib,
+            "{p} must be exempt from every rule, got {s:?}"
+        );
+    }
+}
+
+#[test]
+fn classify_root_binary_and_sim_libraries() {
+    // Root `src/bin/simulate.rs` belongs to the top-level crate: not a
+    // sim crate, and binaries may print.
+    let s = FileScope::classify("src/bin/simulate.rs");
+    assert!(!s.d001 && s.d002 && !s.o001 && !s.sim_lib);
+    // Plain sim-crate library code gets the full pack.
+    let s = FileScope::classify("crates/engine/src/lib.rs");
+    assert!(s.d001 && s.d002 && s.d003 && s.o001 && s.sim_lib);
+    // obs is deliberately outside the sim set: it still contributes
+    // items to the type graph, but the S pack does not fire there.
+    let s = FileScope::classify("crates/obs/src/metrics.rs");
+    assert!(!s.d001 && s.d002 && !s.sim_lib);
+}
+
+// ---------------------------------------------------------------------
+// Item-parser properties.
+// ---------------------------------------------------------------------
+
+prop_check! {
+    #![config = numa_gpu_testkit::prop::Config::new()
+        .cases(96)
+        .regressions(&[0x17E_14001, 0x17E_14002])]
+
+    // Arbitrarily deep generic nesting — including the greedy `>>` lex at
+    // the tail — must recover both every wrapper layer and the innermost
+    // payload type, with has_ref untouched.
+    fn nested_generics_recover_every_layer(
+        (depth, wrapper) in pairs(ints(1usize..6), select(vec!["Vec", "Box", "Option"])),
+    ) {
+        let mut ty = String::from("Payload");
+        for _ in 0..depth {
+            ty = format!("{wrapper}<{ty}>");
+        }
+        let src = format!("pub struct S {{ f: {ty} }}\n");
+        let items = items_of(&src);
+        prop_assert_eq!(items.types.len(), 1);
+        prop_assert_eq!(items.types[0].kind, TypeKind::Struct);
+        prop_assert_eq!(items.types[0].fields.len(), 1);
+        let field = &items.types[0].fields[0];
+        prop_assert!(!field.has_ref);
+        let names: Vec<&str> = field.types.iter().map(|t| t.name.as_str()).collect();
+        prop_assert_eq!(names.iter().filter(|n| **n == wrapper).count(), depth);
+        prop_assert_eq!(names.iter().filter(|n| **n == "Payload").count(), 1);
+    }
+
+    // Every trait-impl method must carry its concrete owner and the
+    // via_trait flag — S004 treats those as reachability entry points, so
+    // losing either hides panic paths.
+    fn trait_impl_methods_carry_owner_and_via_trait(
+        n in ints(1usize..5),
+    ) {
+        let mut src = String::from("pub trait Tick { fn tick(&mut self); }\n");
+        for i in 0..n {
+            src.push_str(&format!(
+                "struct S{i};\nimpl Tick for S{i} {{ fn tick(&mut self) {{ self.step(); }} }}\n"
+            ));
+        }
+        let items = items_of(&src);
+        for i in 0..n {
+            let owner = format!("S{i}");
+            let f = items
+                .fns
+                .iter()
+                .find(|f| f.owner.as_deref() == Some(owner.as_str()))
+                .expect("impl method parsed");
+            prop_assert_eq!(f.name.as_str(), "tick");
+            prop_assert!(f.via_trait);
+            prop_assert!(f.calls.iter().any(|c| c.name == "step" && c.method));
+        }
+    }
+
+    // `#[cfg(test)]` modules contribute nothing to the graph no matter
+    // what they contain — panics in test helpers must never reach S004.
+    fn cfg_test_modules_contribute_nothing(
+        n in ints(0usize..4),
+    ) {
+        let mut src = String::from("pub fn live() {}\n#[cfg(test)]\nmod tests {\n");
+        for i in 0..n {
+            src.push_str(&format!("    fn t{i}() {{ panic!(\"boom\"); }}\n"));
+        }
+        src.push_str("}\n");
+        let items = items_of(&src);
+        prop_assert_eq!(items.fns.len(), 1);
+        prop_assert_eq!(items.fns[0].name.as_str(), "live");
+        prop_assert_eq!(items.fns[0].vis, Vis::Pub);
+        prop_assert!(items.fns[0].panics.is_empty());
+        prop_assert!(items.top_panics.is_empty());
+    }
+
+    // Totality: the parser must survive arbitrary interleavings of item
+    // keywords, unbalanced brackets and raw byte soup. Misparses may lose
+    // graph edges; they may never panic (the linter gates every build).
+    fn parser_never_panics_on_keyword_and_byte_soup(
+        (frags, soup) in pairs(
+            vecs(
+                select(vec![
+                    "struct", "enum", "impl", "trait", "fn", "mod", "static",
+                    "static mut", "unsafe", "const", "where", "for", "dyn",
+                    "#[derive(", "#[cfg(test)]", "{", "}", "(", ")", "<", ">",
+                    ">>", "->", "::", ";", ",", "&", "Self",
+                ]),
+                0..14,
+            ),
+            strings(0..48),
+        ),
+    ) {
+        let src = format!("{} {soup}", frags.join(" "));
+        let toks = lex(&src);
+        let skip = mark_test_skipped(&toks);
+        let items = parse_items(&toks, &skip);
+        // The graph is well-formed even when the input is not.
+        prop_assert!(items.fns.iter().all(|f| !f.name.is_empty()));
+        prop_assert!(items.types.iter().all(|t| !t.name.is_empty()));
+    }
+}

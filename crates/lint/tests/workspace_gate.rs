@@ -3,7 +3,7 @@
 //! caught in the same run as everything else — no separate lint step
 //! needed locally.
 
-use numa_gpu_lint::lint_workspace;
+use numa_gpu_lint::{lint_workspace, lint_workspace_cached};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -46,7 +46,33 @@ fn report_json_is_byte_identical_across_runs() {
         .to_json()
         .to_string();
     assert_eq!(a, b, "lint report must be byte-stable across runs");
-    assert!(a.starts_with("{\"simlint\":1,"));
+    assert!(a.starts_with("{\"simlint\":2,"));
+}
+
+/// The on-disk cache must be invisible in the output: no-cache, cold-cache
+/// and warm-cache scans of the real workspace produce byte-identical JSON.
+#[test]
+fn cold_and_warm_cache_agree_on_the_real_workspace() {
+    let root = workspace_root();
+    let cache =
+        std::env::temp_dir().join(format!("simlint-gate-cache-{}.json", std::process::id()));
+    let _ = fs::remove_file(&cache);
+    let nocache = lint_workspace(&root).expect("scan").to_json().to_string();
+    let cold = lint_workspace_cached(&root, Some(&cache))
+        .expect("cold scan")
+        .to_json()
+        .to_string();
+    assert!(cache.exists(), "cold run must write the cache file");
+    let warm = lint_workspace_cached(&root, Some(&cache))
+        .expect("warm scan")
+        .to_json()
+        .to_string();
+    assert_eq!(
+        nocache, cold,
+        "cold-cache report must match the uncached one"
+    );
+    assert_eq!(cold, warm, "warm-cache report must match the cold one");
+    let _ = fs::remove_file(&cache);
 }
 
 /// Seeding a deliberate `HashMap` into a synthetic `crates/engine` makes
@@ -95,6 +121,62 @@ fn seeded_hashmap_in_engine_fails_with_span_accurate_d001() {
     )
     .expect("rewrite seeded source");
     assert!(lint_workspace(&root).expect("scan").is_clean());
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Seeding a `RefCell` into the shard-owned type closure makes the gate
+/// fail with a span-accurate S002 — the canary for the item-graph
+/// pipeline (parser → workspace type index → isolation closure). The
+/// reach is transitive: the cell hides one hop away from `SocketShard`.
+#[test]
+fn seeded_refcell_in_shard_state_fails_with_span_accurate_s002() {
+    let root = std::env::temp_dir().join(format!("simlint-s002-canary-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let core_src = root.join("crates/core/src");
+    fs::create_dir_all(&core_src).expect("mkdir");
+    fs::write(
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\n",
+    )
+    .expect("write root manifest");
+    fs::write(
+        root.join("crates/core/Cargo.toml"),
+        "[package]\nname = \"core\"\n",
+    )
+    .expect("write crate manifest");
+    fs::write(
+        core_src.join("shard.rs"),
+        "pub struct SocketShard {\n    queue: EventQueue,\n}\npub struct EventQueue {\n    pending: RefCell<u32>,\n}\n",
+    )
+    .expect("write seeded source");
+
+    let report = lint_workspace(&root).expect("canary scan");
+    assert!(!report.is_clean(), "seeded RefCell must be detected");
+    assert_eq!(report.findings.len(), 1, "{}", report.render_text());
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "S002");
+    assert_eq!(f.file, "crates/core/src/shard.rs");
+    // `    pending: RefCell<u32>,` — the ident starts at column 14.
+    assert_eq!((f.line, f.col), (5, 14));
+    assert!(f.message.contains("`EventQueue`"), "{}", f.message);
+    assert!(f.message.contains("shard-owned"), "{}", f.message);
+
+    // Registering the carrier type as deliberately shared clears the
+    // finding and surfaces the type in the audit registry instead.
+    fs::write(
+        core_src.join("shard.rs"),
+        "pub struct SocketShard {\n    queue: EventQueue,\n}\n// simlint: shared(reason = \"audited: single writer per window\")\npub struct EventQueue {\n    pending: RefCell<u32>,\n}\n",
+    )
+    .expect("rewrite seeded source");
+    let report = lint_workspace(&root).expect("shared scan");
+    assert!(report.is_clean(), "{}", report.render_text());
+    assert_eq!(report.shared_types.len(), 1);
+    assert_eq!(report.shared_types[0].type_name, "EventQueue");
+    assert_eq!(
+        report.shared_types[0].reason,
+        "audited: single writer per window"
+    );
 
     let _ = fs::remove_dir_all(&root);
 }

@@ -30,6 +30,7 @@ pub enum MetricKind {
 /// cross into the windowed executor's worker threads. Writes use relaxed
 /// ordering: during a window each cell has a single writer, and the
 /// barrier's thread join orders everything before the next read.
+// simlint: shared(reason = "single writer per window; barrier join publishes before any read")
 #[derive(Debug, Clone, Default)]
 pub struct CounterHandle(Option<Arc<AtomicU64>>);
 
@@ -68,6 +69,7 @@ impl CounterHandle {
 
 /// A shared gauge handle (see [`CounterHandle`] for the disabled-default
 /// contract).
+// simlint: shared(reason = "single writer per window; barrier join publishes before any read")
 #[derive(Debug, Clone, Default)]
 pub struct GaugeHandle(Option<Arc<AtomicU64>>);
 
@@ -144,6 +146,7 @@ fn bucket_of(v: u64) -> usize {
 
 /// A shared histogram handle (see [`CounterHandle`] for the
 /// disabled-default contract).
+// simlint: shared(reason = "lock is only contended across windows, never within one; single writer per window")
 #[derive(Debug, Clone, Default)]
 pub struct HistogramHandle(Option<Arc<Mutex<HistogramData>>>);
 

@@ -146,7 +146,6 @@ fn build(index: u64, name: &str, num_sockets: u8, scale: &Scale) -> Workload {
         "Coll-AllReduce-Tree-NUMA" => all_reduce_tree(&p, num_sockets, true),
         "Coll-AllToAll" => all_to_all(&p, 0.9),
         "Coll-AllToAll-NUMA" => all_to_all(&p, 0.3),
-        // simlint: allow(A001, reason = "private fn fed only from COLLECTIVE_NAMES; an unknown name is a table/builder mismatch")
         other => panic!("unknown collective name: {other}"),
     };
     let kernels: Vec<Arc<dyn Kernel>> = specs
