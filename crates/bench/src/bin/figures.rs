@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! figures [--quick] [--jobs N] [--sim-threads N] [--profile] [--out DIR]
-//!         [--topology star|ring|mesh|fattree] [artifact...]
+//!         [--cache-dir DIR] [--topology star|ring|mesh|fattree] [artifact...]
 //!
 //! artifacts: table1 table2 fig2 fig3 fig5 fig6 fig6-sens fig8 fig9
 //!            fig9-wb fig10 fig11 power ablations resilience
@@ -23,7 +23,10 @@
 //! maintains unconditionally). `--topology` reruns the paper figures on a
 //! different fabric (default star, the paper's switch); the `scaling` and
 //! `collective` artifacts pin their own per-curve topologies and ignore
-//! the flag.
+//! the flag. `--cache-dir DIR` backs the in-memory memo with the on-disk
+//! content-addressed store: a second run of the same figures serves every
+//! simulation warm from disk and prints byte-identical artifacts (warm-hit
+//! counts go to stderr at the end).
 
 use numa_gpu_bench::{experiments, Runner};
 use numa_gpu_exec::ThreadPool;
@@ -77,6 +80,7 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let cache_dir = flag_value("--cache-dir");
     let topology_arg = flag_value("--topology");
     let topology = topology_arg.as_ref().map(|v| {
         numa_gpu_types::TopologyKind::from_flag(v).unwrap_or_else(|| {
@@ -90,6 +94,7 @@ fn main() {
         .filter(|a| Some(a.as_str()) != out_dir.as_deref())
         .filter(|a| Some(a.as_str()) != jobs_arg.as_deref())
         .filter(|a| Some(a.as_str()) != sim_threads_arg.as_deref())
+        .filter(|a| Some(a.as_str()) != cache_dir.as_deref())
         .filter(|a| Some(a.as_str()) != topology_arg.as_deref())
         .cloned()
         .collect();
@@ -115,6 +120,12 @@ fn main() {
     }
     if profile {
         runner = runner.profile();
+    }
+    if let Some(dir) = &cache_dir {
+        runner = runner.cache_dir(dir).unwrap_or_else(|e| {
+            eprintln!("--cache-dir {dir}: {e}");
+            std::process::exit(2);
+        });
     }
     eprintln!("using {} worker thread(s)", runner.job_count());
     if let Some(dir) = &out_dir {
@@ -162,6 +173,12 @@ fn main() {
             "cumulative over {} simulation(s):\n{}",
             runner.runs(),
             runner.aggregate_profile().render_table()
+        );
+    }
+    if let Some(stats) = runner.store_stats() {
+        eprintln!(
+            "store: {} warm hit(s), {} miss(es), {} write(s), {} quarantined",
+            stats.hits, stats.misses, stats.writes, stats.quarantined
         );
     }
 }

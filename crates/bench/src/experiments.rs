@@ -701,8 +701,8 @@ const SCALING_COLLECTIVES: [&str; 2] = ["Coll-AllReduce-Ring", "Coll-AllToAll"];
 
 /// Beyond the paper: >8-socket scaling curves per fabric topology.
 ///
-/// Every [`SCALING_WORKLOAD_NAMES`] workload plus the
-/// [`SCALING_COLLECTIVES`] runs under the full NUMA-aware design at
+/// Every `SCALING_WORKLOAD_NAMES` workload plus the
+/// `SCALING_COLLECTIVES` runs under the full NUMA-aware design at
 /// 8/16/32 sockets on each of the four fabrics, reported as speedup over
 /// the single-GPU baseline. Collectives are shaped by the socket count, so
 /// their baselines are keyed per machine shape (`single-16s` etc.).

@@ -15,14 +15,17 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod codec;
 pub mod configs;
 pub mod experiments;
 pub mod plan;
 pub mod runner;
+pub mod store;
 pub mod table;
 
 pub use plan::{JobKey, SimJob, SimPlan};
 pub use runner::Runner;
+pub use store::{DiskStore, StoreEvent, StoreKey, StoreStats};
 pub use table::{Row, Table};
 
 /// Geometric mean of positive values (zeroes are skipped).

@@ -22,7 +22,7 @@ use numa_gpu_core::{NumaGpuSystem, SimReport};
 use numa_gpu_exec::{Job, Reporter, ThreadPool};
 use numa_gpu_faults::FaultPlan;
 use numa_gpu_runtime::Workload;
-use numa_gpu_types::{SystemConfig, TopologyKind};
+use numa_gpu_types::{SimError, SystemConfig, TopologyKind};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -66,6 +66,22 @@ impl JobKey {
         self
     }
 
+    /// Canonical byte encoding for cross-process identity: a sorted-field
+    /// JSON document. Every string field goes through the JSON writer's
+    /// escaping, so no label/scenario/workload can forge another key by
+    /// concatenation, and the byte form is pinned by a regression test in
+    /// [`crate::store`] — the on-disk store hashes exactly these bytes.
+    pub fn canonical_json(&self) -> String {
+        use numa_gpu_testkit::json::Json;
+        Json::obj([
+            ("label", Json::Str(self.label.clone())),
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("timeline", Json::Bool(self.timeline)),
+            ("workload", Json::Str(self.workload.clone())),
+        ])
+        .to_string()
+    }
+
     /// Human-readable form used in progress lines and panic labels.
     pub fn display(&self) -> String {
         let tl = if self.timeline { " (timeline)" } else { "" };
@@ -106,16 +122,23 @@ impl SimJob {
     /// not fit the configured machine, or the simulation errors out
     /// (experiment configurations and plans are all statically valid).
     pub fn run(&self) -> SimReport {
-        let mut sys = NumaGpuSystem::new(self.cfg.clone()).expect("experiment config is valid");
+        self.try_run()
+            .unwrap_or_else(|e| panic!("experiment simulation {} failed: {e}", self.key.display()))
+    }
+
+    /// Fallible form of [`SimJob::run`] for supervising layers (the
+    /// serving daemon classifies each [`SimError`] via
+    /// [`SimError::retry_class`](numa_gpu_types::SimError::retry_class)
+    /// instead of unwinding).
+    pub fn try_run(&self) -> Result<SimReport, SimError> {
+        let mut sys = NumaGpuSystem::new(self.cfg.clone())?;
         if self.key.timeline {
             sys.enable_link_timeline();
         }
         if let Some(plan) = &self.faults {
-            sys.set_fault_plan(plan.clone())
-                .expect("experiment fault plan fits the machine");
+            sys.set_fault_plan(plan.clone())?;
         }
         sys.run(&self.workload)
-            .expect("experiment simulation completes")
     }
 }
 

@@ -11,6 +11,7 @@
 //! exactly.
 
 use crate::plan::{JobKey, SimJob, SimPlan};
+use crate::store::{DiskStore, StoreEvent, StoreKey, StoreStats};
 use numa_gpu_core::{ProfileReport, SimReport};
 use numa_gpu_exec::Reporter;
 use numa_gpu_runtime::Workload;
@@ -26,6 +27,7 @@ use std::sync::Arc;
 pub struct Runner {
     scale: Scale,
     cache: BTreeMap<JobKey, Arc<SimReport>>,
+    store: Option<DiskStore>,
     runs: u64,
     jobs: usize,
     sim_threads: Option<u16>,
@@ -52,6 +54,7 @@ impl Runner {
         Runner {
             scale,
             cache: BTreeMap::new(),
+            store: None,
             runs: 0,
             jobs: 1,
             sim_threads: None,
@@ -59,6 +62,21 @@ impl Runner {
             profile: false,
             reporter: Arc::new(Reporter::stderr(false)),
         }
+    }
+
+    /// Backs the in-memory memo with the on-disk content-addressed store
+    /// rooted at `dir` (created if absent): cache misses first try the
+    /// store, fresh results are written through to it, and corrupt entries
+    /// self-heal (see [`DiskStore`]). The directory is deliberately not
+    /// part of any cache key — where results live cannot change what they
+    /// are.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors creating the store's directory tree.
+    pub fn cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        self.store = Some(DiskStore::open(dir)?);
+        Ok(self)
     }
 
     /// Logs each fresh simulation to stderr (progress feedback for the long
@@ -122,6 +140,56 @@ impl Runner {
         self.jobs
     }
 
+    /// Reads served warm from the on-disk store (0 without a cache dir).
+    pub fn warm_hits(&self) -> u64 {
+        self.store.as_ref().map_or(0, |s| s.stats().hits)
+    }
+
+    /// Lifetime counters of the backing store, if one is attached.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|s| s.stats())
+    }
+
+    /// The backing store's ordered decision log, if one is attached.
+    pub fn store_events(&self) -> Option<&[StoreEvent]> {
+        self.store.as_ref().map(|s| s.events())
+    }
+
+    /// Tries the on-disk store for `key` under `cfg`. A stored result
+    /// without a profile cannot satisfy a profiling runner (the miss
+    /// recomputes and the rewrite heals the entry); a stored profile is
+    /// stripped for a non-profiling runner so warm and cold reports stay
+    /// byte-identical.
+    fn store_load(&mut self, key: &JobKey, cfg: &SystemConfig) -> Option<Arc<SimReport>> {
+        let profile = self.profile;
+        let scale = self.scale;
+        let store = self.store.as_mut()?;
+        let skey = StoreKey::new(key, cfg, &scale);
+        let mut report = store.load(&skey)?;
+        if profile && report.profile.is_none() {
+            return None;
+        }
+        if !profile {
+            report.profile = None;
+        }
+        Some(Arc::new(report))
+    }
+
+    /// Writes a fresh result through to the store (no-op without one).
+    /// Write failures are reported, not fatal: the result is still
+    /// memoized in memory and the sweep continues.
+    fn store_save(&mut self, skey: &StoreKey, key: &JobKey, report: &SimReport) {
+        let Some(store) = self.store.as_mut() else {
+            return;
+        };
+        if let Err(err) = store.save(skey, report) {
+            self.reporter.line(&format!(
+                "  store: write failed for {}: {err}",
+                key.display()
+            ));
+        }
+    }
+
     /// Executes every not-yet-cached job of `plan` on the worker pool and
     /// memoizes the reports. Jobs already in the cache (e.g. baselines
     /// shared with an earlier figure) are skipped, so cross-figure dedup
@@ -149,8 +217,39 @@ impl Runner {
         if self.profile {
             plan.override_profile(true);
         }
+        if self.store.is_some() {
+            // Disk read-through runs after the overrides so the store key
+            // sees each job's *effective* config (topology changes
+            // results; the canonicalized knobs are hashed out either way).
+            let mut warm = Vec::new();
+            for job in plan.jobs() {
+                let (key, cfg) = (job.key.clone(), job.cfg.clone());
+                if let Some(report) = self.store_load(&key, &cfg) {
+                    warm.push((key, report));
+                }
+            }
+            for (key, report) in warm {
+                self.cache.insert(key, report);
+            }
+            plan.retain(|key| !self.cache.contains_key(key));
+            if plan.is_empty() {
+                return;
+            }
+        }
+        let store_keys: BTreeMap<JobKey, StoreKey> = if self.store.is_some() {
+            plan.jobs()
+                .iter()
+                .map(|j| (j.key.clone(), StoreKey::new(&j.key, &j.cfg, &self.scale)))
+                .collect()
+        } else {
+            BTreeMap::new()
+        };
         for (key, report) in plan.execute(self.jobs, &self.reporter) {
             self.runs += 1;
+            if let Some(skey) = store_keys.get(&key) {
+                let skey = skey.clone();
+                self.store_save(&skey, &key, &report);
+            }
             self.cache.insert(key, report);
         }
     }
@@ -249,7 +348,15 @@ impl Runner {
         if self.profile {
             cfg.obs.profile = true;
         }
+        if let Some(report) = self.store_load(&key, &cfg) {
+            self.cache.insert(key, report.clone());
+            return report;
+        }
         self.reporter.line(&format!("  sim {}", key.display()));
+        let skey = self
+            .store
+            .is_some()
+            .then(|| StoreKey::new(&key, &cfg, &self.scale));
         let job = SimJob {
             key: key.clone(),
             cfg,
@@ -259,6 +366,9 @@ impl Runner {
         };
         let report = Arc::new(job.run());
         self.runs += 1;
+        if let Some(skey) = skey {
+            self.store_save(&skey, &key, &report);
+        }
         self.cache.insert(key, report.clone());
         report
     }

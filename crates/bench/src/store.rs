@@ -1,0 +1,496 @@
+//! On-disk content-addressed result store behind the [`Runner`](crate::Runner) memo.
+//!
+//! Repeated sweeps across processes and CI runs pay for each simulation
+//! once: results are written under a canonical hash of everything that
+//! determines them and read back byte-identically on the next run.
+//!
+//! ## Keying
+//!
+//! A [`StoreKey`] is derived from the *key material*: a sorted-field JSON
+//! document combining
+//!
+//! * [`JobKey::canonical_json`] — the structured job identity (label,
+//!   scenario, timeline flag, workload), JSON-escaped so no label can
+//!   collide with another by string concatenation;
+//! * a fingerprint of the **canonicalized** [`SystemConfig`] — the full
+//!   configuration with the report-invariant knobs (`sim_threads`, `obs`,
+//!   `watchdog`) reset to fixed values, because reports are byte-identical
+//!   across those settings by contract;
+//! * the workload [`Scale`] — quick and full runs of the same workload
+//!   name are different simulations.
+//!
+//! The cache *directory* is deliberately not part of the key: where the
+//! store lives must never change what it stores.
+//!
+//! ## Crash safety and self-healing
+//!
+//! Entries are written to a `tmp/` sibling and atomically renamed into
+//! place after an `fsync`, so a `kill -9` mid-write can only ever leave a
+//! torn *temp* file — never a torn entry. Each entry carries a format
+//! version and an FNV-1a checksum of its payload; a truncated, bit-flipped
+//! or otherwise corrupt entry is detected on read, moved into `corrupt/`
+//! (quarantined for post-mortem, never silently deleted), and the result
+//! is recomputed and rewritten. Every store decision is appended to a
+//! deterministic [`StoreEvent`] log so tests can assert the exact recovery
+//! path taken.
+
+use crate::codec::{decode_report, encode_report, CodecError, REPORT_FORMAT_VERSION};
+use crate::plan::JobKey;
+use numa_gpu_core::SimReport;
+use numa_gpu_testkit::json::Json;
+use numa_gpu_types::SystemConfig;
+use numa_gpu_workloads::Scale;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// FNV-1a 64-bit hash (the same construction simlint uses for its file
+/// cache): deterministic, dependency-free, and stable across processes.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A second, independent 64-bit FNV-1a stream (different offset basis), so
+/// entry names carry 128 bits of key identity. A name collision would need
+/// both streams to collide at once; the stored key material is still
+/// verified on read as the last line of defense.
+fn fnv1a64_twisted(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Content address of one simulation result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreKey {
+    /// Canonical key material (sorted-field JSON); embedded in the entry
+    /// and re-verified on read.
+    pub material: String,
+    /// 32-hex-char entry name (two independent FNV-1a streams over the
+    /// material).
+    pub hash: String,
+}
+
+impl StoreKey {
+    /// Derives the store key for a job: its [`JobKey`] identity plus the
+    /// canonicalized configuration fingerprint and workload scale.
+    pub fn new(key: &JobKey, cfg: &SystemConfig, scale: &Scale) -> StoreKey {
+        let mut canonical = cfg.clone();
+        // Report-invariant knobs are pinned so a warm cache answers every
+        // equivalent request: reports are byte-identical at any
+        // `sim_threads` setting, observability toggles only *add* fields
+        // (and observability runs bypass the store), and the watchdog can
+        // only abort a run — it cannot change a successful report.
+        canonical.sim_threads = 1;
+        canonical.obs = Default::default();
+        canonical.watchdog = Default::default();
+        let config_fp = fnv1a64(format!("{canonical:?}").as_bytes());
+        let scale_fp = format!(
+            "cta/{}:{}..{} fp/{} ops/{}",
+            scale.cta_divisor,
+            scale.min_ctas,
+            scale.max_ctas,
+            scale.footprint_divisor,
+            scale.ops_percent
+        );
+        // Sorted field names, encoded through the JSON writer so every
+        // label/workload string is escaped — canonical by construction.
+        let material = Json::obj([
+            ("config", Json::Str(format!("{config_fp:016x}"))),
+            (
+                "job",
+                Json::parse(&key.canonical_json()).expect("canonical_json is valid JSON"),
+            ),
+            ("scale", Json::Str(scale_fp)),
+        ])
+        .to_string();
+        let hash = format!(
+            "{:016x}{:016x}",
+            fnv1a64(material.as_bytes()),
+            fnv1a64_twisted(material.as_bytes())
+        );
+        StoreKey { material, hash }
+    }
+}
+
+/// Why an entry was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// The file had no parseable header line.
+    BadHeader,
+    /// The header named a format version this build does not read.
+    VersionMismatch,
+    /// The payload checksum did not match the header (bit flip or
+    /// truncation).
+    ChecksumMismatch,
+    /// The payload parsed but did not decode as a report.
+    BadPayload,
+    /// The payload decoded but its embedded key material was not the
+    /// requested one (a 128-bit hash collision, or a hand-renamed file).
+    KeyMismatch,
+}
+
+impl std::fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            CorruptKind::BadHeader => "bad-header",
+            CorruptKind::VersionMismatch => "version-mismatch",
+            CorruptKind::ChecksumMismatch => "checksum-mismatch",
+            CorruptKind::BadPayload => "bad-payload",
+            CorruptKind::KeyMismatch => "key-mismatch",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// One store decision, in the order it was taken. The log is deterministic
+/// for a deterministic access sequence, which is what lets tests assert
+/// the exact recovery path (quarantine → recompute → rewrite).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreEvent {
+    /// A read was served from disk.
+    Hit(String),
+    /// No entry existed for the key.
+    Miss(String),
+    /// An entry was written (fresh result, or a recompute after
+    /// quarantine).
+    Write(String),
+    /// A corrupt entry was moved into `corrupt/` and will be recomputed.
+    Quarantined(String, CorruptKind),
+    /// Stale temp files (from a crashed writer) were removed at open.
+    TempSwept(u64),
+}
+
+/// Counters summarizing a store's lifetime (also exposed over the daemon's
+/// `STATS` reply).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Reads served from disk.
+    pub hits: u64,
+    /// Reads that found no entry.
+    pub misses: u64,
+    /// Entries written.
+    pub writes: u64,
+    /// Corrupt entries quarantined.
+    pub quarantined: u64,
+    /// Stale temp files swept at open.
+    pub temp_swept: u64,
+}
+
+impl StoreStats {
+    /// Byte-stable JSON form (insertion-ordered).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("hits", Json::UInt(self.hits)),
+            ("misses", Json::UInt(self.misses)),
+            ("writes", Json::UInt(self.writes)),
+            ("quarantined", Json::UInt(self.quarantined)),
+            ("temp_swept", Json::UInt(self.temp_swept)),
+        ])
+    }
+}
+
+/// The on-disk content-addressed result store.
+///
+/// Layout under the root directory:
+///
+/// ```text
+/// <root>/store/v1/<32-hex>.entry   committed entries
+/// <root>/tmp/<name>.<seq>          in-flight writes (atomically renamed)
+/// <root>/corrupt/<name>.<seq>      quarantined entries
+/// ```
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+    stats: StoreStats,
+    events: Vec<StoreEvent>,
+    seq: u64,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `root` and sweeps any
+    /// temp files left behind by a crashed writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors creating the directory tree.
+    pub fn open(root: impl Into<PathBuf>) -> std::io::Result<DiskStore> {
+        let root = root.into();
+        std::fs::create_dir_all(root.join("store/v1"))?;
+        std::fs::create_dir_all(root.join("tmp"))?;
+        std::fs::create_dir_all(root.join("corrupt"))?;
+        let mut store = DiskStore {
+            root,
+            stats: StoreStats::default(),
+            events: Vec::new(),
+            seq: 0,
+        };
+        let swept = store.sweep_temp()?;
+        if swept > 0 {
+            store.stats.temp_swept = swept;
+            store.events.push(StoreEvent::TempSwept(swept));
+        }
+        Ok(store)
+    }
+
+    /// Removes everything under `tmp/` — a temp file only exists while a
+    /// writer is mid-flight, so anything found at open is a crash residue.
+    fn sweep_temp(&self) -> std::io::Result<u64> {
+        let mut swept = 0;
+        for entry in std::fs::read_dir(self.root.join("tmp"))? {
+            let entry = entry?;
+            if std::fs::remove_file(entry.path()).is_ok() {
+                swept += 1;
+            }
+        }
+        Ok(swept)
+    }
+
+    fn entry_path(&self, key: &StoreKey) -> PathBuf {
+        self.root
+            .join("store/v1")
+            .join(format!("{}.entry", key.hash))
+    }
+
+    /// The store root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The ordered decision log (hits, misses, writes, quarantines).
+    pub fn events(&self) -> &[StoreEvent] {
+        &self.events
+    }
+
+    /// Loads the result stored under `key`, or `None` on a miss.
+    ///
+    /// A corrupt entry (torn, truncated, bit-flipped, wrong version, or
+    /// carrying foreign key material) is quarantined into `corrupt/` and
+    /// reported as a miss — the caller recomputes and the next
+    /// [`DiskStore::save`] heals the entry.
+    pub fn load(&mut self, key: &StoreKey) -> Option<SimReport> {
+        let path = self.entry_path(key);
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(raw) => raw,
+            Err(_) => {
+                self.stats.misses += 1;
+                self.events.push(StoreEvent::Miss(key.hash.clone()));
+                return None;
+            }
+        };
+        match Self::parse_entry(&raw, key) {
+            Ok(report) => {
+                self.stats.hits += 1;
+                self.events.push(StoreEvent::Hit(key.hash.clone()));
+                Some(report)
+            }
+            Err(kind) => {
+                self.quarantine(&path, key, kind);
+                self.stats.misses += 1;
+                self.events.push(StoreEvent::Miss(key.hash.clone()));
+                None
+            }
+        }
+    }
+
+    /// Parses one entry file: a header line
+    /// `{"format":V,"checksum":"<16hex>"}` followed by the payload
+    /// document `{"key":<material>,"report":{...}}` on the second line.
+    fn parse_entry(raw: &str, key: &StoreKey) -> Result<SimReport, CorruptKind> {
+        let (header_line, payload) = raw.split_once('\n').ok_or(CorruptKind::BadHeader)?;
+        let header = Json::parse(header_line).map_err(|_| CorruptKind::BadHeader)?;
+        let version = header
+            .get("format")
+            .and_then(Json::as_u64)
+            .ok_or(CorruptKind::BadHeader)?;
+        if version != REPORT_FORMAT_VERSION {
+            return Err(CorruptKind::VersionMismatch);
+        }
+        let checksum = header
+            .get("checksum")
+            .and_then(Json::as_str)
+            .ok_or(CorruptKind::BadHeader)?;
+        if checksum != format!("{:016x}", fnv1a64(payload.as_bytes())) {
+            return Err(CorruptKind::ChecksumMismatch);
+        }
+        let doc = Json::parse(payload).map_err(|_| CorruptKind::BadPayload)?;
+        let material = doc.get("key").ok_or(CorruptKind::BadPayload)?.to_string();
+        if material != key.material {
+            return Err(CorruptKind::KeyMismatch);
+        }
+        let report = doc.get("report").ok_or(CorruptKind::BadPayload)?;
+        decode_report(report).map_err(|_| CorruptKind::BadPayload)
+    }
+
+    /// Moves a corrupt entry aside (never deletes it) under a unique name
+    /// in `corrupt/`.
+    fn quarantine(&mut self, path: &Path, key: &StoreKey, kind: CorruptKind) {
+        self.seq += 1;
+        let dest = self
+            .root
+            .join("corrupt")
+            .join(format!("{}.{}.{}", key.hash, kind, self.seq));
+        // A rename failure (e.g. the file vanished) still counts as a
+        // quarantine decision: the entry is gone either way and the caller
+        // recomputes.
+        let _ = std::fs::rename(path, &dest);
+        self.stats.quarantined += 1;
+        self.events
+            .push(StoreEvent::Quarantined(key.hash.clone(), kind));
+    }
+
+    /// Persists `report` under `key` via temp-file + atomic rename.
+    ///
+    /// Reports carrying observability payloads the codec does not model
+    /// (metrics snapshots, trace events) are skipped silently — they are
+    /// never served from the store either, so skipping keeps the store
+    /// coherent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; an entry is either fully committed or not
+    /// visible at all.
+    pub fn save(&mut self, key: &StoreKey, report: &SimReport) -> std::io::Result<()> {
+        let encoded = match encode_report(report) {
+            Ok(doc) => doc,
+            Err(CodecError::Ineligible(_)) => return Ok(()),
+            Err(CodecError::Malformed(msg)) => {
+                return Err(std::io::Error::other(msg));
+            }
+        };
+        let payload = Json::obj([
+            (
+                "key",
+                Json::parse(&key.material).expect("key material is valid JSON"),
+            ),
+            ("report", encoded),
+        ])
+        .to_string();
+        let header = Json::obj([
+            ("format", Json::UInt(REPORT_FORMAT_VERSION)),
+            (
+                "checksum",
+                Json::Str(format!("{:016x}", fnv1a64(payload.as_bytes()))),
+            ),
+        ])
+        .to_string();
+        self.seq += 1;
+        let tmp =
+            self.root
+                .join("tmp")
+                .join(format!("{}.{}.{}", key.hash, std::process::id(), self.seq));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(header.as_bytes())?;
+            f.write_all(b"\n")?;
+            f.write_all(payload.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.entry_path(key))?;
+        self.stats.writes += 1;
+        self.events.push(StoreEvent::Write(key.hash.clone()));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+
+    /// Satellite regression: the exact canonical encoding and hash of a
+    /// known key are pinned. If either changes, every deployed store goes
+    /// cold silently — bump [`REPORT_FORMAT_VERSION`] instead and let
+    /// entries recompute through the quarantine path.
+    #[test]
+    fn canonical_job_key_encoding_and_hash_are_pinned() {
+        let key = JobKey::new("loc4", "Rodinia-Euler3D", true).with_scenario("lanes:s1@5000=8");
+        let canonical = key.canonical_json();
+        assert_eq!(
+            canonical,
+            r#"{"label":"loc4","scenario":"lanes:s1@5000=8","timeline":true,"workload":"Rodinia-Euler3D"}"#
+        );
+        assert_eq!(
+            format!("{:016x}", fnv1a64(canonical.as_bytes())),
+            "09c3bce8a09fe9ed"
+        );
+    }
+
+    /// Satellite regression, in the spirit of the PR 3 `"x+timeline"` fix:
+    /// keys that collide under naive string concatenation stay distinct
+    /// under the canonical encoding, including labels containing JSON
+    /// metacharacters.
+    #[test]
+    fn canonical_encoding_cannot_collide_by_concatenation() {
+        let timeline = JobKey::new("x", "w", true);
+        let literal = JobKey::new("x+timeline", "w", false);
+        assert_ne!(timeline.canonical_json(), literal.canonical_json());
+
+        // A label that *contains* the canonical punctuation is escaped,
+        // not spliced: `a","workload":"b` cannot forge field boundaries.
+        let forged = JobKey::new("a\",\"workload\":\"b", "w", false);
+        let honest = JobKey::new("a", "b", false);
+        assert_ne!(forged.canonical_json(), honest.canonical_json());
+        let cfg = configs::locality(2);
+        let scale = Scale::quick();
+        assert_ne!(
+            StoreKey::new(&forged, &cfg, &scale).hash,
+            StoreKey::new(&honest, &cfg, &scale).hash
+        );
+    }
+
+    #[test]
+    fn store_key_separates_scale_config_and_job() {
+        let key = JobKey::new("loc4", "w", false);
+        let base = StoreKey::new(&key, &configs::locality(4), &Scale::quick());
+        let full = StoreKey::new(&key, &configs::locality(4), &Scale::full());
+        let other_cfg = StoreKey::new(&key, &configs::traditional(4), &Scale::quick());
+        let other_job = StoreKey::new(
+            &JobKey::new("loc4", "w", true),
+            &configs::locality(4),
+            &Scale::quick(),
+        );
+        assert_ne!(base.hash, full.hash, "scale must be part of the key");
+        assert_ne!(base.hash, other_cfg.hash, "config must be part of the key");
+        assert_ne!(
+            base.hash, other_job.hash,
+            "job identity must be part of the key"
+        );
+    }
+
+    #[test]
+    fn report_invariant_knobs_share_one_entry() {
+        let key = JobKey::new("loc4", "w", false);
+        let mut a = configs::locality(4);
+        let mut b = configs::locality(4);
+        a.sim_threads = 1;
+        b.sim_threads = 8;
+        b.obs.profile = true;
+        b.watchdog.max_cycles = 123_456;
+        assert_eq!(
+            StoreKey::new(&key, &a, &Scale::quick()).hash,
+            StoreKey::new(&key, &b, &Scale::quick()).hash,
+            "sim_threads/obs/watchdog are canonicalized out of the key"
+        );
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"ab"), fnv1a64_twisted(b"ab"));
+    }
+}

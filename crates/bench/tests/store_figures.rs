@@ -1,0 +1,37 @@
+//! Cached-vs-cold equivalence for a real paper artifact: Figure 5 rendered
+//! from a cold on-disk store must be byte-identical to the same figure
+//! rendered by a *fresh process* (here: a fresh [`Runner`]) that serves
+//! every simulation warm from that store. This is the contract that makes
+//! `figures --cache-dir` safe to use for artifact regeneration.
+
+use numa_gpu_bench::{experiments, Runner};
+use numa_gpu_workloads::Scale;
+
+#[test]
+fn fig5_from_warm_store_is_byte_identical_to_cold() {
+    let dir = std::env::temp_dir().join(format!("numa-gpu-store-figures-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cold_runner = Runner::new(Scale::quick())
+        .cache_dir(&dir)
+        .expect("store opens");
+    let cold = experiments::fig5(&mut cold_runner);
+    assert_eq!(cold_runner.warm_hits(), 0);
+    assert!(cold_runner.store_stats().unwrap().writes > 0);
+
+    // A brand-new runner on the same cache dir models a fresh process:
+    // no in-memory memo, only the disk store.
+    let mut warm_runner = Runner::new(Scale::quick())
+        .cache_dir(&dir)
+        .expect("store reopens");
+    let warm = experiments::fig5(&mut warm_runner);
+
+    assert_eq!(cold, warm, "fig5 must render byte-identically from disk");
+    assert!(
+        warm_runner.warm_hits() > 0,
+        "second run must be served warm"
+    );
+    assert_eq!(warm_runner.runs(), 0, "no simulation re-executed");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,6 +11,12 @@
 //!   vector is independent of thread scheduling. A panic inside a worker is
 //!   caught and re-raised on the submitting thread, labelled with the job
 //!   that caused it.
+//! * [`Dispatcher`] — a persistent worker pool for long-running services
+//!   (the serving daemon): jobs arrive one at a time over the pool's
+//!   lifetime, each delivers its outcome through a per-job callback, and a
+//!   panicking job is contained (reported as [`JobOutcome::Panicked`])
+//!   rather than taking the worker down. [`Deadline`] supplies the
+//!   wall-clock budgets such services supervise with.
 //! * [`Reporter`] — a mutexed, line-buffered progress logger. Each line is
 //!   formatted completely before a single locked write, so progress output
 //!   from concurrent workers never shears mid-line.
@@ -35,8 +41,10 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod dispatch;
 mod pool;
 mod reporter;
 
+pub use dispatch::{Deadline, Dispatcher, JobOutcome};
 pub use pool::{Job, ThreadPool};
 pub use reporter::Reporter;

@@ -895,8 +895,8 @@ impl<'a> Parser<'a> {
 }
 
 /// Parses one file's token stream into its item set. `skip` marks
-/// test-gated tokens (from [`rules::mark_test_skipped`]
-/// (crate::rules::mark_test_skipped)); skipped and comment tokens never
+/// test-gated tokens (from [`crate::rules::mark_test_skipped`]);
+/// skipped and comment tokens never
 /// enter the graph. Never panics, whatever the input.
 pub fn parse_items(toks: &[Token], skip: &[bool]) -> FileItems {
     let sig: Vec<&Token> = toks

@@ -9,7 +9,7 @@
 //! |---|---|---|
 //! | simulation | engine, sm, cache, mem, interconnect, faults, core, runtime, workloads | D001, D003, S001–S005 |
 //! | artifact plane | bench (tables/figures flow through it) | D001, D003 |
-//! | wall-clock-allowed | bench, exec (the only legitimate timing paths) | exempt from D002 |
+//! | wall-clock-allowed | bench, exec, serve (timing/deadline/backoff paths) | exempt from D002 |
 //! | bins (`src/bin/**`, `src/main.rs`) | any | exempt from O001 and the S-rules |
 //! | everything else | all crates incl. the root facade | D002, O001 |
 //!
@@ -99,7 +99,10 @@ impl FileScope {
         let sim = SIM_CRATES.contains(&crate_name);
         FileScope {
             d001: sim || crate_name == "bench",
-            d002: crate_name != "bench" && crate_name != "exec",
+            // serve is a non-SIM crate: wall-clock deadlines and retry
+            // backoff are its whole point, so `Instant` is permitted
+            // there; nothing in serve is reachable from sim crates.
+            d002: !matches!(crate_name, "bench" | "exec" | "serve"),
             d003: sim || crate_name == "bench",
             o001: !is_bin,
             sim_lib: sim && !is_bin,
@@ -570,6 +573,13 @@ mod tests {
         assert!(!FileScope::classify("crates/exec/src/reporter.rs").d002);
         assert!(FileScope::classify("crates/engine/src/lib.rs").d002);
         assert!(FileScope::classify("src/lib.rs").d002);
+        // serve: wall-clock allowed (deadlines/backoff), but not a sim
+        // crate — D001/D003/S-rules stay off, O001 stays on for lib code.
+        let serve = FileScope::classify("crates/serve/src/daemon.rs");
+        assert!(!serve.d002);
+        assert!(!serve.d001);
+        assert!(!serve.sim_lib);
+        assert!(serve.o001);
         assert!(FileScope::classify("crates/cache/src/mshr.rs").sim_lib);
         assert!(!FileScope::classify("crates/bench/src/lib.rs").sim_lib);
         assert!(!FileScope::classify("crates/sm/src/bin/tool.rs").sim_lib);

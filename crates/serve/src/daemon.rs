@@ -1,0 +1,506 @@
+//! The sim-as-a-service daemon.
+//!
+//! One process owns a Unix domain socket, a [`Dispatcher`] worker pool,
+//! the content-addressed [`DiskStore`], and the restart [`Journal`].
+//! Each accepted connection gets its own thread speaking the line
+//! protocol ([`crate::protocol`]); submitted jobs are scheduled on the
+//! pool and deliver progress/result events back to the submitting
+//! connection through a per-job channel.
+//!
+//! ## Supervision matrix
+//!
+//! | Failure                         | Detected by              | Policy |
+//! |---------------------------------|--------------------------|--------|
+//! | Invalid request                 | protocol parse           | `ERROR … parse`, connection lives on |
+//! | Deterministic [`SimError`](numa_gpu_types::SimError) | `retry_class()`          | fail fast: `ERROR … deterministic` |
+//! | Worker panic                    | `catch_unwind` (2 layers)| bounded retries, deterministic backoff |
+//! | Hung/slow job                   | wall-clock [`Deadline`]  | `ERROR … deadline`; job finishes in background and still warms the store |
+//! | Sim-level hang                  | cycle watchdog (in-sim)  | surfaces as a deterministic `SimError` |
+//! | Corrupt store entry             | checksum on read         | quarantined + recomputed (store layer) |
+//! | `kill -9` of the daemon         | journal replay on restart| pending jobs recomputed into the store |
+//! | Client disconnect mid-job       | send on closed channel   | job completes and caches anyway |
+
+use crate::journal::Journal;
+use crate::protocol::{JobSpec, Request};
+use numa_gpu_bench::codec::encode_report;
+use numa_gpu_bench::{DiskStore, StoreKey};
+use numa_gpu_core::SimReport;
+use numa_gpu_exec::{Deadline, Dispatcher, Reporter};
+use numa_gpu_testkit::json::Json;
+use numa_gpu_types::RetryClass;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Bounded-retry policy for transient failures. The schedule is fixed at
+/// construction, so a given failure sequence always waits the same
+/// deterministic delays — no randomized jitter to make test runs flaky.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Delay before each retry; `backoff_ms.len() + 1` total attempts.
+    pub backoff_ms: Vec<u64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            backoff_ms: vec![25, 100, 400],
+        }
+    }
+}
+
+/// Everything the daemon needs to start.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Unix domain socket path to listen on.
+    pub socket: PathBuf,
+    /// Root of the content-addressed store (and the journal).
+    pub cache_dir: PathBuf,
+    /// Worker threads simulating concurrently.
+    pub workers: usize,
+    /// Log accepted connections and job lifecycle to stderr.
+    pub verbose: bool,
+    /// Wall-clock budget for jobs that do not specify `deadline=`.
+    pub default_deadline: Duration,
+    /// Transient-failure retry schedule.
+    pub retry: RetryPolicy,
+}
+
+impl DaemonConfig {
+    /// A config with the given socket and cache dir and sensible
+    /// defaults: 2 workers, quiet, 10-minute default deadline.
+    pub fn new(socket: impl Into<PathBuf>, cache_dir: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            socket: socket.into(),
+            cache_dir: cache_dir.into(),
+            workers: 2,
+            verbose: false,
+            default_deadline: Duration::from_secs(600),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// What a worker reports back to the submitting connection.
+enum JobMsg {
+    Event(String),
+    Done(String),
+    Failed { class: &'static str, msg: String },
+}
+
+struct Shared {
+    store: Mutex<DiskStore>,
+    journal: Mutex<Journal>,
+    dispatcher: Dispatcher,
+    reporter: Arc<Reporter>,
+    retry: RetryPolicy,
+    default_deadline: Duration,
+    socket: PathBuf,
+    next_id: AtomicU64,
+    jobs_done: AtomicU64,
+    jobs_failed: AtomicU64,
+    retries: AtomicU64,
+    shutting_down: AtomicBool,
+}
+
+/// A bound, replayed, ready-to-serve daemon. [`Daemon::bind`] prepares
+/// everything (so a caller knows the socket is live before spawning
+/// clients); [`Daemon::serve`] blocks until a `SHUTDOWN` request drains
+/// the pool.
+pub struct Daemon {
+    listener: UnixListener,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("socket", &self.shared.socket)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Daemon {
+    /// Binds the socket, opens the store, replays the journal (pending
+    /// jobs from a previous crashed process are resubmitted to the pool),
+    /// and returns a daemon ready to [`serve`](Daemon::serve).
+    ///
+    /// A stale socket file from a crashed daemon is removed and rebound;
+    /// a socket another *live* daemon answers on is an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors binding the socket or opening the store.
+    pub fn bind(config: DaemonConfig) -> std::io::Result<Daemon> {
+        let listener = match UnixListener::bind(&config.socket) {
+            Ok(l) => l,
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                if UnixStream::connect(&config.socket).is_ok() {
+                    return Err(std::io::Error::other(format!(
+                        "another daemon is live on {}",
+                        config.socket.display()
+                    )));
+                }
+                std::fs::remove_file(&config.socket)?;
+                UnixListener::bind(&config.socket)?
+            }
+            Err(e) => return Err(e),
+        };
+        let store = DiskStore::open(&config.cache_dir)?;
+        let (journal, pending) = Journal::open(&config.cache_dir.join("journal"))?;
+        let shared = Arc::new(Shared {
+            store: Mutex::new(store),
+            journal: Mutex::new(journal),
+            dispatcher: Dispatcher::new(config.workers),
+            reporter: Arc::new(Reporter::stderr(config.verbose)),
+            retry: config.retry,
+            default_deadline: config.default_deadline,
+            socket: config.socket,
+            next_id: AtomicU64::new(1),
+            jobs_done: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            shutting_down: AtomicBool::new(false),
+        });
+        shared
+            .reporter
+            .line(&format!("serve: listening on {}", shared.socket.display()));
+        for spec in pending {
+            shared.reporter.line(&format!(
+                "serve: replaying journaled job: {}",
+                spec.to_line()
+            ));
+            // Results deliver to a dropped receiver: replay has no client,
+            // it exists to warm the store and clear the journal.
+            let (tx, _rx) = mpsc::channel();
+            submit_to_pool(&shared, spec, tx);
+        }
+        Ok(Daemon { listener, shared })
+    }
+
+    /// The number of journaled jobs still pending (after replay started;
+    /// reaches zero once the replayed jobs complete).
+    pub fn in_flight(&self) -> u64 {
+        self.shared.dispatcher.in_flight()
+    }
+
+    /// Serves connections until a `SHUTDOWN` request, then drains the
+    /// worker pool (every accepted job completes and is journaled done)
+    /// and removes the socket file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O errors.
+    pub fn serve(self) -> std::io::Result<()> {
+        for conn in self.listener.incoming() {
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) => {
+                    self.shared
+                        .reporter
+                        .line(&format!("serve: accept error: {e}"));
+                    continue;
+                }
+            };
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || handle_connection(&shared, stream));
+        }
+        self.shared.reporter.line("serve: draining in-flight jobs");
+        self.shared.dispatcher.drain();
+        let _ = std::fs::remove_file(&self.shared.socket);
+        self.shared.reporter.line("serve: stopped");
+        Ok(())
+    }
+}
+
+/// One thread per connection: read request lines, write response lines.
+fn handle_connection(shared: &Arc<Shared>, stream: UnixStream) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let keep_going = handle_request(shared, &line, &mut writer);
+        if !keep_going {
+            break;
+        }
+    }
+}
+
+/// Handles one request line; returns `false` when the connection should
+/// close (shutdown).
+fn handle_request(shared: &Arc<Shared>, line: &str, writer: &mut UnixStream) -> bool {
+    match Request::parse(line) {
+        Err(msg) => {
+            let _ = writeln!(writer, "ERROR 0 parse {msg}");
+            true
+        }
+        Ok(Request::Ping) => {
+            let _ = writeln!(writer, "PONG");
+            true
+        }
+        Ok(Request::Stats) => {
+            let stats = {
+                let store = shared.store.lock().unwrap();
+                store.stats()
+            };
+            let doc = Json::obj([
+                ("done", Json::UInt(shared.jobs_done.load(Ordering::Relaxed))),
+                (
+                    "failed",
+                    Json::UInt(shared.jobs_failed.load(Ordering::Relaxed)),
+                ),
+                (
+                    "retries",
+                    Json::UInt(shared.retries.load(Ordering::Relaxed)),
+                ),
+                ("panics", Json::UInt(shared.dispatcher.panic_count())),
+                ("in_flight", Json::UInt(shared.dispatcher.in_flight())),
+                ("store", stats.to_json()),
+            ]);
+            let _ = writeln!(writer, "STATS {doc}");
+            true
+        }
+        Ok(Request::Shutdown) => {
+            shared.shutting_down.store(true, Ordering::SeqCst);
+            let _ = writeln!(writer, "OK draining");
+            // Unblock the accept loop so it observes the flag.
+            let _ = UnixStream::connect(&shared.socket);
+            false
+        }
+        Ok(Request::Submit(spec)) => {
+            handle_submit(shared, spec, writer);
+            true
+        }
+    }
+}
+
+fn handle_submit(shared: &Arc<Shared>, spec: JobSpec, writer: &mut UnixStream) {
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let job = match spec.to_job() {
+        Ok(job) => job,
+        Err(msg) => {
+            let _ = writeln!(writer, "ERROR {id} parse {msg}");
+            return;
+        }
+    };
+    let skey = StoreKey::new(&job.key, &job.cfg, &spec.scale());
+    let _ = writeln!(writer, "ACK {id} {}", skey.hash);
+
+    // Warm path: serve straight from the store (a corrupt entry
+    // quarantines inside `load` and falls through to the cold path).
+    let warm = {
+        let mut store = shared.store.lock().unwrap();
+        store.load(&skey)
+    };
+    if let Some(report) = warm {
+        let _ = writeln!(writer, "EVENT {id} warm");
+        match encode_report(&report) {
+            Ok(doc) => {
+                let _ = writeln!(writer, "RESULT {id} {doc}");
+            }
+            Err(e) => {
+                let _ = writeln!(writer, "ERROR {id} transient cached entry unencodable: {e}");
+            }
+        }
+        return;
+    }
+
+    if let Err(e) = shared.journal.lock().unwrap().record_queued(&spec) {
+        shared
+            .reporter
+            .line(&format!("serve: journal write failed: {e}"));
+    }
+    let deadline = Deadline::after(
+        spec.deadline_secs
+            .map_or(shared.default_deadline, Duration::from_secs),
+    );
+    let (tx, rx) = mpsc::channel();
+    let _ = writeln!(writer, "EVENT {id} queued");
+    if !submit_to_pool(shared, spec, tx) {
+        let _ = writeln!(writer, "ERROR {id} transient daemon is shutting down");
+        return;
+    }
+
+    // Stream worker messages until the job resolves or the wall-clock
+    // deadline expires. On expiry the job keeps running in the background
+    // — its result still lands in the store for the next submit.
+    loop {
+        match rx.recv_timeout(deadline.remaining()) {
+            Ok(JobMsg::Event(word)) => {
+                let _ = writeln!(writer, "EVENT {id} {word}");
+            }
+            Ok(JobMsg::Done(doc)) => {
+                let _ = writeln!(writer, "RESULT {id} {doc}");
+                return;
+            }
+            Ok(JobMsg::Failed { class, msg }) => {
+                let _ = writeln!(writer, "ERROR {id} {class} {msg}");
+                return;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let _ = writeln!(
+                    writer,
+                    "ERROR {id} deadline wall-clock budget exhausted; the job continues \
+                     in the background and will be served warm once complete"
+                );
+                return;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Queues a job on the pool. The worker closure owns the full supervised
+/// lifecycle: retry loop, store write-through, journal `done`.
+fn submit_to_pool(shared: &Arc<Shared>, spec: JobSpec, tx: mpsc::Sender<JobMsg>) -> bool {
+    let worker_shared = Arc::clone(shared);
+    let events = tx.clone();
+    shared.dispatcher.submit(
+        move || run_supervised(&worker_shared, &spec, &events),
+        move |outcome| {
+            let msg = match outcome {
+                numa_gpu_exec::JobOutcome::Done(msg) => msg,
+                // The in-closure catch_unwind already contains panics;
+                // this is the dispatcher's backstop (e.g. a panic inside
+                // our own retry bookkeeping).
+                numa_gpu_exec::JobOutcome::Panicked(msg) => JobMsg::Failed {
+                    class: "transient",
+                    msg,
+                },
+            };
+            let _ = tx.send(msg);
+        },
+    )
+}
+
+/// Runs one job under the retry policy. Returns the message to deliver.
+fn run_supervised(shared: &Arc<Shared>, spec: &JobSpec, events: &mpsc::Sender<JobMsg>) -> JobMsg {
+    let job = match spec.to_job() {
+        // Can only happen on a journal replayed from a different build
+        // (e.g. a workload was renamed); drop the entry rather than
+        // replaying it forever.
+        Err(msg) => {
+            let _ = shared.journal.lock().unwrap().record_done(spec);
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            return JobMsg::Failed {
+                class: "parse",
+                msg,
+            };
+        }
+        Ok(job) => job,
+    };
+    let skey = StoreKey::new(&job.key, &job.cfg, &spec.scale());
+    // A replayed (or raced) job may already be in the store: done.
+    {
+        let mut store = shared.store.lock().unwrap();
+        if let Some(report) = store.load(&skey) {
+            drop(store);
+            let _ = shared.journal.lock().unwrap().record_done(spec);
+            return deliver_done(shared, spec, &report);
+        }
+    }
+    shared
+        .reporter
+        .line(&format!("serve: sim {}", job.key.display()));
+    let attempts = shared.retry.backoff_ms.len() + 1;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            let delay = shared.retry.backoff_ms[attempt - 1];
+            shared.retries.fetch_add(1, Ordering::Relaxed);
+            let _ = events.send(JobMsg::Event(format!("retry:{attempt}")));
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+        match catch_unwind(AssertUnwindSafe(|| job.try_run())) {
+            Ok(Ok(report)) => {
+                let saved = {
+                    let mut store = shared.store.lock().unwrap();
+                    store.save(&skey, &report)
+                };
+                match saved {
+                    Ok(()) => {
+                        let _ = shared.journal.lock().unwrap().record_done(spec);
+                        return deliver_done(shared, spec, &report);
+                    }
+                    // Store I/O is the canonical transient failure:
+                    // retry the *write* by retrying the attempt (the
+                    // recompute is wasted work but keeps the logic to a
+                    // single loop; store writes almost never fail).
+                    Err(e) if attempt + 1 < attempts => {
+                        shared
+                            .reporter
+                            .line(&format!("serve: store write failed (will retry): {e}"));
+                        continue;
+                    }
+                    Err(_) => {
+                        // Out of retries for the store — the result is
+                        // still correct, deliver it; the journal keeps
+                        // the entry pending so a restart recomputes it
+                        // into the store.
+                        return deliver_done(shared, spec, &report);
+                    }
+                }
+            }
+            Ok(Err(sim_err)) => match sim_err.retry_class() {
+                RetryClass::Deterministic => {
+                    let _ = shared.journal.lock().unwrap().record_done(spec);
+                    shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                    return JobMsg::Failed {
+                        class: "deterministic",
+                        msg: sim_err.to_string(),
+                    };
+                }
+                RetryClass::Transient if attempt + 1 < attempts => continue,
+                RetryClass::Transient => {
+                    shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                    return JobMsg::Failed {
+                        class: "transient",
+                        msg: sim_err.to_string(),
+                    };
+                }
+            },
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                if attempt + 1 < attempts {
+                    shared
+                        .reporter
+                        .line(&format!("serve: contained panic (will retry): {msg}"));
+                    continue;
+                }
+                shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                return JobMsg::Failed {
+                    class: "transient",
+                    msg,
+                };
+            }
+        }
+    }
+    unreachable!("retry loop always returns")
+}
+
+fn deliver_done(shared: &Arc<Shared>, spec: &JobSpec, report: &SimReport) -> JobMsg {
+    shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+    match encode_report(report) {
+        Ok(doc) => JobMsg::Done(doc.to_string()),
+        Err(e) => JobMsg::Failed {
+            class: "transient",
+            msg: format!("report for {} unencodable: {e}", spec.to_line()),
+        },
+    }
+}

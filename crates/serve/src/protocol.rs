@@ -1,0 +1,354 @@
+//! The line protocol spoken over the daemon's Unix domain socket.
+//!
+//! Requests are single lines of `key=value` tokens; responses are single
+//! lines prefixed with a tag. Everything is UTF-8, newline-delimited, and
+//! order-insensitive on the request side, so a client can be `nc -U` or
+//! the built-in [`Client`](crate::Client).
+//!
+//! ## Requests
+//!
+//! ```text
+//! SUBMIT workload=<name> [config=<variant>] [sockets=<n>] [timeline=0|1]
+//!        [scale=quick|full] [faults=<plan>] [deadline=<secs>]
+//! PING
+//! STATS
+//! SHUTDOWN
+//! ```
+//!
+//! ## Responses
+//!
+//! ```text
+//! ACK <id> <store-hash>       submit accepted; <id> scopes later lines
+//! EVENT <id> <word>           progress: queued | warm | retry:<n>
+//! RESULT <id> <json>          the lossless report document (codec format)
+//! ERROR <id> <class> <msg>    class: parse | deterministic | transient | deadline
+//! PONG                        reply to PING
+//! STATS <json>                store + supervision counters
+//! OK <word>                   reply to SHUTDOWN
+//! ```
+
+use numa_gpu_bench::{configs, JobKey, SimJob};
+use numa_gpu_faults::FaultPlan;
+use numa_gpu_types::SystemConfig;
+use numa_gpu_workloads::{by_name, Scale};
+
+/// Which named configuration family a job runs under (the label grammar
+/// mirrors `bench::configs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigChoice {
+    /// Single-GPU baseline (`configs::single`); `sockets` is ignored.
+    Single,
+    /// Traditional NUMA system (`configs::traditional`).
+    Traditional,
+    /// Page-interleaved multi-socket (`configs::page_interleaved`).
+    PageInterleaved,
+    /// Locality-optimized multi-socket (`configs::locality`).
+    Locality,
+    /// Fully NUMA-aware design point (`configs::numa_aware`).
+    NumaAware,
+}
+
+impl ConfigChoice {
+    fn parse(s: &str) -> Result<ConfigChoice, String> {
+        match s {
+            "single" => Ok(ConfigChoice::Single),
+            "traditional" => Ok(ConfigChoice::Traditional),
+            "page" => Ok(ConfigChoice::PageInterleaved),
+            "locality" => Ok(ConfigChoice::Locality),
+            "numa" => Ok(ConfigChoice::NumaAware),
+            other => Err(format!(
+                "unknown config `{other}` (expected single|traditional|page|locality|numa)"
+            )),
+        }
+    }
+
+    fn token(self) -> &'static str {
+        match self {
+            ConfigChoice::Single => "single",
+            ConfigChoice::Traditional => "traditional",
+            ConfigChoice::PageInterleaved => "page",
+            ConfigChoice::Locality => "locality",
+            ConfigChoice::NumaAware => "numa",
+        }
+    }
+
+    /// The sweep-style label this choice runs under (e.g. `loc4`).
+    fn label(self, sockets: u8) -> String {
+        match self {
+            ConfigChoice::Single => "single".to_string(),
+            ConfigChoice::Traditional => format!("trad{sockets}"),
+            ConfigChoice::PageInterleaved => format!("page{sockets}"),
+            ConfigChoice::Locality => format!("loc{sockets}"),
+            ConfigChoice::NumaAware => format!("numa{sockets}"),
+        }
+    }
+
+    fn config(self, sockets: u8) -> SystemConfig {
+        match self {
+            ConfigChoice::Single => configs::single(),
+            ConfigChoice::Traditional => configs::traditional(sockets),
+            ConfigChoice::PageInterleaved => configs::page_interleaved(sockets),
+            ConfigChoice::Locality => configs::locality(sockets),
+            ConfigChoice::NumaAware => configs::numa_aware(sockets),
+        }
+    }
+}
+
+/// A parsed `SUBMIT` request: everything needed to identify and run one
+/// simulation. The canonical line form ([`JobSpec::to_line`]) is what the
+/// restart journal stores, so parse → to_line → parse must round-trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Workload name (`numa_gpu_workloads::by_name`).
+    pub workload: String,
+    /// Configuration family.
+    pub config: ConfigChoice,
+    /// Socket count for multi-socket families.
+    pub sockets: u8,
+    /// Record per-sample link timelines.
+    pub timeline: bool,
+    /// Run at full paper scale instead of quick scale.
+    pub full_scale: bool,
+    /// Fault plan string (`FaultPlan::parse` grammar), if any.
+    pub faults: Option<String>,
+    /// Wall-clock supervision budget, seconds (daemon default if absent).
+    pub deadline_secs: Option<u64>,
+}
+
+impl JobSpec {
+    /// Parses the token list following `SUBMIT` (order-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on unknown keys, malformed
+    /// values, or a missing `workload`.
+    pub fn parse(tokens: &str) -> Result<JobSpec, String> {
+        let mut spec = JobSpec {
+            workload: String::new(),
+            config: ConfigChoice::Locality,
+            sockets: 4,
+            timeline: false,
+            full_scale: false,
+            faults: None,
+            deadline_secs: None,
+        };
+        for token in tokens.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("malformed token `{token}` (expected key=value)"))?;
+            match key {
+                "workload" => spec.workload = value.to_string(),
+                "config" => spec.config = ConfigChoice::parse(value)?,
+                "sockets" => {
+                    spec.sockets = value
+                        .parse()
+                        .map_err(|_| format!("bad sockets `{value}`"))?;
+                }
+                "timeline" => spec.timeline = parse_bool(key, value)?,
+                "scale" => {
+                    spec.full_scale = match value {
+                        "quick" => false,
+                        "full" => true,
+                        other => return Err(format!("bad scale `{other}` (quick|full)")),
+                    };
+                }
+                "faults" => spec.faults = Some(value.to_string()),
+                "deadline" => {
+                    spec.deadline_secs = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad deadline `{value}`"))?,
+                    );
+                }
+                other => return Err(format!("unknown key `{other}`")),
+            }
+        }
+        if spec.workload.is_empty() {
+            return Err("missing required key `workload`".to_string());
+        }
+        if spec.workload.contains(char::is_whitespace) {
+            return Err("workload names cannot contain whitespace".to_string());
+        }
+        if let Some(f) = &spec.faults {
+            // Validate eagerly so a bad plan is a parse error at submit
+            // time, not a failure deep inside a worker.
+            FaultPlan::parse(f).map_err(|e| format!("bad faults `{f}`: {e}"))?;
+        }
+        Ok(spec)
+    }
+
+    /// Canonical single-line form (fixed key order); the journal stores
+    /// exactly these bytes and [`JobSpec::parse`] round-trips them.
+    pub fn to_line(&self) -> String {
+        let mut line = format!(
+            "workload={} config={} sockets={} timeline={} scale={}",
+            self.workload,
+            self.config.token(),
+            self.sockets,
+            u8::from(self.timeline),
+            if self.full_scale { "full" } else { "quick" },
+        );
+        if let Some(f) = &self.faults {
+            line.push_str(&format!(" faults={f}"));
+        }
+        if let Some(d) = self.deadline_secs {
+            line.push_str(&format!(" deadline={d}"));
+        }
+        line
+    }
+
+    /// The workload scale this spec runs at.
+    pub fn scale(&self) -> Scale {
+        if self.full_scale {
+            Scale::full()
+        } else {
+            Scale::quick()
+        }
+    }
+
+    /// The structured job identity this spec maps to.
+    pub fn job_key(&self) -> JobKey {
+        let key = JobKey::new(
+            self.config.label(self.sockets),
+            self.workload.clone(),
+            self.timeline,
+        );
+        match &self.faults {
+            // Canonicalize through the parsed plan's Display, matching
+            // how `SimPlan::fault_job` builds scenarios.
+            Some(f) => match FaultPlan::parse(f) {
+                Ok(plan) => key.with_scenario(plan.to_string()),
+                Err(_) => key.with_scenario(f.clone()),
+            },
+            None => key,
+        }
+    }
+
+    /// Resolves this spec into a runnable [`SimJob`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the workload name is unknown or the fault
+    /// plan does not parse.
+    pub fn to_job(&self) -> Result<SimJob, String> {
+        let workload = by_name(&self.workload, &self.scale())
+            .ok_or_else(|| format!("unknown workload `{}`", self.workload))?;
+        let faults = match &self.faults {
+            Some(f) => Some(FaultPlan::parse(f).map_err(|e| format!("bad faults: {e}"))?),
+            None => None,
+        };
+        Ok(SimJob {
+            key: self.job_key(),
+            cfg: self.config.config(self.sockets),
+            workload,
+            faults,
+            topology_pinned: false,
+        })
+    }
+}
+
+fn parse_bool(key: &str, value: &str) -> Result<bool, String> {
+    match value {
+        "0" | "false" => Ok(false),
+        "1" | "true" => Ok(true),
+        other => Err(format!("bad {key} `{other}` (0|1)")),
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run (or warm-fetch) a simulation.
+    Submit(JobSpec),
+    /// Liveness probe.
+    Ping,
+    /// Store + supervision counters.
+    Stats,
+    /// Drain and stop the daemon.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown verbs or bad
+    /// `SUBMIT` tokens.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let line = line.trim();
+        let (verb, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match verb {
+            "SUBMIT" => Ok(Request::Submit(JobSpec::parse(rest)?)),
+            "PING" => Ok(Request::Ping),
+            "STATS" => Ok(Request::Stats),
+            "SHUTDOWN" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_round_trips_through_canonical_line() {
+        let spec = JobSpec::parse(
+            "workload=Rodinia-Euler3D config=numa sockets=2 timeline=1 scale=full \
+             faults=lanes:s1@5000=8 deadline=30",
+        )
+        .unwrap();
+        assert_eq!(spec.config, ConfigChoice::NumaAware);
+        assert_eq!(spec.sockets, 2);
+        assert!(spec.timeline);
+        assert!(spec.full_scale);
+        assert_eq!(spec.deadline_secs, Some(30));
+        let reparsed = JobSpec::parse(&spec.to_line()).unwrap();
+        assert_eq!(spec, reparsed, "parse → to_line → parse must round-trip");
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let spec = JobSpec::parse("workload=Other-Bitcoin-Crypto").unwrap();
+        assert_eq!(spec.config, ConfigChoice::Locality);
+        assert_eq!(spec.sockets, 4);
+        assert!(!spec.timeline);
+        assert!(!spec.full_scale);
+        assert_eq!(spec.job_key().label, "loc4");
+
+        assert!(JobSpec::parse("").unwrap_err().contains("workload"));
+        assert!(JobSpec::parse("workload=w nope=1")
+            .unwrap_err()
+            .contains("nope"));
+        assert!(JobSpec::parse("workload=w config=alien")
+            .unwrap_err()
+            .contains("alien"));
+        assert!(JobSpec::parse("workload=w faults=gibberish")
+            .unwrap_err()
+            .contains("faults"));
+        assert!(Request::parse("DANCE").unwrap_err().contains("DANCE"));
+    }
+
+    #[test]
+    fn request_verbs_parse() {
+        assert_eq!(Request::parse("PING").unwrap(), Request::Ping);
+        assert_eq!(Request::parse("STATS").unwrap(), Request::Stats);
+        assert_eq!(Request::parse("SHUTDOWN").unwrap(), Request::Shutdown);
+        assert!(matches!(
+            Request::parse("SUBMIT workload=w").unwrap(),
+            Request::Submit(_)
+        ));
+    }
+
+    #[test]
+    fn spec_resolves_to_a_runnable_job() {
+        let spec =
+            JobSpec::parse("workload=Other-Bitcoin-Crypto config=locality sockets=2").unwrap();
+        let job = spec.to_job().unwrap();
+        assert_eq!(job.key.label, "loc2");
+        assert_eq!(job.key.workload, "Other-Bitcoin-Crypto");
+        let missing = JobSpec::parse("workload=No-Such-Workload").unwrap();
+        assert!(missing.to_job().unwrap_err().contains("No-Such-Workload"));
+    }
+}

@@ -1,6 +1,12 @@
-//! Command-line front end: run one catalog workload on one configuration.
+//! Command-line front end: run one catalog workload on one configuration,
+//! or host/query the sim-as-a-service daemon.
 //!
 //! ```text
+//! simulate serve --socket PATH --cache-dir DIR [--workers N] [--verbose]
+//!                [--deadline SECS]   # host the daemon (blocks until SHUTDOWN)
+//! simulate submit --socket PATH key=value...   # submit a job (see serve protocol)
+//! simulate submit --socket PATH --ping|--stats|--shutdown
+//!
 //! simulate --workload Rodinia-Euler3D [--sockets N] [--quick|--full]
 //!          [--topology star|ring|mesh|fattree]
 //!          [--cache memside|static|shared|numa-aware]
@@ -22,6 +28,8 @@
 //!          [--faults SPEC]         # inject faults, e.g. "lanes:s1@5000=8; dram:s0@2000+300"
 //!          [--fault-seed N]        # inject a seeded random fault plan instead
 //!          [--max-cycles N]        # abort with an error if the run exceeds N cycles
+//!          [--cache-dir DIR]       # read/write the on-disk content-addressed result
+//!                                  # store (observability runs bypass it)
 //! ```
 //!
 //! Simulation failures (scheduler deadlock, cycle budget exhausted) print
@@ -46,7 +54,11 @@ fn usage(msg: &str) -> ! {
          [--cache memside|static|shared|numa-aware] [--link static|dynamic|2x] \
          [--placement fine|page|first-touch] [--cta interleave|contiguous] \
          [--baseline] [--jobs N] [--sim-threads N] [--timeline] [--metrics] [--profile] \
-         [--trace-out FILE] [--faults SPEC] [--fault-seed N] [--max-cycles N]"
+         [--trace-out FILE] [--faults SPEC] [--fault-seed N] [--max-cycles N] \
+         [--cache-dir DIR]\n\
+         \x20      simulate serve --socket PATH --cache-dir DIR [--workers N] [--verbose] \
+         [--deadline SECS]\n\
+         \x20      simulate submit --socket PATH key=value... | --ping | --stats | --shutdown"
     );
     eprintln!("\nworkloads:");
     for n in WORKLOAD_NAMES {
@@ -70,8 +82,120 @@ fn unwrap_report(r: Result<SimReport, SimError>) -> SimReport {
     r.unwrap_or_else(|e| fail(&e))
 }
 
+/// `simulate serve`: host the daemon in the foreground until SHUTDOWN.
+fn serve_main(args: &[String]) {
+    use numa_gpu::serve::{Daemon, DaemonConfig};
+
+    let mut socket = None;
+    let mut cache_dir = None;
+    let mut workers: usize = 2;
+    let mut verbose = false;
+    let mut deadline_secs: u64 = 600;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| usage(&format!("{name} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--socket" => socket = Some(value("--socket")),
+            "--cache-dir" => cache_dir = Some(value("--cache-dir")),
+            "--workers" => {
+                workers = value("--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--workers must be a positive integer"));
+            }
+            "--deadline" => {
+                deadline_secs = value("--deadline")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--deadline must be seconds"));
+            }
+            "--verbose" => verbose = true,
+            other => usage(&format!("unknown serve argument `{other}`")),
+        }
+    }
+    let socket = socket.unwrap_or_else(|| usage("serve requires --socket PATH"));
+    let cache_dir = cache_dir.unwrap_or_else(|| usage("serve requires --cache-dir DIR"));
+    let mut config = DaemonConfig::new(socket, cache_dir);
+    config.workers = workers;
+    config.verbose = verbose;
+    config.default_deadline = std::time::Duration::from_secs(deadline_secs);
+    let daemon = Daemon::bind(config).unwrap_or_else(|e| {
+        eprintln!("serve: {e}");
+        std::process::exit(3);
+    });
+    if let Err(e) = daemon.serve() {
+        eprintln!("serve: {e}");
+        std::process::exit(3);
+    }
+}
+
+/// `simulate submit`: one protocol exchange with a running daemon.
+fn submit_main(args: &[String]) {
+    use numa_gpu::serve::{Client, JobSpec};
+
+    let mut socket = None;
+    let mut action = None; // --ping | --stats | --shutdown
+    let mut spec_tokens: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => {
+                socket = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--socket needs a value"))
+                        .clone(),
+                );
+            }
+            "--ping" | "--stats" | "--shutdown" => action = Some(arg.clone()),
+            other if other.contains('=') => spec_tokens.push(other.to_string()),
+            other => usage(&format!("unknown submit argument `{other}`")),
+        }
+    }
+    let socket = socket.unwrap_or_else(|| usage("submit requires --socket PATH"));
+    let mut client = Client::connect(&socket).unwrap_or_else(|e| {
+        eprintln!("submit: cannot connect to {socket}: {e}");
+        std::process::exit(3);
+    });
+    let outcome = match action.as_deref() {
+        Some("--ping") => client.ping().map(|()| println!("PONG")),
+        Some("--stats") => client.stats().map(|s| println!("{s}")),
+        Some("--shutdown") => client.shutdown().map(|()| println!("OK")),
+        _ => {
+            if spec_tokens.is_empty() {
+                usage("submit requires key=value job tokens (or --ping/--stats/--shutdown)");
+            }
+            let spec = JobSpec::parse(&spec_tokens.join(" ")).unwrap_or_else(|e| usage(&e));
+            match client.submit(&spec) {
+                Err(e) => Err(e),
+                Ok(sub) => {
+                    for event in &sub.events {
+                        eprintln!("event: {event}");
+                    }
+                    if let Some((class, msg)) = &sub.error {
+                        eprintln!("job failed ({class}): {msg}");
+                        std::process::exit(3);
+                    }
+                    println!("{}", sub.result.as_deref().unwrap_or(""));
+                    Ok(())
+                }
+            }
+        }
+    };
+    if let Err(e) = outcome {
+        eprintln!("submit: {e}");
+        std::process::exit(3);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_main(&args[1..]),
+        Some("submit") => return submit_main(&args[1..]),
+        _ => {}
+    }
     let mut workload_name = None;
     let mut sockets: u8 = 4;
     let mut topology = TopologyKind::Star;
@@ -92,6 +216,7 @@ fn main() {
     let mut faults_spec: Option<String> = None;
     let mut fault_seed: Option<u64> = None;
     let mut max_cycles: u64 = 0;
+    let mut cache_dir: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -177,6 +302,7 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| usage("--max-cycles must be a positive integer"));
             }
+            "--cache-dir" => cache_dir = Some(value("--cache-dir")),
             other => usage(&format!("unknown argument `{other}`")),
         }
     }
@@ -257,6 +383,52 @@ fn main() {
         eprintln!("fault plan: {plan}");
     }
 
+    // The on-disk store caches plain result reports only: observability
+    // runs (metrics snapshots, trace capture) and ad-hoc trace-file
+    // workloads (whose identity lives in a file the key cannot see)
+    // bypass it. Timelines, faults, and profiles cache fine.
+    use numa_gpu::bench::{DiskStore, JobKey, StoreKey};
+    let store_eligible =
+        !metrics && trace_out.is_none() && from_trace.is_none() && dump_trace.is_none();
+    let mut store = match &cache_dir {
+        Some(dir) if store_eligible => Some(DiskStore::open(dir).unwrap_or_else(|e| {
+            usage(&format!("--cache-dir {dir}: {e}"));
+        })),
+        Some(_) => {
+            eprintln!("cache: observability/trace run, store bypassed");
+            None
+        }
+        None => None,
+    };
+    let scenario = fault_plan
+        .as_ref()
+        .map(|p| p.to_string())
+        .unwrap_or_default();
+    let main_key = JobKey::new("cli", workload.meta.name.clone(), timeline).with_scenario(scenario);
+    let main_skey = StoreKey::new(&main_key, &cfg, &scale);
+    let baseline_key = JobKey::new("single", workload.meta.name.clone(), false);
+    let baseline_skey = StoreKey::new(&baseline_key, &SystemConfig::pascal_single(), &scale);
+    // A stored report without a profile cannot satisfy --profile (treat
+    // as a miss; the rewrite after the run heals the entry); a stored
+    // profile is stripped when --profile is off so warm output is
+    // byte-identical to cold output.
+    let store_load = |store: &mut Option<DiskStore>, skey: &StoreKey| {
+        let mut report = store.as_mut()?.load(skey)?;
+        if profile && report.profile.is_none() {
+            return None;
+        }
+        if !profile {
+            report.profile = None;
+        }
+        Some(report)
+    };
+    let warm_main = store_load(&mut store, &main_skey);
+    let mut warm_baseline = if baseline {
+        store_load(&mut store, &baseline_skey)
+    } else {
+        None
+    };
+
     // Each `NumaGpuSystem` is constructed inside the worker thread that
     // runs it; only the plain-data `SystemConfig`/`Workload`/`SimReport`
     // cross job boundaries. Printing stays serial and in the original
@@ -278,7 +450,11 @@ fn main() {
             sys.run(&workload)
         }
     };
-    let (report, prerun_baseline) = if baseline && jobs > 1 {
+    let main_is_warm = warm_main.is_some();
+    let (report, prerun_baseline) = if let Some(warm) = warm_main {
+        eprintln!("cache: warm hit for {}", workload.meta.name);
+        (Ok(warm), None)
+    } else if baseline && warm_baseline.is_none() && jobs > 1 {
         let pool = numa_gpu::exec::ThreadPool::new(jobs);
         let baseline_wl = workload.clone();
         let mut results = pool.run(vec![
@@ -294,6 +470,13 @@ fn main() {
     };
     let report = unwrap_report(report);
     let prerun_baseline = prerun_baseline.map(unwrap_report);
+    if !main_is_warm {
+        if let Some(s) = store.as_mut() {
+            if let Err(e) = s.save(&main_skey, &report) {
+                eprintln!("cache: write failed: {e}");
+            }
+        }
+    }
     println!("{report}");
     for (i, s) in report.sockets.iter().enumerate() {
         println!(
@@ -369,16 +552,31 @@ fn main() {
     }
 
     if baseline {
-        let single = prerun_baseline.unwrap_or_else(|| {
+        let baseline_was_warm = warm_baseline.is_some();
+        let single = warm_baseline.take().or(prerun_baseline).unwrap_or_else(|| {
             unwrap_report(numa_gpu::core::run_workload(
                 SystemConfig::pascal_single(),
                 &workload,
             ))
         });
+        if !baseline_was_warm {
+            if let Some(s) = store.as_mut() {
+                if let Err(e) = s.save(&baseline_skey, &single) {
+                    eprintln!("cache: write failed: {e}");
+                }
+            }
+        }
         println!("\nbaseline {single}");
         println!(
             "speedup vs single GPU: {:.2}x",
             report.speedup_over(&single)
+        );
+    }
+    if let Some(s) = &store {
+        let stats = s.stats();
+        eprintln!(
+            "cache: {} warm hit(s), {} miss(es), {} write(s), {} quarantined",
+            stats.hits, stats.misses, stats.writes, stats.quarantined
         );
     }
 }

@@ -49,6 +49,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use numa_gpu_bench as bench;
 pub use numa_gpu_cache as cache;
 pub use numa_gpu_core as core;
 pub use numa_gpu_engine as engine;
@@ -58,6 +59,7 @@ pub use numa_gpu_interconnect as interconnect;
 pub use numa_gpu_mem as mem;
 pub use numa_gpu_obs as obs;
 pub use numa_gpu_runtime as runtime;
+pub use numa_gpu_serve as serve;
 pub use numa_gpu_sm as sm;
 pub use numa_gpu_types as types;
 pub use numa_gpu_workloads as workloads;
